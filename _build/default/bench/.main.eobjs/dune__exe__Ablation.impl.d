@@ -1,0 +1,1 @@
+bench/ablation.ml: Config Engine Erwin_common Erwin_m Fig18 Harness Lazylog List Ll_corfu Ll_net Ll_sim Ll_workload Log_api Option Printf Reconfig Runner Seq_replica Stats Ycsb

@@ -1,0 +1,1 @@
+bench/fig10.ml: Array Arrival Engine Erwin_m Harness Lazylog List Ll_sim Ll_workload Log_api Printf Runner Stats

@@ -1,0 +1,1 @@
+bench/fig11.ml: Array Arrival Engine Erwin_common Erwin_m Harness Lazylog List Ll_sim Ll_workload Log_api Runner Stats

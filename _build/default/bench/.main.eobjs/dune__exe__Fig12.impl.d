@@ -1,0 +1,1 @@
+bench/fig12.ml: Harness Lazylog List

@@ -1,0 +1,1 @@
+bench/fig13.ml: Harness Lazylog List Ll_workload Runner

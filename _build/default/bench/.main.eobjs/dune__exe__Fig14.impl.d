@@ -1,0 +1,1 @@
+bench/fig14.ml: Engine Harness Lazylog List Ll_sim Stats

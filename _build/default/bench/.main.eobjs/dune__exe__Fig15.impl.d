@@ -1,0 +1,1 @@
+bench/fig15.ml: Array Arrival Engine Harness Lazylog List Ll_kafka Ll_sim Ll_workload Log_api Printf Runner Stats

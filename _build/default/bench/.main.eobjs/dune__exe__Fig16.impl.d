@@ -1,0 +1,1 @@
+bench/fig16.ml: Array Arrival Engine Erwin_common Erwin_st Harness Lazylog List Ll_sim Ll_workload Log_api Printf Runner Shard Stats

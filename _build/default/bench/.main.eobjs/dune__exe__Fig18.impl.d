@@ -1,0 +1,1 @@
+bench/fig18.ml: Engine Erwin_m Harness Kv_store Lazylog List Ll_apps Ll_corfu Ll_sim Ll_workload Log_aggregation Printf Rng Runner Stats String Wordcount Ycsb

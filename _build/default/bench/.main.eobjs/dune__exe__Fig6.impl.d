@@ -1,0 +1,1 @@
+bench/fig6.ml: Harness Lazylog List Ll_corfu Ll_workload Printf

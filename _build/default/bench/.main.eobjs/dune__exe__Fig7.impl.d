@@ -1,0 +1,1 @@
+bench/fig7.ml: Harness Lazylog List Ll_scalog Ll_workload Printf

@@ -1,0 +1,1 @@
+bench/fig8.ml: Harness List Ll_corfu Ll_sim

@@ -1,0 +1,1 @@
+bench/fig9.ml: Fig8

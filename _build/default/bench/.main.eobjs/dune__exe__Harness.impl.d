@@ -1,0 +1,1 @@
+bench/harness.ml: Array Arrival Config Engine Erwin_m Erwin_st Float Lazylog List Ll_corfu Ll_scalog Ll_sim Ll_workload Log_api Option Printf Runner Stats String

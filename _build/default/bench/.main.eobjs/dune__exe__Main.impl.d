@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Cmd Cmdliner Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 Fig18 Fig6 Fig7 Fig8 Fig9 Harness List Micro Printf Term Unix

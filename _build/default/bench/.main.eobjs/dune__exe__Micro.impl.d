@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Harness Hashtbl Instance Lazylog List Ll_sim Ll_storage Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,171 @@
+(* Ablations of the design choices DESIGN.md calls out (run with
+   --ablations):
+
+   A1 background-ordering interval: the latency/batching trade-off behind
+      figures 9-11 — appends are unaffected (lazy!), no-lag reads pay more
+      as batching grows coarser.
+   A2 sequencing-layer replication factor: appends stay 1 RTT because the
+      parallel fan-out grows, not the depth; capacity is unchanged; only
+      the fault-tolerance budget moves.
+   A3 appendSync (section 5.5's eager extension) vs append: the deferred
+      ordering cost made visible within one system.
+   A4 straggler mitigation (section 5.5): a slow sequencing replica drags
+      every append's tail; reconfiguring it out restores the baseline. *)
+
+open Ll_sim
+open Lazylog
+open Ll_workload
+open Harness
+
+let a1_ordering_interval () =
+  section "Ablation A1: background-ordering interval (30K appends/s, 4KB)";
+  let duration = dur 60 250 in
+  table_header [ "interval_us"; "append_us"; "noLag_read_us"; "avg_batch" ];
+  List.iter
+    (fun interval_us ->
+      let cfg =
+        { Config.default with order_interval = Engine.us interval_us }
+      in
+      let batch = ref 0.0 in
+      let sys =
+        {
+          name = "erwin-m";
+          make =
+            (fun () ->
+              let cluster = Erwin_m.create ~cfg () in
+              Engine.spawn (fun () ->
+                  (* sample the batch average at the end of the run *)
+                  let rec wait () =
+                    Engine.sleep (Engine.ms 10);
+                    batch := Erwin_common.avg_batch cluster;
+                    wait ()
+                  in
+                  wait ());
+              fun () -> Erwin_m.client cluster);
+        }
+      in
+      let app, rd =
+        append_and_read sys ~rate:30_000. ~size:4096 ~duration ~lag:0 ~chunk:1
+      in
+      row (string_of_int interval_us)
+        [
+          f1 (Stats.Reservoir.mean_us app);
+          f1 (Stats.Reservoir.mean_us rd);
+          f1 !batch;
+        ])
+    [ 5; 20; 100; 500 ];
+  note "appends never see the interval (lazy binding); aggressive readers do"
+
+let a2_replication_factor () =
+  section "Ablation A2: sequencing replicas (f+1) vs append latency (30K, 4KB)";
+  let duration = dur 60 250 in
+  table_header [ "replicas"; "mean_us"; "p99_us" ];
+  List.iter
+    (fun n ->
+      let cfg = { Config.default with seq_replica_count = n } in
+      let r = append_latency (erwin_m ~cfg ()) ~rate:30_000. ~size:4096 ~duration in
+      let mean, _, p99 = Runner.percentiles r.Runner.latency in
+      row (Printf.sprintf "%d (f=%d)" n (n - 1)) [ f1 mean; f1 p99 ])
+    [ 2; 3; 4; 5 ];
+  note "parallel fan-out: more replicas buy fault tolerance, not RTTs"
+
+let a3_append_sync () =
+  section "Ablation A3: append vs appendSync (eager extension, 4KB)";
+  let lat_async, lat_sync =
+    Runner.in_sim (fun () ->
+        let cluster = Erwin_m.create () in
+        let log = Erwin_m.client cluster in
+        let sync = Option.get log.Log_api.append_sync in
+        let a = Stats.Reservoir.create () and s = Stats.Reservoir.create () in
+        for i = 1 to 300 do
+          let t0 = Engine.now () in
+          ignore (log.Log_api.append ~size:4096 ~data:("a" ^ string_of_int i));
+          Stats.Reservoir.add a (Engine.now () - t0);
+          let t0 = Engine.now () in
+          ignore (sync ~size:4096 ~data:("s" ^ string_of_int i));
+          Stats.Reservoir.add s (Engine.now () - t0)
+        done;
+        (a, s))
+  in
+  table_header [ "api"; "mean_us"; "p99_us" ];
+  row "append (lazy)"
+    [ f1 (Stats.Reservoir.mean_us lat_async);
+      f1 (Stats.Reservoir.percentile_us lat_async 99.0) ];
+  row "appendSync (eager)"
+    [ f1 (Stats.Reservoir.mean_us lat_sync);
+      f1 (Stats.Reservoir.percentile_us lat_sync 99.0) ];
+  note "appendSync waits for binding: this gap IS the deferred ordering cost"
+
+let a4_straggler () =
+  section "Ablation A4: straggler replica and reconfiguration (section 5.5)";
+  let measure cluster log n =
+    let r = Stats.Reservoir.create () in
+    for i = 1 to n do
+      let t0 = Engine.now () in
+      ignore (log.Log_api.append ~size:1024 ~data:(string_of_int i));
+      Stats.Reservoir.add r (Engine.now () - t0)
+    done;
+    ignore cluster;
+    r
+  in
+  let healthy, slowed, removed =
+    Runner.in_sim (fun () ->
+        let cluster = Erwin_m.create () in
+        let log = Erwin_m.client cluster in
+        let healthy = measure cluster log 200 in
+        let straggler = List.nth cluster.Erwin_common.replicas 2 in
+        Ll_net.Fabric.set_extra_delay (Seq_replica.node straggler)
+          (Engine.us 300);
+        let slowed = measure cluster log 200 in
+        Reconfig.remove_replica cluster straggler;
+        let removed = measure cluster log 200 in
+        (healthy, slowed, removed))
+  in
+  table_header [ "phase"; "mean_us"; "p99_us" ];
+  List.iter
+    (fun (label, r) ->
+      row label
+        [ f1 (Stats.Reservoir.mean_us r);
+          f1 (Stats.Reservoir.percentile_us r 99.0) ])
+    [ ("healthy (3 replicas)", healthy);
+      ("with 300us straggler", slowed);
+      ("straggler reconfigured out", removed) ];
+  note "writes wait for all sequencing replicas, so one straggler taxes";
+  note "every append; a view change removes it (paper section 5.5)"
+
+let a5_ycsb_extended () =
+  section "Ablation A5: KV store under extended YCSB profiles (C/D/F)";
+  let ops = if !quick then 1_200 else 5_000 in
+  table_header [ "workload"; "corfu_us"; "erwin_us"; "speedup" ];
+  List.iter
+    (fun (profile, label) ->
+      let run mk = Fig18.kv_latency ~mk ~profile ~ops in
+      let corfu =
+        run (fun () ->
+            let c =
+              Ll_corfu.Corfu.create
+                ~config:
+                  { Ll_corfu.Corfu.default_config with replicas_per_shard = 3 }
+                ()
+            in
+            fun () -> Ll_corfu.Corfu.client c)
+      in
+      let erwin =
+        run (fun () ->
+            let cluster = Erwin_m.create () in
+            fun () -> Erwin_m.client cluster)
+      in
+      row label [ f1 corfu; f1 erwin; Printf.sprintf "%.1fx" (corfu /. erwin) ])
+    [
+      (Ycsb.C, "read-only (YCSB-C)");
+      (Ycsb.D, "read-latest (YCSB-D)");
+      (Ycsb.F, "read-modify-write (YCSB-F)");
+    ];
+  note "the benefit tracks the write fraction: F ~ A, C ~ nothing to speed up"
+
+let run () =
+  a1_ordering_interval ();
+  a2_replication_factor ();
+  a3_append_sync ();
+  a4_straggler ();
+  a5_ycsb_extended ()

@@ -1,0 +1,60 @@
+(* Figure 11: impact of the append rate on read latency. A single reader
+   aggressively consumes the log; at low append rates background batches
+   are small and most reads take the slow path, at high rates batches are
+   large and reads are fast. Also reports the mean background-ordering
+   batch size (right axis of 11a) and read-latency CDFs at 5K and 45K. *)
+
+open Ll_sim
+open Lazylog
+open Ll_workload
+open Harness
+
+let reader_experiment ~rate ~duration =
+  Runner.in_sim (fun () ->
+      let cluster = Erwin_m.create () in
+      let clients = Array.init 8 (fun _ -> Erwin_m.client cluster) in
+      let reader = Erwin_m.client cluster in
+      let read_lat = Stats.Reservoir.create () in
+      let reads = ref 0 in
+      let t_end = Engine.now () + Engine.ms 5 + duration in
+      Arrival.open_loop ~rate ~until:t_end (fun i ->
+          ignore (clients.(i mod 8).Log_api.append ~size:4096 ~data:(string_of_int i)));
+      (* Single aggressive reader: reads one record at a time as soon as
+         it is durable. Its own loop latency caps it around ~40K/s. *)
+      let cursor = ref 0 in
+      Engine.spawn (fun () ->
+          let rec loop () =
+            if Engine.now () < t_end then begin
+              let tail = reader.Log_api.check_tail () in
+              if tail > !cursor then begin
+                let t0 = Engine.now () in
+                ignore (reader.Log_api.read ~from:!cursor ~len:1);
+                Stats.Reservoir.add read_lat (Engine.now () - t0);
+                incr reads;
+                incr cursor
+              end
+              else Engine.sleep (Engine.us 5);
+              loop ()
+            end
+          in
+          loop ());
+      Engine.sleep_until (t_end + Engine.ms 10);
+      let read_rate = Stats.throughput_per_sec ~count:!reads ~dur:(Engine.ms 5 + duration) in
+      (read_lat, read_rate, Erwin_common.avg_batch cluster))
+
+let run () =
+  section "Figure 11: Append Rate vs Read Latency (single aggressive reader)";
+  let duration = dur 80 300 in
+  table_header [ "append_rate"; "read_us_mean"; "read_rate"; "avg_batch" ];
+  let cdf5 = ref None and cdf45 = ref None in
+  List.iter
+    (fun rate ->
+      let lat, read_rate, batch = reader_experiment ~rate ~duration in
+      row (kops rate)
+        [ f1 (Stats.Reservoir.mean_us lat); kops read_rate; f1 batch ];
+      if rate = 5_000. then cdf5 := Some lat;
+      if rate = 45_000. then cdf45 := Some lat)
+    [ 5_000.; 15_000.; 25_000.; 35_000.; 45_000. ];
+  note "low rates -> small ordering batches -> slow-path reads dominate";
+  (match !cdf5 with Some l -> print_cdf "@5K" l ~points:8 | None -> ());
+  (match !cdf45 with Some l -> print_cdf "@45K" l ~points:8 | None -> ())

@@ -1,0 +1,24 @@
+(* Figure 12: record size vs Erwin-m append throughput. Whole records pass
+   through the sequencing layer, so throughput is high for small records
+   (~1M/s at 100 B) and flattens as records grow. *)
+
+open Harness
+
+let run () =
+  section "Figure 12: Record Size vs Throughput (Erwin-m, 5 shards NVMe)";
+  let duration = dur 50 200 in
+  let cfg =
+    Lazylog.Config.scaled_cluster
+      { Lazylog.Config.default with nshards = 5; shard_backup_count = 1 }
+  in
+  table_header [ "size_B"; "throughput"; "seq_model" ];
+  List.iter
+    (fun size ->
+      let cap = expected_capacity ~cfg ~mode:`M ~size in
+      let tput =
+        drain_throughput ~cfg ~mode:`M ~size ~offered:(1.4 *. cap) ~duration
+      in
+      row (string_of_int size) [ kops tput; kops (seq_cap_records ~cfg ~size) ])
+    [ 100; 512; 1024; 4096; 8192 ];
+  note "data funnels through the sequencing layer: ~1M/s at 100B,";
+  note "flattening with size (paper section 6.5) — Erwin-st fixes this (fig 13)"

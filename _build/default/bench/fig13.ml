@@ -1,0 +1,43 @@
+(* Figure 13: Erwin-st scalability. (a) throughput vs number of shards for
+   4KB and 8KB records, Erwin-m vs Erwin-st (NVMe shards, the paper's
+   c6525 scaling cluster); (b) throughput vs latency for Erwin-st. *)
+
+open Harness
+open Ll_workload
+
+let run () =
+  section "Figure 13a: Throughput vs Shards (4KB/8KB, NVMe cluster)";
+  let duration = dur 50 200 in
+  table_header [ "shards"; "m_4K"; "st_4K"; "m_8K"; "st_8K" ];
+  List.iter
+    (fun nshards ->
+      let cfg =
+        Lazylog.Config.scaled_cluster
+          { Lazylog.Config.default with nshards; shard_backup_count = 1 }
+      in
+      let probe mode ~size =
+        let offered = 1.4 *. expected_capacity ~cfg ~mode ~size in
+        drain_throughput ~cfg ~mode ~size ~offered ~duration
+      in
+      let m4 = probe `M ~size:4096 in
+      let st4 = probe `St ~size:4096 in
+      let m8 = probe `M ~size:8192 in
+      let st8 = probe `St ~size:8192 in
+      row (string_of_int nshards) [ kops m4; kops st4; kops m8; kops st8 ])
+    [ 3; 5; 7; 10 ];
+  note "erwin-m flattens (data through the sequencing layer);";
+  note "erwin-st scales with shards (metadata-only sequencing), ~700K @ 10 shards/4KB in the paper";
+
+  section "Figure 13b: Throughput vs Latency (Erwin-st, 10 shards, 4KB)";
+  let cfg =
+    Lazylog.Config.scaled_cluster
+      { Lazylog.Config.default with nshards = 10; shard_backup_count = 1 }
+  in
+  table_header [ "offered"; "achieved"; "mean_us"; "p99_us" ];
+  List.iter
+    (fun rate ->
+      let r = append_latency (erwin_st ~cfg ()) ~rate ~size:4096 ~duration in
+      let mean, _, p99 = Runner.percentiles r.Runner.latency in
+      row (kops rate) [ kops r.Runner.achieved; f1 mean; f1 p99 ])
+    [ 150_000.; 300_000.; 450_000.; 600_000.; 690_000. ];
+  note "1RTT appends keep latency in the tens of us up to saturation (29us @700K in the paper)"

@@ -1,0 +1,46 @@
+(* Figure 16: seamlessly adding a shard in Erwin-st. Mid-workload, a new
+   shard joins without downtime; clients start writing to it and
+   throughput steps up (Scalog's elasticity property, which Corfu-style
+   fixed placement lacks). Closed-loop clients saturate whatever capacity
+   exists, so the step is visible as a throughput increase. *)
+
+open Ll_sim
+open Lazylog
+open Ll_workload
+open Harness
+
+let run () =
+  section "Figure 16: Seamlessly Adding a Shard (Erwin-st, 4KB, NVMe)";
+  let phase = dur 150 500 in
+  let series =
+    Runner.in_sim (fun () ->
+        let cfg =
+          Lazylog.Config.scaled_cluster
+            { Lazylog.Config.default with nshards = 1; shard_backup_count = 1 }
+        in
+        let cluster = Erwin_st.create ~cfg () in
+        let nclients = 128 in
+        let clients = Array.init nclients (fun _ -> Erwin_st.client cluster) in
+        let tl = Stats.Timeline.create ~bin:(phase / 10) in
+        let t_end = Engine.now () + (2 * phase) in
+        Arrival.closed_loop ~clients:nclients ~until:t_end (fun ~client i ->
+            if
+              clients.(client).Log_api.append ~size:4096
+                ~data:(Printf.sprintf "%d-%d" client i)
+            then Stats.Timeline.record tl ~at:(Engine.now ()));
+        (* The new shard arrives halfway through, without downtime. *)
+        Engine.after phase (fun () ->
+            ignore (Erwin_common.add_shard cluster : Shard.t));
+        Engine.sleep_until (t_end + Engine.ms 20);
+        Stats.Timeline.series tl)
+  in
+  note "shard added at t=%.3fs (128 closed-loop clients, 1 -> 2 shards)"
+    (Engine.to_sec phase);
+  table_header [ "t_s"; "throughput" ];
+  let horizon = 2.0 *. Engine.to_sec phase in
+  List.iter
+    (fun (t, rate) ->
+      (* Drop the partial bin past the end of the run. *)
+      if t < horizon -. 0.001 then row (Printf.sprintf "%.3f" t) [ kops rate ])
+    series;
+  note "throughput steps up when clients start writing to the new shard"

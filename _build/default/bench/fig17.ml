@@ -1,0 +1,45 @@
+(* Figure 17: sequencing-layer reconfiguration. A sequencing replica is
+   crashed mid-workload: (a) the throughput timeline shows a dip of
+   roughly the detection+reconfiguration time, after which the workload
+   resumes; (b) the phase breakdown shows ZooKeeper-dominated detection
+   and new-view steps, with sub-millisecond core recovery. *)
+
+open Ll_sim
+open Lazylog
+open Ll_workload
+open Harness
+
+let run () =
+  section "Figure 17: Sequencing-Layer Reconfiguration (Erwin-m)";
+  let series, timings =
+    Runner.in_sim (fun () ->
+        let cluster = Erwin_m.create () in
+        let clients = Array.init 8 (fun _ -> Erwin_m.client cluster) in
+        let tl = Stats.Timeline.create ~bin:(Engine.ms 5) in
+        let crash_at = Engine.ms 40 in
+        let t_end = Engine.now () + Engine.ms 120 in
+        Arrival.open_loop ~rate:30_000. ~until:t_end (fun i ->
+            if clients.(i mod 8).Log_api.append ~size:1024 ~data:(string_of_int i)
+            then Stats.Timeline.record tl ~at:(Engine.now ()));
+        Engine.after crash_at (fun () ->
+            Erwin_common.crash_replica cluster
+              (List.nth cluster.Erwin_common.replicas 1));
+        Engine.sleep_until (t_end + Engine.ms 50);
+        (Stats.Timeline.series tl, cluster.Erwin_common.reconfig_log))
+  in
+  note "(a) throughput timeline (replica crashed at t=0.040s):";
+  table_header [ "t_s"; "throughput" ];
+  List.iter (fun (t, rate) -> row (Printf.sprintf "%.3f" t) [ kops rate ]) series;
+  match timings with
+  | t :: _ ->
+    note "(b) reconfiguration breakdown:";
+    table_header [ "phase"; "time" ];
+    row "detect (ZK session)" [ Printf.sprintf "%.2fms" (Engine.to_ms t.Erwin_common.detect) ];
+    row "seal" [ Printf.sprintf "%.0fus" (Engine.to_us t.Erwin_common.seal) ];
+    row "flush" [ Printf.sprintf "%.0fus" (Engine.to_us t.Erwin_common.flush) ];
+    row "new view (ZK write)" [ Printf.sprintf "%.2fms" (Engine.to_ms t.Erwin_common.new_view) ];
+    row "total" [ Printf.sprintf "%.2fms" (Engine.to_ms t.Erwin_common.total) ];
+    note "core recovery (seal+flush) is ~%.0fus; ZooKeeper dominates"
+      (Engine.to_us (t.Erwin_common.seal + t.Erwin_common.flush));
+    note "(paper: ~15ms impact, 600us core recovery, ZK-dominated breakdown)"
+  | [] -> note "ERROR: no reconfiguration was recorded"

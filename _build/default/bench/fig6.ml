@@ -1,0 +1,66 @@
+(* Figure 6: Append latency, Erwin(-m) vs Corfu.
+   4 KB records, 3 replicas per shard; (a) mean and p99 at 1 shard @30K/s
+   and 5 shards @150K/s; (b) latency CDFs at 30K and 100K appends/s. *)
+
+open Harness
+
+let run () =
+  section "Figure 6: Append Latency, Erwin vs Corfu (4KB, 3 replicas/shard)";
+  let duration = dur 100 400 in
+  table_header [ "setup"; "mean_us"; "p99_us"; "achieved" ];
+  let cases =
+    [
+      (1, 30_000., "1-shard @30K");
+      (5, 150_000., "5-shards @150K");
+    ]
+  in
+  let results =
+    List.map
+      (fun (nshards, rate, label) ->
+        let corfu_sys =
+          corfu
+            ~config:
+              { Ll_corfu.Corfu.default_config with nshards; replicas_per_shard = 3 }
+            ()
+        in
+        let erwin_sys =
+          erwin_m
+            ~cfg:
+              {
+                Lazylog.Config.default with
+                nshards;
+                shard_backup_count = 2;
+              }
+            ()
+        in
+        let rc, cm, _, cp99 = append_row corfu_sys ~rate ~size:4096 ~duration in
+        let re, em, _, ep99 = append_row erwin_sys ~rate ~size:4096 ~duration in
+        row (Printf.sprintf "corfu %s" label)
+          [ f1 cm; f1 cp99; kops rc.Ll_workload.Runner.achieved ];
+        row (Printf.sprintf "erwin %s" label)
+          [ f1 em; f1 ep99; kops re.Ll_workload.Runner.achieved ];
+        note "erwin reduces mean latency by %.1fx, p99 by %.1fx (paper: up to 3.8x)"
+          (cm /. em) (cp99 /. ep99);
+        (label, rc, re))
+      cases
+  in
+  (* (b) CDFs at 30K and 100K *)
+  (match results with
+  | (_, rc30, re30) :: _ ->
+    print_cdf "corfu @30K" rc30.Ll_workload.Runner.latency ~points:8;
+    print_cdf "erwin @30K" re30.Ll_workload.Runner.latency ~points:8
+  | [] -> ());
+  let corfu100, _, _, _ =
+    append_row
+      (corfu
+         ~config:{ Ll_corfu.Corfu.default_config with nshards = 5; replicas_per_shard = 3 }
+         ())
+      ~rate:100_000. ~size:4096 ~duration
+  in
+  let erwin100, _, _, _ =
+    append_row
+      (erwin_m ~cfg:{ Lazylog.Config.default with nshards = 5; shard_backup_count = 2 } ())
+      ~rate:100_000. ~size:4096 ~duration
+  in
+  print_cdf "corfu @100K (5 shards)" corfu100.Ll_workload.Runner.latency ~points:8;
+  print_cdf "erwin @100K (5 shards)" erwin100.Ll_workload.Runner.latency ~points:8

@@ -1,0 +1,48 @@
+(* Figure 7: Append latency, Erwin(-m) vs Scalog.
+   4 KB records, 2-replica shards, 0.1 ms interleaving interval;
+   1 shard @34K/s and 5 shards @140K/s, plus CDFs and the section 6.1
+   shard-in-isolation parity check. *)
+
+open Harness
+
+let run () =
+  section
+    "Figure 7: Append Latency, Erwin vs Scalog (4KB, 2 replicas/shard, 0.1ms interleaving)";
+  (* Section 6.1 parity: the shards alone run in a comparable regime. *)
+  let iso_mean, iso_tput =
+    Ll_scalog.Scalog.shard_in_isolation_probe ~rate:30_000.
+      ~seconds:(if !quick then 0.1 else 0.4)
+      ~size:4096 ()
+  in
+  note
+    "shard-in-isolation parity: scalog shard %.0fus @ %.1fK/s (paper: 693us @ 34.3K; erwin shards are identical disk-bound stores)"
+    iso_mean (iso_tput /. 1000.);
+  let duration = dur 80 400 in
+  table_header [ "setup"; "mean_us"; "p99_us"; "achieved" ];
+  let cases = [ (1, 34_000., "1-shard @34K"); (5, 140_000., "5-shards @140K") ] in
+  let last = ref None in
+  List.iter
+    (fun (nshards, rate, label) ->
+      let scalog_sys =
+        scalog ~config:{ Ll_scalog.Scalog.default_config with nshards } ()
+      in
+      let erwin_sys =
+        erwin_m
+          ~cfg:{ Lazylog.Config.default with nshards; shard_backup_count = 1 }
+          ()
+      in
+      let rs, sm, _, sp99 = append_row scalog_sys ~rate ~size:4096 ~duration in
+      let re, em, _, ep99 = append_row erwin_sys ~rate ~size:4096 ~duration in
+      row (Printf.sprintf "scalog %s" label)
+        [ f1 sm; f1 sp99; kops rs.Ll_workload.Runner.achieved ];
+      row (Printf.sprintf "erwin %s" label)
+        [ f1 em; f1 ep99; kops re.Ll_workload.Runner.achieved ];
+      note "erwin reduces mean latency by %.0fx (paper: two orders of magnitude)"
+        (sm /. em);
+      last := Some (rs, re))
+    cases;
+  match !last with
+  | Some (rs, re) ->
+    print_cdf "scalog @140K" rs.Ll_workload.Runner.latency ~points:8;
+    print_cdf "erwin @140K" re.Ll_workload.Runner.latency ~points:8
+  | None -> ()

@@ -1,0 +1,39 @@
+(* Figure 8: reads lagging behind appends by a small window (3 ms), at
+   matched append/read rates of 15K/30K/45K — Erwin's append advantage
+   with no read penalty (ordering completes before the lagged reads). *)
+
+open Harness
+
+let run_one ~lag ~title =
+  section "%s" title;
+  let duration = dur 80 300 in
+  table_header [ "rate"; "sys"; "append_us"; "read_us" ];
+  List.iter
+    (fun rate ->
+      let cfg_corfu =
+        { Ll_corfu.Corfu.default_config with nshards = 1; replicas_per_shard = 3 }
+      in
+      let ca, cr =
+        append_and_read (corfu ~config:cfg_corfu ()) ~rate ~size:4096 ~duration
+          ~lag ~chunk:1
+      in
+      let ea, er =
+        append_and_read (erwin_m ()) ~rate ~size:4096 ~duration ~lag ~chunk:1
+      in
+      row (kops rate)
+        [
+          "corfu";
+          f1 (Ll_sim.Stats.Reservoir.mean_us ca);
+          f1 (Ll_sim.Stats.Reservoir.mean_us cr);
+        ];
+      row ""
+        [
+          "erwin";
+          f1 (Ll_sim.Stats.Reservoir.mean_us ea);
+          f1 (Ll_sim.Stats.Reservoir.mean_us er);
+        ])
+    [ 15_000.; 30_000.; 45_000. ]
+
+let run () =
+  run_one ~lag:(Ll_sim.Engine.ms 3)
+    ~title:"Figure 8: Reads Lagging Appends by 3ms (Corfu vs Erwin)"

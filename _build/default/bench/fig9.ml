@@ -1,0 +1,8 @@
+(* Figure 9: no lag between appends and reads — Erwin's bad case. Reads
+   hit the unordered portion and pay the (deferred) ordering cost; at
+   higher rates batching makes most reads fast again. *)
+
+
+let run () =
+  Fig8.run_one ~lag:0
+    ~title:"Figure 9: No Lag between Appends and Reads (Corfu vs Erwin)"

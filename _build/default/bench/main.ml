@@ -1,0 +1,81 @@
+(* Benchmark driver: regenerates every figure of the paper's evaluation
+   (section 6). Run all with `dune exec bench/main.exe`; select figures
+   with `--fig 6 --fig 17`; use `--full` for longer measurement windows;
+   `--micro` adds the bechamel microbenchmarks. *)
+
+let figures : (int * string * (unit -> unit)) list =
+  [
+    (6, "append latency vs Corfu", Fig6.run);
+    (7, "append latency vs Scalog", Fig7.run);
+    (8, "reads lagging appends", Fig8.run);
+    (9, "no lag appends/reads", Fig9.run);
+    (10, "periodic reads", Fig10.run);
+    (11, "append rate vs read latency", Fig11.run);
+    (12, "record size vs Erwin-m throughput", Fig12.run);
+    (13, "Erwin-st scalability", Fig13.run);
+    (14, "Erwin-st reads", Fig14.run);
+    (15, "total order over Kafka shards", Fig15.run);
+    (16, "seamless shard addition", Fig16.run);
+    (17, "sequencing-layer reconfiguration", Fig17.run);
+    (18, "end applications", Fig18.run);
+  ]
+
+let run_selection figs full micro ablations csv =
+  (match csv with
+  | Some path -> Harness.csv_out := Some (open_out path)
+  | None -> ());
+  Harness.quick := not full;
+  Printf.printf
+    "LazyLog benchmark suite — reproducing the paper's figures (%s mode)\n"
+    (if full then "full" else "quick");
+  Printf.printf
+    "All latencies/throughputs are simulated-cluster measurements; see EXPERIMENTS.md.\n";
+  let selected =
+    match figs with
+    | [] -> figures
+    | figs -> List.filter (fun (n, _, _) -> List.mem n figs) figures
+  in
+  List.iter
+    (fun (n, what, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "  [figure %d: %s — %.1fs wall]\n%!" n what
+        (Unix.gettimeofday () -. t0))
+    selected;
+  if ablations then Ablation.run ();
+  if micro then Micro.run ();
+  (match !Harness.csv_out with
+  | Some oc ->
+    close_out oc;
+    Harness.csv_out := None
+  | None -> ());
+  Printf.printf "\nDone.\n"
+
+open Cmdliner
+
+let figs =
+  let doc = "Figure number to run (repeatable; default: all)." in
+  Arg.(value & opt_all int [] & info [ "fig"; "f" ] ~docv:"N" ~doc)
+
+let full =
+  let doc = "Longer measurement windows (closer to the paper's durations)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let micro =
+  let doc = "Also run the bechamel microbenchmarks." in
+  Arg.(value & flag & info [ "micro" ] ~doc)
+
+let ablations =
+  let doc = "Also run the design-choice ablations (DESIGN.md section 6)." in
+  Arg.(value & flag & info [ "ablations" ] ~doc)
+
+let csv =
+  let doc = "Also mirror every table row into $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "Reproduce the LazyLog paper's evaluation figures" in
+  let info = Cmd.info "lazylog-bench" ~doc in
+  Cmd.v info Term.(const run_selection $ figs $ full $ micro $ ablations $ csv)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,81 @@
+(* Bechamel microbenchmarks of the hot data structures (real wall-clock
+   performance of the OCaml implementation, not simulated time). *)
+
+open Bechamel
+open Toolkit
+
+let ring_test =
+  Test.make ~name:"ring_buffer append+gc"
+    (Staged.stage (fun () ->
+         let r = Ll_storage.Ring_buffer.create ~capacity:64 in
+         for i = 0 to 255 do
+           ignore (Ll_storage.Ring_buffer.try_append r i);
+           if Ll_storage.Ring_buffer.is_full r then
+             Ll_storage.Ring_buffer.advance_head r
+               (Ll_storage.Ring_buffer.head r + 32)
+         done))
+
+let heap_test =
+  Test.make ~name:"heap push/pop x256"
+    (Staged.stage (fun () ->
+         let h = Ll_sim.Heap.create ~cmp:compare in
+         for i = 0 to 255 do
+           Ll_sim.Heap.push h ((i * 7919) mod 257)
+         done;
+         while not (Ll_sim.Heap.is_empty h) do
+           ignore (Ll_sim.Heap.pop h)
+         done))
+
+let zipf_test =
+  let rng = Ll_sim.Rng.create ~seed:1 in
+  let g = Ll_sim.Rng.Zipf.create rng ~n:100_000 ~theta:0.99 in
+  Test.make ~name:"zipf next x256"
+    (Staged.stage (fun () ->
+         for _ = 0 to 255 do
+           ignore (Ll_sim.Rng.Zipf.next g)
+         done))
+
+let seq_log_test =
+  Test.make ~name:"seq_log append+order x128"
+    (Staged.stage (fun () ->
+         let l = Lazylog.Seq_log.create ~capacity:1024 in
+         for i = 1 to 128 do
+           let rid = { Lazylog.Types.Rid.client = 0; seq = i } in
+           ignore
+             (Lazylog.Seq_log.try_append l
+                (Lazylog.Types.Data (Lazylog.Types.record ~rid ~size:64 ())))
+         done;
+         let entries = Lazylog.Seq_log.unordered l () in
+         Lazylog.Seq_log.remove_ordered l
+           (List.map Lazylog.Types.entry_rid entries)))
+
+let reservoir_test =
+  Test.make ~name:"reservoir add+p99 x1024"
+    (Staged.stage (fun () ->
+         let r = Ll_sim.Stats.Reservoir.create () in
+         for i = 0 to 1023 do
+           Ll_sim.Stats.Reservoir.add r ((i * 31) mod 977)
+         done;
+         ignore (Ll_sim.Stats.Reservoir.percentile_us r 99.0)))
+
+let run () =
+  Harness.section "Microbenchmarks (bechamel, real time)";
+  let tests =
+    Test.make_grouped ~name:"micro" ~fmt:"%s %s"
+      [ ring_test; heap_test; zipf_test; seq_log_test; reservoir_test ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Printf.printf "  %-32s %10.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+    results

@@ -1,0 +1,1 @@
+examples/activity_analytics.ml: Config Engine Erwin_m Hashtbl Lazylog List Ll_sim Ll_workload Printf Rng Stats String Types

@@ -1,0 +1,1 @@
+examples/activity_analytics.mli:

@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Engine Erwin_common Erwin_m Lazylog List Ll_sim Printf

@@ -1,0 +1,1 @@
+examples/kafka_total_order.ml: Engine Lazylog List Ll_kafka Ll_sim Printf

@@ -1,0 +1,1 @@
+examples/kafka_total_order.mli:

@@ -1,0 +1,1 @@
+examples/kv_store_demo.ml: Engine Erwin_m Kv_store Lazylog Ll_apps Ll_sim Printf

@@ -1,0 +1,1 @@
+examples/log_aggregation_demo.ml: Engine Erwin_m Lazylog List Ll_apps Ll_sim Log_aggregation Printf Types

@@ -1,0 +1,1 @@
+examples/log_aggregation_demo.mli:

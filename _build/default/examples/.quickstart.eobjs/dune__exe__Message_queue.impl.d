@@ -1,0 +1,1 @@
+examples/message_queue.ml: Engine Erwin_m Hashtbl Lazylog List Ll_sim Printf String Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Engine Erwin_m Lazylog List Ll_sim Printf Types

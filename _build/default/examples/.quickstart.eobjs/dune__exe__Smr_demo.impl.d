@@ -1,0 +1,1 @@
+examples/smr_demo.ml: Engine Erwin_m Lazylog Ll_apps Ll_sim Printf Smr Stats String

@@ -1,0 +1,1 @@
+examples/smr_demo.mli:

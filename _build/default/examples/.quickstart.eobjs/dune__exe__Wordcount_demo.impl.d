@@ -1,0 +1,1 @@
+examples/wordcount_demo.ml: Engine Erwin_m Lazylog List Ll_apps Ll_sim Printf Stats String Wordcount

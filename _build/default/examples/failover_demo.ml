@@ -1,0 +1,46 @@
+(* Sequencing-layer failure and reconfiguration (paper section 4.5):
+   crash the sequencing leader mid-workload and watch the view change
+   seal, flush, and resume — with every acknowledged record intact.
+
+   Run with:  dune exec examples/failover_demo.exe *)
+
+open Ll_sim
+open Lazylog
+
+let () =
+  Engine.run (fun () ->
+      let cluster = Erwin_m.create () in
+      let acked = ref 0 in
+      for w = 0 to 3 do
+        let log = Erwin_m.client cluster in
+        Engine.spawn (fun () ->
+            for i = 1 to 500 do
+              if log.append ~size:512 ~data:(Printf.sprintf "%d-%d" w i) then
+                incr acked
+            done)
+      done;
+      Engine.after (Engine.ms 2) (fun () ->
+          Printf.printf "t=%.1fms: crashing the sequencing LEADER (stable-gp=%d)\n"
+            (Engine.to_ms (Engine.now ()))
+            cluster.stable_gp;
+          Erwin_common.crash_replica cluster (Erwin_common.leader cluster));
+      Engine.after (Engine.ms 80) (fun () ->
+          Printf.printf "t=%.1fms: view=%d, %d live replicas, %d acked appends\n"
+            (Engine.to_ms (Engine.now ()))
+            cluster.view
+            (List.length cluster.replicas)
+            !acked;
+          (match cluster.reconfig_log with
+          | t :: _ ->
+            Printf.printf
+              "reconfiguration: detect=%.1fms seal=%.0fus flush=%.0fus new-view=%.1fms total=%.1fms\n"
+              (Engine.to_ms t.detect) (Engine.to_us t.seal)
+              (Engine.to_us t.flush) (Engine.to_ms t.new_view)
+              (Engine.to_ms t.total)
+          | [] -> print_endline "no reconfiguration recorded?!");
+          let log = Erwin_m.client cluster in
+          let tail = log.check_tail () in
+          let records = log.read ~from:0 ~len:tail in
+          Printf.printf "log intact after fail-over: tail=%d, readable=%d, acked=%d\n"
+            tail (List.length records) !acked;
+          Engine.stop ()))

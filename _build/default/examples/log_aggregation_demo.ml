@@ -1,0 +1,46 @@
+(* Audit-logged transaction processing (paper section 6.11): every
+   account transaction executes against a local RocksDB-like store and is
+   synchronously audit-logged to the shared log.
+
+   Run with:  dune exec examples/log_aggregation_demo.exe *)
+
+open Ll_sim
+open Lazylog
+open Ll_apps
+
+let () =
+  Engine.run (fun () ->
+      let cluster = Erwin_m.create () in
+      let audit_log = Erwin_m.client cluster in
+      let srv = Log_aggregation.create ~log:audit_log () in
+
+      ignore (Log_aggregation.execute srv (Create { account = 1 }));
+      ignore (Log_aggregation.execute srv (Create { account = 2 }));
+      ignore (Log_aggregation.execute srv (Deposit { account = 1; amount = 500 }));
+
+      let t0 = Engine.now () in
+      let b =
+        Log_aggregation.execute srv (Transfer { src = 1; dst = 2; amount = 120 })
+      in
+      Printf.printf
+        "transfer done in %.1f us (execution + synchronous audit append); src balance=%d\n"
+        (Engine.to_us (Engine.now () - t0))
+        b;
+
+      let t0 = Engine.now () in
+      let b = Log_aggregation.execute srv (Balance { account = 2 }) in
+      Printf.printf
+        "balance query in %.1f us — logging dominates reads (~4us execution); balance=%d\n"
+        (Engine.to_us (Engine.now () - t0))
+        b;
+
+      (* The audit trail is durable on the shared log, ready for offline
+         analysis. *)
+      Engine.sleep (Engine.ms 3);
+      let tail = audit_log.check_tail () in
+      let records = audit_log.read ~from:0 ~len:tail in
+      Printf.printf "audit trail (%d records):\n" tail;
+      List.iter
+        (fun (r : Types.record) -> Printf.printf "  %s\n" r.data)
+        records;
+      Engine.stop ())

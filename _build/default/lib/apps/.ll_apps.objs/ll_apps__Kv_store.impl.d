@@ -1,0 +1,1 @@
+lib/apps/kv_store.ml: Engine Hashtbl Lazylog List Ll_sim Log_api String Types

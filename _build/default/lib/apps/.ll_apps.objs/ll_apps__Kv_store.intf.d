@@ -1,0 +1,1 @@
+lib/apps/kv_store.mli: Engine Lazylog Ll_sim Log_api

@@ -1,0 +1,1 @@
+lib/apps/log_aggregation.ml: Lazylog Log_api Printf Rocksdb_sim

@@ -1,0 +1,1 @@
+lib/apps/log_aggregation.mli: Lazylog Log_api

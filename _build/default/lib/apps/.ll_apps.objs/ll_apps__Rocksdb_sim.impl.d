@@ -1,0 +1,1 @@
+lib/apps/rocksdb_sim.ml: Engine Hashtbl Ll_sim

@@ -1,0 +1,1 @@
+lib/apps/rocksdb_sim.mli: Engine Ll_sim

@@ -1,0 +1,1 @@
+lib/apps/smr.ml: Engine Lazylog List Ll_sim Log_api Stats String Types

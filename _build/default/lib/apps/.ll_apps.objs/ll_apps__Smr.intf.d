@@ -1,0 +1,1 @@
+lib/apps/smr.mli: Lazylog Ll_sim Log_api Stats

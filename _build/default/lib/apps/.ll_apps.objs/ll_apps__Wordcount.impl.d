@@ -1,0 +1,1 @@
+lib/apps/wordcount.ml: Array Engine Hashtbl Lazylog List Ll_sim Log_api Printf Stats String Types Waitq

@@ -1,0 +1,1 @@
+lib/apps/wordcount.mli: Engine Lazylog Ll_sim Log_api Stats

@@ -1,0 +1,118 @@
+open Ll_sim
+open Lazylog
+
+type t = {
+  log : Log_api.t;
+  validate_cost : Engine.time;
+  state : (string, string) Hashtbl.t;  (* read server's local state *)
+  mutable applied : int;
+}
+
+(* Records on the log are "key=value"; keys must not contain '=' or ';'.
+   Checkpoint records carry the whole state, ';'-separated, behind a
+   marker prefix. *)
+let serialize ~key ~value = key ^ "=" ^ value
+
+let checkpoint_marker = "\x01ckpt;"
+
+let is_checkpoint data =
+  String.length data >= String.length checkpoint_marker
+  && String.sub data 0 (String.length checkpoint_marker) = checkpoint_marker
+
+let apply_pair state pair =
+  match String.index_opt pair '=' with
+  | Some i ->
+    Hashtbl.replace state
+      (String.sub pair 0 i)
+      (String.sub pair (i + 1) (String.length pair - i - 1))
+  | None -> ()
+
+let apply_checkpoint state data =
+  let body =
+    String.sub data
+      (String.length checkpoint_marker)
+      (String.length data - String.length checkpoint_marker)
+  in
+  String.split_on_char ';' body |> List.iter (apply_pair state)
+
+let apply t (r : Types.record) =
+  (* The live reader built this state itself: checkpoints carry nothing
+     new for it, only for recovering readers. *)
+  if not (Types.is_no_op r || is_checkpoint r.data) then
+    apply_pair t.state r.data
+
+(* The read server: consume the log at its own pace (poll the tail, read
+   any new suffix, fold it into local state). *)
+let consumer t reader_log ~poll_interval () =
+  let rec loop () =
+    let tail = reader_log.Log_api.check_tail () in
+    if tail > t.applied then begin
+      let records =
+        reader_log.Log_api.read ~from:t.applied ~len:(tail - t.applied)
+      in
+      List.iter (apply t) records;
+      t.applied <- tail
+    end
+    else Engine.sleep poll_interval;
+    loop ()
+  in
+  loop ()
+
+let make ~log ~validate_cost =
+  { log; validate_cost; state = Hashtbl.create 4096; applied = 0 }
+
+let create ~log ?reader_log ?(validate_cost = Engine.us 2)
+    ?(poll_interval = Engine.us 200) () =
+  let reader_log = match reader_log with Some l -> l | None -> log in
+  let t = make ~log ~validate_cost in
+  Engine.spawn ~name:"kv.read-server" (consumer t reader_log ~poll_interval);
+  t
+
+let put t ~key ~value =
+  (* Write server: validate, serialize, append, ack. *)
+  Engine.sleep t.validate_cost;
+  let data = serialize ~key ~value in
+  let size = String.length key + String.length value in
+  ignore (t.log.Log_api.append ~size ~data : bool)
+
+let get t ~key =
+  Engine.sleep t.validate_cost;
+  Hashtbl.find_opt t.state key
+
+let applied t = t.applied
+
+let lag t = t.log.Log_api.check_tail () - t.applied
+
+let compact t =
+  (* Snapshot the reader's state into one checkpoint record, then trim
+     everything it covers. Updates applied after the snapshot stay in the
+     log suffix and re-apply cleanly on recovery (last write wins). *)
+  let upto = t.applied in
+  let body =
+    Hashtbl.fold (fun k v acc -> serialize ~key:k ~value:v :: acc) t.state []
+    |> String.concat ";"
+  in
+  let data = checkpoint_marker ^ body in
+  let size =
+    Hashtbl.fold (fun k v acc -> acc + String.length k + String.length v + 2)
+      t.state 64
+  in
+  ignore (t.log.Log_api.append ~size ~data : bool);
+  ignore (t.log.Log_api.trim ~upto : bool)
+
+let recover ~log ?(validate_cost = Engine.us 2)
+    ?(poll_interval = Engine.us 200) () =
+  let t = make ~log ~validate_cost in
+  (* Replay from the trim point — the newest checkpoint plus the update
+     suffix — before the consumer starts following the tail. *)
+  let tail = log.Log_api.check_tail () in
+  let records = log.Log_api.read ~from:0 ~len:tail in
+  List.iter
+    (fun (r : Types.record) ->
+      if Types.is_no_op r then ()
+      else if is_checkpoint r.data then apply_checkpoint t.state r.data
+      else apply_pair t.state r.data)
+    records;
+  t.applied <- tail;
+  Engine.spawn ~name:"kv.read-server" (consumer t log ~poll_interval);
+  t

@@ -1,0 +1,48 @@
+(** Writer-reader-decoupled key-value store over a shared log, modeled
+    after Firescroll (paper section 6.11).
+
+    Puts are handled by a write-processing server: it validates the
+    request, serializes the pair, appends it to the shared log, and acks —
+    crucially, it does not need the record's position, which is what makes
+    the LazyLog [append] interface sufficient. A read server independently
+    consumes the log at its own pace, builds local state, and serves gets;
+    reads are therefore eventually consistent, as in Firescroll. *)
+
+open Ll_sim
+open Lazylog
+
+type t
+
+val create :
+  log:Log_api.t ->
+  ?reader_log:Log_api.t ->
+  ?validate_cost:Engine.time ->
+  ?poll_interval:Engine.time ->
+  unit ->
+  t
+(** [reader_log] defaults to [log] (a second client handle is cleaner —
+    pass one when available). Starts the read server's consumer fiber. *)
+
+val put : t -> key:string -> value:string -> unit
+(** End-client put: blocking until the write server acks (validation +
+    shared-log append). *)
+
+val get : t -> key:string -> string option
+(** End-client get: served by the read server from its local state. *)
+
+val applied : t -> int
+(** Log positions the read server has consumed. *)
+
+val lag : t -> int
+(** check_tail minus applied (diagnostics). *)
+
+val compact : t -> unit
+(** Log compaction: the read server appends a checkpoint of its current
+    state and trims the log prefix it covers, bounding log growth (the
+    Kafka-compaction pattern). Blocking. *)
+
+val recover : log:Log_api.t -> ?validate_cost:Engine.time ->
+  ?poll_interval:Engine.time -> unit -> t
+(** Builds a fresh read server from a (possibly compacted) log: replays
+    the latest checkpoint and every update after it, then keeps
+    consuming. *)

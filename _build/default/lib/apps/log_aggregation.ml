@@ -1,0 +1,76 @@
+open Lazylog
+
+type t = {
+  log : Log_api.t;
+  db : Rocksdb_sim.t;
+  mutable audits : int;
+  mutable txn_counter : int;
+}
+
+type txn =
+  | Create of { account : int }
+  | Deposit of { account : int; amount : int }
+  | Withdraw of { account : int; amount : int }
+  | Transfer of { src : int; dst : int; amount : int }
+  | Balance of { account : int }
+  | Status of { txn_id : int }
+
+let is_write = function
+  | Create _ | Deposit _ | Withdraw _ | Transfer _ -> true
+  | Balance _ | Status _ -> false
+
+let create ~log () =
+  { log; db = Rocksdb_sim.create (); audits = 0; txn_counter = 0 }
+
+let akey account = "acct:" ^ string_of_int account
+
+let balance_of t account =
+  match Rocksdb_sim.get t.db ~key:(akey account) with
+  | Some v -> int_of_string v
+  | None -> 0
+
+let describe = function
+  | Create { account } -> Printf.sprintf "create %d" account
+  | Deposit { account; amount } -> Printf.sprintf "dep %d %d" account amount
+  | Withdraw { account; amount } -> Printf.sprintf "wdr %d %d" account amount
+  | Transfer { src; dst; amount } ->
+    Printf.sprintf "xfer %d %d %d" src dst amount
+  | Balance { account } -> Printf.sprintf "bal %d" account
+  | Status { txn_id } -> Printf.sprintf "status %d" txn_id
+
+let run_local t txn =
+  match txn with
+  | Create { account } ->
+    Rocksdb_sim.put t.db ~key:(akey account) ~value:"0";
+    0
+  | Deposit { account; amount } ->
+    let b = balance_of t account + amount in
+    Rocksdb_sim.put t.db ~key:(akey account) ~value:(string_of_int b);
+    b
+  | Withdraw { account; amount } ->
+    let b = balance_of t account - amount in
+    Rocksdb_sim.put t.db ~key:(akey account) ~value:(string_of_int b);
+    b
+  | Transfer { src; dst; amount } ->
+    let sb = balance_of t src - amount in
+    Rocksdb_sim.put t.db ~key:(akey src) ~value:(string_of_int sb);
+    let db_ = balance_of t dst + amount in
+    Rocksdb_sim.put t.db ~key:(akey dst) ~value:(string_of_int db_);
+    sb
+  | Balance { account } -> balance_of t account
+  | Status { txn_id } ->
+    (* Committed if we have processed it. *)
+    if txn_id <= t.txn_counter then 1 else 0
+
+let execute t txn =
+  t.txn_counter <- t.txn_counter + 1;
+  let result = run_local t txn in
+  (* Synchronous audit logging: irrespective of transaction type, the
+     shared-log operation is an append. *)
+  let data = Printf.sprintf "txn %d: %s" t.txn_counter (describe txn) in
+  let size = 128 in
+  ignore (t.log.Log_api.append ~size ~data : bool);
+  t.audits <- t.audits + 1;
+  result
+
+let audit_records t = t.audits

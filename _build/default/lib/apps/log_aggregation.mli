@@ -1,0 +1,36 @@
+(** Audit-logged transaction processing (paper section 6.11, figure 18b).
+
+    Account operations (create / deposit / withdraw / transfer / balance /
+    status) run against a local {!Rocksdb_sim} instance on a transaction
+    server; every transaction is additionally logged {e synchronously} to
+    the shared log for auditing, because audits are critical. The shared
+    log is write-only in the online path (audit reads are offline).
+
+    Per the paper, write transactions cost ~23 us of execution and read
+    transactions ~4 us, so the audit-append latency dominates reads much
+    more than writes — which is why Erwin's benefit is larger for read
+    transactions. *)
+
+open Lazylog
+
+type t
+
+type txn =
+  | Create of { account : int }
+  | Deposit of { account : int; amount : int }
+  | Withdraw of { account : int; amount : int }
+  | Transfer of { src : int; dst : int; amount : int }
+  | Balance of { account : int }
+  | Status of { txn_id : int }
+
+val is_write : txn -> bool
+
+val create : log:Log_api.t -> unit -> t
+(** One transaction server with its local database. *)
+
+val execute : t -> txn -> int
+(** Runs the transaction (local DB) and synchronously appends the audit
+    record; returns the transaction's result (balance, status code, or 0).
+    Blocking; latency = execution + audit logging. *)
+
+val audit_records : t -> int

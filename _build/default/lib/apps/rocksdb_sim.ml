@@ -1,0 +1,20 @@
+open Ll_sim
+
+type t = {
+  write_cost : Engine.time;
+  read_cost : Engine.time;
+  table : (string, string) Hashtbl.t;
+}
+
+let create ?(write_cost = Engine.us 23) ?(read_cost = Engine.us 4) () =
+  { write_cost; read_cost; table = Hashtbl.create 4096 }
+
+let put t ~key ~value =
+  Engine.sleep t.write_cost;
+  Hashtbl.replace t.table key value
+
+let get t ~key =
+  Engine.sleep t.read_cost;
+  Hashtbl.find_opt t.table key
+
+let size t = Hashtbl.length t.table

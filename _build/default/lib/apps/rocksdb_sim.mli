@@ -1,0 +1,21 @@
+(** Local embedded KV store with RocksDB-like costs.
+
+    The log-aggregation application of section 6.11 runs transactions
+    against a local RocksDB instance; the paper reports its execution
+    costs as ~23 us per write and ~4 us per read, which is all the
+    experiment depends on — so that is exactly what this simulation
+    charges. *)
+
+open Ll_sim
+
+type t
+
+val create : ?write_cost:Engine.time -> ?read_cost:Engine.time -> unit -> t
+
+val put : t -> key:string -> value:string -> unit
+(** Stores and charges the write cost (blocking). *)
+
+val get : t -> key:string -> string option
+(** Charges the read cost (blocking). *)
+
+val size : t -> int

@@ -1,0 +1,37 @@
+open Ll_sim
+open Lazylog
+
+type t = {
+  log : Log_api.t;
+  apply : string -> unit;
+  mutable cursor : int;  (* next log position to apply *)
+  lat : Stats.Reservoir.t;
+}
+
+let create ~log ~apply =
+  { log; apply; cursor = 0; lat = Stats.Reservoir.create ~name:"smr" () }
+
+let submit t cmd =
+  let t0 = Engine.now () in
+  ignore (t.log.Log_api.append ~size:(String.length cmd + 64) ~data:cmd : bool);
+  (* Catch up to the tail: this is where a lazy log pays its ordering
+     cost, because the just-appended suffix is typically unordered. *)
+  let tail = t.log.Log_api.check_tail () in
+  let n = ref 0 in
+  if tail > t.cursor then begin
+    let records = t.log.Log_api.read ~from:t.cursor ~len:(tail - t.cursor) in
+    List.iter
+      (fun (r : Types.record) ->
+        if not (Types.is_no_op r) then begin
+          t.apply r.data;
+          incr n
+        end)
+      records;
+    t.cursor <- tail
+  end;
+  Stats.Reservoir.add t.lat (Engine.now () - t0);
+  !n
+
+let applied t = t.cursor
+
+let submit_latency t = t.lat

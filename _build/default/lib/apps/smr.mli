@@ -1,0 +1,26 @@
+(** State machine replication over the shared log — the paper's worst-case
+    workload for LazyLog (section 3.2): a replica appends a command and
+    immediately reads the log up to the tail to apply everything in order,
+    so reads routinely hit the unordered portion and take the slow path.
+
+    Included as an example and as the ablation workload showing that even
+    then LazyLog "would offer the same overall performance as a
+    conventional shared log": the ordering cost just moves from appends to
+    reads. *)
+
+open Ll_sim
+open Lazylog
+
+type t
+
+val create : log:Log_api.t -> apply:(string -> unit) -> t
+
+val submit : t -> string -> int
+(** [submit t cmd] appends the command, then reads forward to the tail
+    applying all commands in log order (exactly once), and returns the
+    number of commands applied during this call. Blocking; the returned
+    latency profile is the append + catch-up read cost. *)
+
+val applied : t -> int
+
+val submit_latency : t -> Stats.Reservoir.t

@@ -1,0 +1,109 @@
+open Ll_sim
+open Lazylog
+
+type t = {
+  log : Log_api.t;
+  workers : int;
+  process_cost : Engine.time;
+  batch : int;
+  counts : (string, int) Hashtbl.t;
+}
+
+let create ~log ?(workers = 5) ?(process_cost = Engine.ns 100) ~batch () =
+  { log; workers; process_cost; batch; counts = Hashtbl.create 1024 }
+
+let bump t word =
+  let c = try Hashtbl.find t.counts word with Not_found -> 0 in
+  Hashtbl.replace t.counts word (c + 1)
+
+(* Serialize a batch's delta state for the checkpoint record. *)
+let checkpoint_data deltas =
+  String.concat ";"
+    (List.map (fun (w, c) -> Printf.sprintf "%s:%d" w c) deltas)
+
+let run t ~inputs emit =
+  let lat = Stats.Reservoir.create ~name:"wordcount" () in
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  let per_worker = Array.make t.workers [] in
+  Array.iteri
+    (fun i w -> per_worker.(i mod t.workers) <- (i, w) :: per_worker.(i mod t.workers))
+    inputs;
+  let done_ = ref 0 in
+  let all_done = Waitq.create () in
+  for w = 0 to t.workers - 1 do
+    let my_inputs = List.rev per_worker.(w) in
+    Engine.spawn ~name:(Printf.sprintf "wordcount.worker%d" w) (fun () ->
+        let rec batches pending =
+          match pending with
+          | [] -> ()
+          | _ ->
+            let rec take k acc rest =
+              match rest with
+              | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+              | _ -> (List.rev acc, rest)
+            in
+            let batch, rest = take t.batch [] pending in
+            let t_read = Engine.now () in
+            (* Process: update counts, accumulate the produced state. *)
+            let deltas = Hashtbl.create 64 in
+            List.iter
+              (fun (_, word) ->
+                Engine.sleep t.process_cost;
+                bump t word;
+                let c = try Hashtbl.find deltas word with Not_found -> 0 in
+                Hashtbl.replace deltas word (c + 1))
+              batch;
+            let delta_list =
+              Hashtbl.fold (fun w c acc -> (w, c) :: acc) deltas []
+            in
+            (* Durably checkpoint the produced state before emitting.
+               The state is the per-word delta — bounded by the
+               vocabulary, not by the batch size. *)
+            let data = checkpoint_data delta_list in
+            let size = 64 + (16 * List.length delta_list) in
+            ignore (t.log.Log_api.append ~size ~data : bool);
+            (* Emit, and account the full pipeline latency per record. *)
+            List.iter
+              (fun (_, word) ->
+                emit word;
+                Stats.Reservoir.add lat (Engine.now () - t_read))
+              batch;
+            batches rest
+        in
+        batches my_inputs;
+        incr done_;
+        if !done_ = t.workers then Waitq.broadcast all_done)
+  done;
+  Waitq.await all_done (fun () -> !done_ = t.workers);
+  ignore n;
+  lat
+
+let counts t =
+  Hashtbl.fold (fun w c acc -> (w, c) :: acc) t.counts []
+  |> List.sort compare
+
+let recover t ~from_log =
+  let tail = from_log.Log_api.check_tail () in
+  let records = from_log.Log_api.read ~from:0 ~len:tail in
+  Hashtbl.reset t.counts;
+  let replayed = ref 0 in
+  List.iter
+    (fun (r : Types.record) ->
+      if not (Types.is_no_op r) && r.data <> "" then begin
+        incr replayed;
+        String.split_on_char ';' r.data
+        |> List.iter (fun pair ->
+               match String.index_opt pair ':' with
+               | Some i ->
+                 let w = String.sub pair 0 i in
+                 let c =
+                   int_of_string
+                     (String.sub pair (i + 1) (String.length pair - i - 1))
+                 in
+                 let cur = try Hashtbl.find t.counts w with Not_found -> 0 in
+                 Hashtbl.replace t.counts w (cur + c)
+               | None -> ())
+      end)
+    records;
+  !replayed

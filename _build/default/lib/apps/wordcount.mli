@@ -1,0 +1,40 @@
+(** Journaled stream-processing word count (paper section 6.11,
+    figure 18c).
+
+    Task workers read input records, update word counts, and — before
+    emitting results downstream — durably checkpoint their produced state
+    to the shared log (the Samza/MillWheel pattern that gives
+    fault tolerance and exactly-once semantics). Checkpointing happens
+    per batch of inputs; the measured per-record latency spans reading the
+    input, processing, checkpointing the batch, and emitting. Smaller
+    batches make the logging share of that latency larger, which is where
+    LazyLog's fast appends pay off. *)
+
+open Ll_sim
+open Lazylog
+
+type t
+
+val create :
+  log:Log_api.t ->
+  ?workers:int ->
+  ?process_cost:Engine.time ->
+  batch:int ->
+  unit ->
+  t
+(** [workers] defaults to 5 (as in the paper); [process_cost] is the CPU
+    charge per input record (default 100 ns — a hash-table bump). *)
+
+val run :
+  t -> inputs:string list -> (string -> unit) -> Stats.Reservoir.t
+(** Feeds the inputs through the workers (round-robin), calling the emit
+    function for each batch's results after its checkpoint is durable.
+    Returns the per-record read-process-checkpoint-emit latencies.
+    Blocking. *)
+
+val counts : t -> (string * int) list
+(** Current word counts, sorted by word. *)
+
+val recover : t -> from_log:Log_api.t -> int
+(** Fail-over path: rebuild worker state by replaying checkpoints from the
+    log; returns the number of checkpoint records replayed. *)

@@ -1,0 +1,1 @@
+lib/control/zookeeper.ml: Engine Hashtbl List Ll_sim

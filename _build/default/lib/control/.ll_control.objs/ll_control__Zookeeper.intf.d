@@ -1,0 +1,1 @@
+lib/control/zookeeper.mli: Engine Ll_sim

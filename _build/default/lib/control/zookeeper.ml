@@ -1,0 +1,100 @@
+open Ll_sim
+
+type session = {
+  mutable last_heartbeat : Engine.time;
+  mutable expired : bool;
+}
+
+type t = {
+  session_timeout : Engine.time;
+  heartbeat_interval : Engine.time;
+  op_latency : Engine.time;
+  sessions : (string, session) Hashtbl.t;
+  znodes : (string, string) Hashtbl.t;
+  mutable expiry_watchers : (string -> unit) list;
+  data_watchers : (string, (string -> unit) list ref) Hashtbl.t;
+}
+
+let create ?(session_timeout = Engine.ms 10)
+    ?(heartbeat_interval = Engine.ms 2) ?(op_latency = Engine.us 1500) () =
+  {
+    session_timeout;
+    heartbeat_interval;
+    op_latency;
+    sessions = Hashtbl.create 8;
+    znodes = Hashtbl.create 8;
+    expiry_watchers = [];
+    data_watchers = Hashtbl.create 8;
+  }
+
+let expire t name s =
+  if not s.expired then begin
+    s.expired <- true;
+    List.iter (fun f -> f name) (List.rev t.expiry_watchers)
+  end
+
+let start_session t ~name ~alive =
+  let s = { last_heartbeat = Engine.now (); expired = false } in
+  Hashtbl.replace t.sessions name s;
+  (* Heartbeat fiber: refreshes while the client is alive. *)
+  Engine.spawn ~name:(name ^ ".zk-heartbeat") (fun () ->
+      let rec beat () =
+        if alive () && not s.expired then begin
+          s.last_heartbeat <- Engine.now ();
+          Engine.sleep t.heartbeat_interval;
+          beat ()
+        end
+      in
+      beat ());
+  (* Server-side expiry checker. *)
+  Engine.spawn ~name:(name ^ ".zk-expiry") (fun () ->
+      let rec check () =
+        if not s.expired then begin
+          let deadline = s.last_heartbeat + t.session_timeout in
+          let now = Engine.now () in
+          if now >= deadline then expire t name s
+          else begin
+            Engine.sleep (deadline - now);
+            check ()
+          end
+        end
+      in
+      check ())
+
+let on_session_expired t f = t.expiry_watchers <- f :: t.expiry_watchers
+
+let session_alive t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> not s.expired
+  | None -> false
+
+let create_znode t ~path ~data =
+  Engine.sleep t.op_latency;
+  if Hashtbl.mem t.znodes path then false
+  else begin
+    Hashtbl.replace t.znodes path data;
+    true
+  end
+
+let fire_data_watch t path data =
+  match Hashtbl.find_opt t.data_watchers path with
+  | None -> ()
+  | Some fns -> List.iter (fun f -> f data) (List.rev !fns)
+
+let set_data t ~path ~data =
+  Engine.sleep t.op_latency;
+  Hashtbl.replace t.znodes path data;
+  fire_data_watch t path data
+
+let get_data t ~path =
+  Engine.sleep t.op_latency;
+  Hashtbl.find_opt t.znodes path
+
+let exists t ~path = Hashtbl.mem t.znodes path
+
+let delete t ~path = Hashtbl.remove t.znodes path
+
+let watch_data t ~path f =
+  match Hashtbl.find_opt t.data_watchers path with
+  | Some fns -> fns := f :: !fns
+  | None -> Hashtbl.add t.data_watchers path (ref [ f ])

@@ -1,0 +1,58 @@
+(** Minimal ZooKeeper-like coordination service.
+
+    Provides exactly what Erwin's control plane uses (paper section 4.5):
+    znodes holding small configuration blobs, session liveness tracking for
+    the sequencing replicas (a failure is detected when a replica's session
+    expires), and watches that notify the controller. Like the real
+    system, it is not fast: every operation pays [op_latency] and failure
+    detection waits out [session_timeout] — which is why reconfiguration
+    time in the paper's figure 17 is dominated by ZooKeeper, not by the
+    600 us core recovery.
+
+    The service runs "beside" the simulated fabric: clients are fibers, and
+    session liveness is probed through a caller-supplied [alive] closure so
+    any crash representation can drive expiry. *)
+
+open Ll_sim
+
+type t
+
+val create :
+  ?session_timeout:Engine.time ->
+  ?heartbeat_interval:Engine.time ->
+  ?op_latency:Engine.time ->
+  unit ->
+  t
+(** Defaults: 10 ms session timeout, 2 ms heartbeats, 1.5 ms op latency. *)
+
+(** {1 Sessions and failure detection} *)
+
+val start_session : t -> name:string -> alive:(unit -> bool) -> unit
+(** Registers a session for [name] and spawns its heartbeat fiber. While
+    [alive ()] holds, heartbeats refresh the session; once it stops
+    holding, the session expires [session_timeout] after the last
+    heartbeat and the expiry watchers fire. *)
+
+val on_session_expired : t -> (string -> unit) -> unit
+(** Registers a watcher called (once per expiry) with the session name. *)
+
+val session_alive : t -> string -> bool
+
+(** {1 Znodes} *)
+
+val create_znode : t -> path:string -> data:string -> bool
+(** False if the node already exists. Pays [op_latency]. *)
+
+val set_data : t -> path:string -> data:string -> unit
+(** Creates the node if missing. Pays [op_latency]. Fires data watches. *)
+
+val get_data : t -> path:string -> string option
+(** Pays [op_latency]. *)
+
+val exists : t -> path:string -> bool
+
+val delete : t -> path:string -> unit
+
+val watch_data : t -> path:string -> (string -> unit) -> unit
+(** [watch_data t ~path f] calls [f data] on every subsequent
+    {!set_data} to [path] (persistent watch; registration is free). *)

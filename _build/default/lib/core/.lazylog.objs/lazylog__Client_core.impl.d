@@ -1,0 +1,1 @@
+lib/core/client_core.ml: Config Engine Erwin_common Hashtbl Ivar List Ll_net Ll_sim Proto Rpc Seq_replica Shard Waitq

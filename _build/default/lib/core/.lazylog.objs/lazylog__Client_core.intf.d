@@ -1,0 +1,1 @@
+lib/core/client_core.mli: Erwin_common Ll_net Proto Rpc Shard Types

@@ -1,0 +1,1 @@
+lib/core/config.ml: Engine Fabric Ll_net Ll_sim

@@ -1,0 +1,1 @@
+lib/core/config.mli: Engine Fabric Ll_net Ll_sim

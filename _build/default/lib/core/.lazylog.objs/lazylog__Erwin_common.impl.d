@@ -1,0 +1,1 @@
+lib/core/erwin_common.ml: Config Engine Fabric List Ll_control Ll_net Ll_sim Printf Proto Rpc Seq_replica Shard Waitq Zookeeper

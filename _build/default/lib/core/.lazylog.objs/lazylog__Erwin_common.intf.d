@@ -1,0 +1,1 @@
+lib/core/erwin_common.mli: Config Engine Fabric Ll_control Ll_net Ll_sim Proto Rpc Seq_replica Shard Waitq Zookeeper

@@ -1,0 +1,1 @@
+lib/core/erwin_m.ml: Client_core Config Erwin_common List Log_api Orderer Printf Reconfig Types

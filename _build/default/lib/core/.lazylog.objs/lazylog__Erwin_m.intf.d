@@ -1,0 +1,1 @@
+lib/core/erwin_m.mli: Config Erwin_common Log_api

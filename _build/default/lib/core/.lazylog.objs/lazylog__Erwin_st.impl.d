@@ -1,0 +1,1 @@
+lib/core/erwin_st.ml: Client_core Config Engine Erwin_common Hashtbl Ivar List Ll_net Ll_sim Log_api Orderer Printf Proto Reconfig Rpc Seq_replica Shard Types

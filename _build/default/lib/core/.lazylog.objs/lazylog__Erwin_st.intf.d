@@ -1,0 +1,1 @@
+lib/core/erwin_st.mli: Config Erwin_common Log_api

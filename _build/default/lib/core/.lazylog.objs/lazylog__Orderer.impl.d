@@ -1,0 +1,1 @@
+lib/core/orderer.ml: Array Config Engine Erwin_common Fabric Fun Ivar List Ll_net Ll_sim Proto Rpc Seq_log Seq_replica Shard Types Waitq

@@ -1,0 +1,1 @@
+lib/core/orderer.mli: Erwin_common Ll_net Proto Rpc Types

@@ -1,0 +1,1 @@
+lib/core/reconfig.ml: Engine Erwin_common Fabric Ivar List Ll_control Ll_net Ll_sim Orderer Printf Proto Rpc Seq_replica String Types Waitq Zookeeper

@@ -1,0 +1,1 @@
+lib/core/reconfig.mli: Erwin_common Seq_replica

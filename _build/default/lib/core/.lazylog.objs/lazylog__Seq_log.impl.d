@@ -1,0 +1,1 @@
+lib/core/seq_log.ml: Hashtbl List Ll_sim Types Waitq

@@ -1,0 +1,1 @@
+lib/core/seq_replica.ml: Config Fabric Hashtbl List Ll_net Ll_sim Proto Rpc Seq_log Types Waitq

@@ -1,0 +1,1 @@
+lib/core/seq_replica.mli: Config Fabric Ll_net Proto Rpc Seq_log Types

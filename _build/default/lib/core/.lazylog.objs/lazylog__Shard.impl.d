@@ -1,0 +1,1 @@
+lib/core/shard.ml: Config Disk Engine Fabric Flushed_store Hashtbl Ivar List Ll_net Ll_sim Ll_storage Printf Proto Rpc Types Waitq

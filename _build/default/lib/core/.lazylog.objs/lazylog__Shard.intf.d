@@ -1,0 +1,1 @@
+lib/core/shard.mli: Config Engine Fabric Ll_net Ll_sim Proto Rpc Types

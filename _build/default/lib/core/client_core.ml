@@ -1,0 +1,122 @@
+open Ll_sim
+open Ll_net
+open Erwin_common
+
+type ep = (Proto.req, Proto.resp) Rpc.endpoint
+
+let try_append_seq (cluster : t) ep ~view ~track entry =
+  let req = Proto.Sr_append { view; entry; track } in
+  let size = Proto.req_size req in
+  let ivs =
+    List.map
+      (fun r -> Rpc.call_async ep ~dst:(Seq_replica.node_id r) ~size req)
+      cluster.replicas
+  in
+  match Ivar.join_all_timeout ivs ~timeout:cluster.cfg.Config.append_timeout with
+  | Some resps
+    when List.for_all
+           (function Proto.R_append { ok; _ } -> ok | _ -> false)
+           resps ->
+    `Ok
+  | Some _ | None -> `Fail
+
+let await_view_after (cluster : t) view =
+  ignore
+    (Waitq.await_timeout cluster.view_changed
+       ~timeout:cluster.cfg.Config.append_timeout (fun () ->
+         cluster.view > view)
+      : bool)
+
+let append_entry (cluster : t) ep ~track entry =
+  let rec attempt () =
+    let view = cluster.view in
+    match try_append_seq cluster ep ~view ~track entry with
+    | `Ok -> ()
+    | `Fail ->
+      await_view_after cluster view;
+      attempt ()
+  in
+  attempt ()
+
+let check_tail (cluster : t) ep =
+  let rec go () =
+    let view = cluster.view in
+    let ldr = leader cluster in
+    match
+      Rpc.call_timeout ep
+        ~dst:(Seq_replica.node_id ldr)
+        ~timeout:cluster.cfg.Config.append_timeout
+        (Proto.Sr_check_tail { view })
+    with
+    | Some (Proto.R_tail { ok = true; tail }) -> tail
+    | Some _ | None ->
+      await_view_after cluster view;
+      go ()
+  in
+  go ()
+
+let wait_ordered (cluster : t) ep rid =
+  let rec go () =
+    let view = cluster.view in
+    let ldr = leader cluster in
+    match
+      Rpc.call_timeout ep
+        ~dst:(Seq_replica.node_id ldr)
+        ~timeout:(Engine.ms 100)
+        (Proto.Sr_wait_ordered { rid })
+    with
+    | Some (Proto.R_gp { gp }) -> gp
+    | Some _ | None ->
+      await_view_after cluster view;
+      go ()
+  in
+  go ()
+
+let read_grouped (cluster : t) ep ~shard_of positions =
+  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let sid = Shard.shard_id (shard_of p) in
+      match Hashtbl.find_opt groups sid with
+      | Some l -> l := p :: !l
+      | None -> Hashtbl.add groups sid (ref [ p ]))
+    positions;
+  let calls =
+    Hashtbl.fold
+      (fun sid ps acc ->
+        let shard =
+          List.find (fun s -> Shard.shard_id s = sid) cluster.shards
+        in
+        let req = Proto.Sh_read { positions = List.rev !ps } in
+        let iv = Ivar.create () in
+        Engine.spawn ~name:"client.read" (fun () ->
+            match
+              Rpc.call_retry ep ~dst:(Shard.primary_id shard)
+                ~size:(Proto.req_size req) ~timeout:(Engine.ms 50)
+                ~max_tries:100 req
+            with
+            | Some resp -> Ivar.fill iv resp
+            | None -> Ivar.fill iv (Proto.R_records { records = [] }));
+        iv :: acc)
+      groups []
+  in
+  let resps = Ivar.join_all calls in
+  let records =
+    List.concat_map
+      (function
+        | Proto.R_records { records } -> records
+        | _ -> failwith "read_grouped: bad response")
+      resps
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) records
+
+let trim_all (cluster : t) ep ~upto =
+  let acks =
+    List.map
+      (fun shard ->
+        Rpc.call_async ep ~dst:(Shard.primary_id shard)
+          (Proto.Sh_trim { upto }))
+      cluster.shards
+  in
+  ignore (Ivar.join_all acks : Proto.resp list);
+  true

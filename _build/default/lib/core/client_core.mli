@@ -1,0 +1,37 @@
+(** Client-side building blocks shared by Erwin-m and Erwin-st: the
+    parallel coordination-free write to all sequencing replicas, view-aware
+    retries, tail queries, shard-grouped reads, and the appendSync wait. *)
+
+open Ll_net
+
+type ep = (Proto.req, Proto.resp) Rpc.endpoint
+
+val try_append_seq :
+  Erwin_common.t -> ep -> view:int -> track:bool -> Types.entry ->
+  [ `Ok | `Fail ]
+(** One append attempt: writes the entry to every sequencing replica of
+    [view] in parallel and succeeds only if all ack in that view within
+    the configured timeout (the 1 RTT fast path of section 4.1). *)
+
+val await_view_after : Erwin_common.t -> int -> unit
+(** Parks until the cluster's view exceeds the given one (bounded waits so
+    a controller-less deployment still makes progress via retries). *)
+
+val append_entry : Erwin_common.t -> ep -> track:bool -> Types.entry -> unit
+(** [try_append_seq] with retry-across-views until acknowledged. *)
+
+val check_tail : Erwin_common.t -> ep -> int
+(** Durable-record count from the sequencing leader (section 4.4),
+    retrying across view changes. *)
+
+val wait_ordered : Erwin_common.t -> ep -> Types.Rid.t -> int
+(** Blocks until a tracked rid is bound; returns its global position. *)
+
+val read_grouped :
+  Erwin_common.t -> ep -> shard_of:(int -> Shard.t) -> int list ->
+  (int * Types.record) list
+(** Reads the given positions, grouping them into one [Sh_read] per shard
+    issued in parallel; result is sorted by position. Blocks until every
+    position is stable (fast or slow path, section 4.4). *)
+
+val trim_all : Erwin_common.t -> ep -> upto:int -> bool

@@ -1,0 +1,43 @@
+(** Deployment and calibration parameters for the Erwin systems.
+
+    The latency/CPU constants are calibrated so the simulated cluster lands
+    in the same regime as the paper's CloudLab x1170 testbed (25 Gb NICs +
+    eRPC, SATA SSD shards); see DESIGN.md section 2 and EXPERIMENTS.md for
+    the calibration rationale. *)
+
+open Ll_sim
+open Ll_net
+
+type disk_kind = Sata | Nvme
+
+type t = {
+  seq_replica_count : int;  (** f+1 sequencing replicas (paper runs 3) *)
+  nshards : int;
+  shard_backup_count : int;  (** backups per shard (primary excluded) *)
+  seq_capacity : int;  (** live entries bound per sequencing replica *)
+  order_interval : Engine.time;
+      (** background-ordering period (how often the leader cuts a batch) *)
+  max_batch : int;  (** max entries ordered per background pass *)
+  seq_base_ns : int;  (** sequencing-replica CPU per request, base *)
+  seq_per_byte_ns : float;  (** sequencing-replica CPU per payload byte *)
+  shard_base_ns : int;  (** shard CPU per request *)
+  shard_disk : disk_kind;
+  dirty_limit_bytes : int;
+      (** shard in-memory write-buffer bound before backpressure *)
+  data_wait_timeout : Engine.time;
+      (** Erwin-st: how long a shard waits for a missing record before
+          writing a no-op (section 5.4) *)
+  append_timeout : Engine.time;  (** client append retry timeout *)
+  link : Fabric.link;
+  rpc_overhead : Engine.time;  (** per-endpoint software overhead (eRPC) *)
+}
+
+val default : t
+(** 3 sequencing replicas, 1 shard with 2 backups, SATA shards, 20 us
+    ordering interval. *)
+
+val with_shards : ?backups:int -> t -> int -> t
+
+val scaled_cluster : t -> t
+(** The c6525-class cluster used for the paper's scaling experiments
+    (section 6.6): NVMe shards. *)

@@ -1,0 +1,108 @@
+open Ll_sim
+open Ll_net
+open Ll_control
+
+type mode = M | St
+
+type reconfig_timings = {
+  detect : Engine.time;
+  seal : Engine.time;
+  flush : Engine.time;
+  new_view : Engine.time;
+  total : Engine.time;
+}
+
+type t = {
+  cfg : Config.t;
+  mode : mode;
+  fabric : (Proto.req, Proto.resp) Rpc.msg Fabric.t;
+  zk : Zookeeper.t;
+  mutable view : int;
+  mutable replicas : Seq_replica.t list;
+  mutable shards : Shard.t list;
+  mutable stable_gp : int;
+  mutable reconfiguring : bool;
+  view_changed : Waitq.t;
+  mutable next_client : int;
+  mutable crash_time : Engine.time option;
+  mutable reconfig_log : reconfig_timings list;
+  mutable ordering_in_progress : bool;
+  order_idle : Ll_sim.Waitq.t;
+  mutable batches : int;
+  mutable batched_entries : int;
+}
+
+let create ~cfg ~mode =
+  let fabric = Fabric.create ~link:cfg.Config.link () in
+  let zk = Zookeeper.create () in
+  let replicas =
+    List.init cfg.Config.seq_replica_count (fun i ->
+        let name = if i = 0 then "seq.leader" else Printf.sprintf "seq.f%d" i in
+        Seq_replica.create ~cfg ~fabric ~name)
+  in
+  let shards =
+    List.init cfg.Config.nshards (fun i -> Shard.create ~cfg ~fabric ~shard_id:i)
+  in
+  let t =
+    {
+      cfg;
+      mode;
+      fabric;
+      zk;
+      view = 0;
+      replicas;
+      shards;
+      stable_gp = 0;
+      reconfiguring = false;
+      view_changed = Waitq.create ();
+      next_client = 0;
+      crash_time = None;
+      reconfig_log = [];
+      ordering_in_progress = false;
+      order_idle = Waitq.create ();
+      batches = 0;
+      batched_entries = 0;
+    }
+  in
+  List.iter
+    (fun r ->
+      let node = Seq_replica.node r in
+      Zookeeper.start_session zk ~name:(Seq_replica.name r) ~alive:(fun () ->
+          Fabric.is_alive node))
+    replicas;
+  t
+
+let leader t =
+  match t.replicas with
+  | r :: _ -> r
+  | [] -> failwith "erwin: no sequencing replicas left"
+
+let followers t = match t.replicas with [] -> [] | _ :: rest -> rest
+
+let shard_of_position t p =
+  List.nth t.shards (p mod List.length t.shards)
+
+let add_shard t =
+  let s = Shard.create ~cfg:t.cfg ~fabric:t.fabric ~shard_id:(List.length t.shards) in
+  t.shards <- t.shards @ [ s ];
+  s
+
+let fresh_client_id t =
+  let id = t.next_client in
+  t.next_client <- id + 1;
+  id
+
+let avg_batch t =
+  if t.batches = 0 then 0.0
+  else float_of_int t.batched_entries /. float_of_int t.batches
+
+let new_endpoint t ~name =
+  let node =
+    Fabric.add_node t.fabric ~name ~send_overhead:t.cfg.Config.rpc_overhead
+      ~recv_overhead:t.cfg.Config.rpc_overhead ()
+  in
+  Rpc.endpoint t.fabric node
+
+let crash_replica t r =
+  t.crash_time <- Some (Engine.now ());
+  Fabric.crash t.fabric (Seq_replica.node r)

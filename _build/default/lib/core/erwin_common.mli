@@ -1,0 +1,71 @@
+(** Shared cluster state for the Erwin systems.
+
+    A cluster owns the fabric, the sequencing replicas (leader first), the
+    shards, the mini-ZooKeeper control plane, and the pieces of global
+    bookkeeping (current view, stable-gp mirror, reconfiguration timings)
+    that the orderer, the controller, the clients, and the benchmarks all
+    consult. *)
+
+open Ll_sim
+open Ll_net
+open Ll_control
+
+type mode = M | St
+
+(** Reconfiguration phase durations, figure 17(b). *)
+type reconfig_timings = {
+  detect : Engine.time;  (** crash to controller notification *)
+  seal : Engine.time;
+  flush : Engine.time;
+  new_view : Engine.time;  (** ZooKeeper config write + view install *)
+  total : Engine.time;
+}
+
+type t = {
+  cfg : Config.t;
+  mode : mode;
+  fabric : (Proto.req, Proto.resp) Rpc.msg Fabric.t;
+  zk : Zookeeper.t;
+  mutable view : int;
+  mutable replicas : Seq_replica.t list;  (** live members, leader first *)
+  mutable shards : Shard.t list;
+  mutable stable_gp : int;
+  mutable reconfiguring : bool;
+  view_changed : Waitq.t;
+  mutable next_client : int;
+  mutable crash_time : Engine.time option;
+      (** set by fault-injecting benches so detection time can be derived *)
+  mutable reconfig_log : reconfig_timings list;
+  mutable ordering_in_progress : bool;
+  order_idle : Waitq.t;
+  (* background-ordering batch statistics (figure 11's right axis) *)
+  mutable batches : int;
+  mutable batched_entries : int;
+}
+
+val create : cfg:Config.t -> mode:mode -> t
+(** Builds fabric, ZooKeeper, [cfg.seq_replica_count] sequencing replicas
+    and [cfg.nshards] shards, and registers replica sessions with ZK.
+    Must run inside {!Ll_sim.Engine.run}. *)
+
+val leader : t -> Seq_replica.t
+val followers : t -> Seq_replica.t list
+
+val shard_of_position : t -> int -> Shard.t
+(** Erwin-m's deterministic placement: position [p] lives on shard
+    [p mod nshards] (section 4.3). *)
+
+val add_shard : t -> Shard.t
+(** Spin up and register one more shard (Erwin-st's seamless addition,
+    section 6.9). *)
+
+val fresh_client_id : t -> int
+
+val avg_batch : t -> float
+(** Mean background-ordering batch size so far. *)
+
+val new_endpoint : t -> name:string -> (Proto.req, Proto.resp) Rpc.endpoint
+(** A fresh fabric node + endpoint (for clients and the controller). *)
+
+val crash_replica : t -> Seq_replica.t -> unit
+(** Fault injection: crashes the replica's node and stamps [crash_time]. *)

@@ -1,0 +1,42 @@
+open Erwin_common
+
+let create ?(cfg = Config.default) () =
+  let cluster = Erwin_common.create ~cfg ~mode:M in
+  Orderer.start cluster;
+  Reconfig.start cluster;
+  cluster
+
+let client (cluster : Erwin_common.t) : Log_api.t =
+  let cid = fresh_client_id cluster in
+  let ep = new_endpoint cluster ~name:(Printf.sprintf "m-client%d" cid) in
+  let seq = ref 0 in
+  let next_rid () =
+    incr seq;
+    { Types.Rid.client = cid; seq = !seq }
+  in
+  let append ~size ~data =
+    let r = Types.record ~rid:(next_rid ()) ~size ~data () in
+    Client_core.append_entry cluster ep ~track:false (Types.Data r);
+    true
+  in
+  let append_sync ~size ~data =
+    let rid = next_rid () in
+    let r = Types.record ~rid ~size ~data () in
+    Client_core.append_entry cluster ep ~track:true (Types.Data r);
+    Client_core.wait_ordered cluster ep rid
+  in
+  let read ~from ~len =
+    let positions = List.init len (fun i -> from + i) in
+    Client_core.read_grouped cluster ep
+      ~shard_of:(shard_of_position cluster)
+      positions
+    |> List.map snd
+  in
+  {
+    Log_api.name = "erwin-m";
+    append;
+    read;
+    check_tail = (fun () -> Client_core.check_tail cluster ep);
+    trim = (fun ~upto -> Client_core.trim_all cluster ep ~upto);
+    append_sync = Some append_sync;
+  }

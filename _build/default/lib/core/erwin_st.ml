@@ -1,0 +1,133 @@
+open Ll_sim
+open Ll_net
+open Erwin_common
+
+let map_fetch_chunk = 1024
+
+let create ?(cfg = Config.default) () =
+  let cluster = Erwin_common.create ~cfg ~mode:St in
+  Orderer.start cluster;
+  Reconfig.start cluster;
+  List.iter
+    (fun s -> Shard.start_scrubber s ~age:(Engine.ms 100) ~every:(Engine.ms 50))
+    cluster.shards;
+  cluster
+
+(* One full append attempt: data to every replica of the chosen shard and
+   metadata to every sequencing replica, all in parallel (1 RTT,
+   section 5.1). [`Poisoned] means a shard replica already no-op'ed this
+   rid (a too-late retry, section 5.4): retry with a fresh rid. *)
+let try_append_once (cluster : Erwin_common.t) ep ~track record shard =
+  let view = cluster.view in
+  let data_req = Proto.Ssh_data_write { record } in
+  let data_ivs =
+    List.map
+      (fun dst -> Rpc.call_async ep ~dst ~size:(Proto.req_size data_req) data_req)
+      (Shard.replica_ids shard)
+  in
+  let meta : Types.entry =
+    Types.Meta
+      { rid = record.Types.rid; shard = Shard.shard_id shard;
+        size = record.Types.size }
+  in
+  let meta_req = Proto.Sr_append { view; entry = meta; track } in
+  let meta_ivs =
+    List.map
+      (fun r ->
+        Rpc.call_async ep ~dst:(Seq_replica.node_id r)
+          ~size:(Proto.req_size meta_req) meta_req)
+      cluster.replicas
+  in
+  match
+    Ivar.join_all_timeout (data_ivs @ meta_ivs)
+      ~timeout:cluster.cfg.Config.append_timeout
+  with
+  | Some resps ->
+    let ok =
+      List.for_all
+        (function Proto.R_append { ok; _ } -> ok | _ -> false)
+        resps
+    in
+    if ok then `Ok
+    else if
+      (* A data write refused because the rid was no-op'ed is permanent. *)
+      List.exists
+        (function Proto.R_append { ok = false; view = 0 } -> true | _ -> false)
+        (List.filteri (fun i _ -> i < List.length data_ivs) resps)
+    then `Poisoned
+    else `Fail view
+  | None -> `Fail view
+
+let client (cluster : Erwin_common.t) : Log_api.t =
+  let cid = fresh_client_id cluster in
+  let ep = new_endpoint cluster ~name:(Printf.sprintf "st-client%d" cid) in
+  let seq = ref 0 in
+  let rr = ref cid in
+  let map_cache : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let next_rid () =
+    incr seq;
+    { Types.Rid.client = cid; seq = !seq }
+  in
+  let pick_shard () =
+    let shards = cluster.shards in
+    let s = List.nth shards (!rr mod List.length shards) in
+    incr rr;
+    s
+  in
+  let rec append_record ~track record =
+    let shard = pick_shard () in
+    match try_append_once cluster ep ~track record shard with
+    | `Ok -> record.Types.rid
+    | `Poisoned ->
+      (* Never acked, so appending again under a fresh rid is safe. *)
+      append_record ~track { record with Types.rid = next_rid () }
+    | `Fail view ->
+      Client_core.await_view_after cluster view;
+      append_record ~track record
+  in
+  let append ~size ~data =
+    let r = Types.record ~rid:(next_rid ()) ~size ~data () in
+    ignore (append_record ~track:false r : Types.Rid.t);
+    true
+  in
+  let append_sync ~size ~data =
+    let r = Types.record ~rid:(next_rid ()) ~size ~data () in
+    let rid = append_record ~track:true r in
+    Client_core.wait_ordered cluster ep rid
+  in
+  (* Position-to-shard resolution through the cached map (section 5.3). *)
+  let rec ensure_mapped positions =
+    match List.find_opt (fun p -> not (Hashtbl.mem map_cache p)) positions with
+    | None -> ()
+    | Some missing ->
+      let req =
+        Proto.Ssh_get_map { from = missing; count = map_fetch_chunk }
+      in
+      let any_shard = List.hd cluster.shards in
+      (match
+         Rpc.call_retry ep ~dst:(Shard.primary_id any_shard)
+           ~size:(Proto.req_size req) ~timeout:(Engine.ms 50) ~max_tries:100
+           req
+       with
+      | Some (Proto.R_map { chunk }) ->
+        List.iter (fun (gp, sid) -> Hashtbl.replace map_cache gp sid) chunk
+      | Some _ | None -> failwith "erwin-st: bad map response");
+      ensure_mapped positions
+  in
+  let shard_of p =
+    let sid = Hashtbl.find map_cache p in
+    List.find (fun s -> Shard.shard_id s = sid) cluster.shards
+  in
+  let read ~from ~len =
+    let positions = List.init len (fun i -> from + i) in
+    ensure_mapped positions;
+    Client_core.read_grouped cluster ep ~shard_of positions |> List.map snd
+  in
+  {
+    Log_api.name = "erwin-st";
+    append;
+    read;
+    check_tail = (fun () -> Client_core.check_tail cluster ep);
+    trim = (fun ~upto -> Client_core.trim_all cluster ep ~upto);
+    append_sync = Some append_sync;
+  }

@@ -1,0 +1,23 @@
+(** Erwin-st: the scalable-throughput LazyLog system (section 5).
+
+    Clients split a record into data (written, uncoordinated and in
+    parallel, to every replica of a shard of the client's choice) and
+    metadata [<record-id, shard-id>] (written to the sequencing replicas),
+    all in the same RTT. Background ordering sequences only metadata, so
+    throughput scales with shards even for large records; the
+    position-to-shard map is materialized on the shards and cached by
+    reading clients (section 5.3). Client failures that leave metadata
+    without data resolve to no-op records after a shard-side timeout
+    (section 5.4). *)
+
+val create : ?cfg:Config.t -> unit -> Erwin_common.t
+(** Builds the cluster, starts the orderer, controller, and the shard
+    orphan scrubbers. Must run inside {!Ll_sim.Engine.run}. *)
+
+val client : Erwin_common.t -> Log_api.t
+(** Fresh client handle. Reads consult a local position-to-shard cache,
+    fetching map chunks in bulk on misses. Returned records include
+    no-ops (filter with {!Types.is_no_op}) so positions stay aligned. *)
+
+val map_fetch_chunk : int
+(** Positions fetched per map-cache miss (amortization, section 5.3). *)

@@ -1,0 +1,164 @@
+open Ll_sim
+open Ll_net
+open Erwin_common
+
+let push_batch (cluster : t) ep ~truncate_from slots =
+  let shards = cluster.shards in
+  let n = List.length shards in
+  let targets =
+    match cluster.mode with
+    | M ->
+      (* Deterministic placement: position p -> shard (p mod n). *)
+      let groups = Array.make n [] in
+      List.iter
+        (fun (gp, entry) ->
+          match (entry : Types.entry) with
+          | Types.Data r -> groups.(gp mod n) <- (gp, r) :: groups.(gp mod n)
+          | Types.Meta _ -> assert false)
+        slots;
+      List.mapi
+        (fun i shard ->
+          let slots = List.rev groups.(i) in
+          (shard, Proto.Msh_push { truncate_from; slots }, slots <> []))
+        shards
+    | St ->
+      let map_chunk =
+        List.map
+          (fun (gp, entry) ->
+            match (entry : Types.entry) with
+            | Types.Meta m -> (gp, m.shard)
+            | Types.Data _ -> assert false)
+          slots
+      in
+      let groups = Array.make n [] in
+      List.iter
+        (fun (gp, entry) ->
+          match (entry : Types.entry) with
+          | Types.Meta m -> groups.(m.shard) <- (gp, Types.entry_rid entry) :: groups.(m.shard)
+          | Types.Data _ -> assert false)
+        slots;
+      (* Every shard stores the full position->shard map chunk, so any
+         shard server can answer Ssh_get_map (section 5.3). *)
+      List.mapi
+        (fun i shard ->
+          ( shard,
+            Proto.Ssh_order
+              { truncate_from; bindings = List.rev groups.(i); map_chunk },
+            map_chunk <> [] ))
+        shards
+  in
+  let involved =
+    List.filter (fun (_, _, nonempty) -> nonempty || truncate_from <> None) targets
+  in
+  (* Pushes are retried on loss: binding by explicit position and the
+     primary's already-bound filter make them idempotent. *)
+  let acks =
+    List.map
+      (fun (shard, req, _) ->
+        let iv = Ivar.create () in
+        Engine.spawn ~name:"orderer.push" (fun () ->
+            ignore
+              (Rpc.call_retry ep ~dst:(Shard.primary_id shard)
+                 ~size:(Proto.req_size req) ~timeout:(Engine.ms 20)
+                 ~max_tries:100 req);
+            Ivar.fill iv ());
+        iv)
+      involved
+  in
+  ignore (Ivar.join_all acks : unit list)
+
+let broadcast_stable (cluster : t) ep gp =
+  if gp > cluster.stable_gp then cluster.stable_gp <- gp;
+  List.iter
+    (fun shard ->
+      Rpc.send_oneway ep ~dst:(Shard.primary_id shard)
+        (Proto.Sh_set_stable { gp }))
+    cluster.shards
+
+(* Garbage-collect the ordered batch on one follower. The paper does this
+   with RDMA writes that move the ring-buffer head pointers without
+   involving the follower's CPU (section 5.6) — crucial under load, where
+   a CPU-path GC would queue behind thousands of incoming appends. We
+   model it as a raw network round trip plus a direct state update,
+   guarded by the follower's view/seal state. *)
+let rdma_gc (cluster : t) f ~view ~slots ~new_gp =
+  let iv = Ivar.create () in
+  let rtt = cluster.cfg.Config.link.Fabric.one_way * 2 in
+  Engine.after (rtt / 2) (fun () ->
+      if
+        Fabric.is_alive (Seq_replica.node f)
+        && Seq_replica.view f = view
+        && not (Seq_replica.is_sealed f)
+      then begin
+        Seq_replica.apply_gc f ~slots ~new_gp;
+        Engine.after (rtt / 2) (fun () -> ignore (Ivar.try_fill iv true))
+      end
+      else Engine.after (rtt / 2) (fun () -> ignore (Ivar.try_fill iv false)));
+  iv
+
+(* Retry follower GC until every follower confirms (transient slowness) or
+   the view moves on (a failure; reconfiguration takes over). *)
+let rec gc_followers (cluster : t) ep ~view ~slots ~new_gp =
+  if cluster.view <> view || cluster.reconfiguring then false
+  else begin
+    let acks =
+      List.map
+        (fun f -> rdma_gc cluster f ~view ~slots ~new_gp)
+        (followers cluster)
+    in
+    match Ivar.join_all_timeout acks ~timeout:(Engine.ms 5) with
+    | Some resps when List.for_all Fun.id resps -> true
+    | _ -> gc_followers cluster ep ~view ~slots ~new_gp
+  end
+
+let pass (cluster : t) ep =
+  let ldr = leader cluster in
+  if
+    (not cluster.reconfiguring)
+    && Fabric.is_alive (Seq_replica.node ldr)
+    && not (Seq_replica.is_sealed ldr)
+  then begin
+    let view = cluster.view in
+    let slog = Seq_replica.log ldr in
+    let entries = Seq_log.unordered slog ~max:cluster.cfg.Config.max_batch () in
+    if entries <> [] then begin
+      let base = Seq_log.last_ordered_gp slog in
+      let slots = List.mapi (fun i e -> (base + i, e)) entries in
+      cluster.ordering_in_progress <- true;
+      push_batch cluster ep ~truncate_from:None slots;
+      (* The batch is on the shards. Collect it replica by replica; only
+         when every replica has GC'd may stable-gp move (section 4.5). *)
+      if
+        cluster.view = view
+        && (not cluster.reconfiguring)
+        && Fabric.is_alive (Seq_replica.node ldr)
+      then begin
+        let gc_slots = List.map (fun (gp, e) -> (gp, Types.entry_rid e)) slots in
+        let new_gp = base + List.length entries in
+        Seq_replica.apply_gc ldr ~slots:gc_slots ~new_gp;
+        if gc_followers cluster ep ~view ~slots:gc_slots ~new_gp then begin
+          broadcast_stable cluster ep new_gp;
+          cluster.batches <- cluster.batches + 1;
+          cluster.batched_entries <-
+            cluster.batched_entries + List.length entries
+        end
+      end;
+      cluster.ordering_in_progress <- false;
+      Waitq.broadcast cluster.order_idle
+    end
+  end
+
+let start (cluster : t) =
+  let ep = new_endpoint cluster ~name:"orderer" in
+  Engine.spawn ~name:"orderer" (fun () ->
+      let rec loop () =
+        Engine.sleep cluster.cfg.Config.order_interval;
+        pass cluster ep;
+        loop ()
+      in
+      loop ())
+
+let is_idle (cluster : t) = not cluster.ordering_in_progress
+
+let wait_idle (cluster : t) =
+  Waitq.await cluster.order_idle (fun () -> not cluster.ordering_in_progress)

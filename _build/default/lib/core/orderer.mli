@@ -1,0 +1,38 @@
+(** Background ordering (section 4.3).
+
+    A single fiber per cluster periodically takes the leader's unordered
+    entries, assigns them global positions starting at the leader's
+    last-ordered-gp, pushes them to the shards (whole records for Erwin-m,
+    metadata bindings plus the position-to-shard map for Erwin-st), garbage
+    collects the batch on every replica, and only then advances stable-gp —
+    the order the correctness argument of section 4.5 depends on.
+
+    The fiber reads the leader's log directly (the paper does this with
+    RDMA so the leader's CPU is not consumed) and quiesces while a view
+    change is running. *)
+
+open Ll_net
+
+val push_batch :
+  Erwin_common.t ->
+  (Proto.req, Proto.resp) Rpc.endpoint ->
+  truncate_from:int option ->
+  (int * Types.entry) list ->
+  unit
+(** Pushes positioned entries to the shards and waits for all of them to
+    acknowledge (replication included). With [truncate_from], every shard
+    first logically overwrites its tail from that position — the recovery
+    flush path (section 4.5). Also used by {!Reconfig}. *)
+
+val broadcast_stable :
+  Erwin_common.t -> (Proto.req, Proto.resp) Rpc.endpoint -> int -> unit
+(** Advances the cluster's stable-gp mirror and notifies every shard. *)
+
+val start : Erwin_common.t -> unit
+(** Spawns the background-ordering fiber. *)
+
+val is_idle : Erwin_common.t -> bool
+
+val wait_idle : Erwin_common.t -> unit
+(** Blocks until no ordering pass is in flight (reconfiguration uses this
+    to serialize the recovery flush against normal pushes). *)

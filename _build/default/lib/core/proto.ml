@@ -1,0 +1,100 @@
+(** Wire protocol for the Erwin systems (both Erwin-m and Erwin-st).
+
+    One request/response union serves the sequencing replicas, the storage
+    shards, the background orderer, and the reconfiguration controller.
+    Erwin-m clusters only ever exchange the [Sr_*], [Msh_*] and [Sh_*]
+    constructors; Erwin-st adds the [Ssh_*] ones. *)
+
+type gp = int
+(** A global log position. *)
+
+type req =
+  (* --- Sequencing replicas (section 4.1, 4.5) --- *)
+  | Sr_append of { view : int; entry : Types.entry; track : bool }
+      (** Client append; [track] asks the leader to remember the assigned
+          position for a later [Sr_wait_ordered] (appendSync support). *)
+  | Sr_check_tail of { view : int }
+  | Sr_gc of { view : int; slots : (gp * Types.Rid.t) list; new_gp : gp }
+      (** Leader -> follower: the listed rids were bound; drop them and
+          advance last-ordered-gp. *)
+  | Sr_seal of { view : int }
+  | Sr_get_state
+      (** Controller -> recovery replica: unordered log + last-ordered-gp. *)
+  | Sr_install_view of {
+      new_view : int;
+      new_gp : gp;
+      flushed : (gp * Types.Rid.t) list;
+    }
+  | Sr_wait_ordered of { rid : Types.Rid.t }
+      (** Blocks until the tracked rid is bound; responds with its position. *)
+  (* --- Shards, common paths --- *)
+  | Sh_set_stable of { gp : gp }  (** one-way: advance the readable prefix *)
+  | Sh_read of { positions : gp list }
+      (** Read records; waits until all positions are below stable-gp. *)
+  | Sh_trim of { upto : gp }
+  (* --- Erwin-m shards: background pushes of full records --- *)
+  | Msh_push of { truncate_from : gp option; slots : (gp * Types.record) list }
+  | Msh_replicate of {
+      truncate_from : gp option;
+      slots : (gp * Types.record) list;
+    }
+  (* --- Erwin-st shards: uncoordinated data writes + metadata ordering --- *)
+  | Ssh_data_write of { record : Types.record }
+      (** Client -> every shard replica, in parallel: stage the record. *)
+  | Ssh_order of {
+      truncate_from : gp option;
+      bindings : (gp * Types.Rid.t) list;  (** this shard's records *)
+      map_chunk : (gp * int) list;  (** position -> shard, full batch *)
+    }
+  | Ssh_replicate_order of {
+      truncate_from : gp option;
+      bindings : (gp * Types.Rid.t) list;
+      noops : Types.Rid.t list;
+      map_chunk : (gp * int) list;
+    }
+  | Ssh_backfill of { slots : (gp * Types.record) list }
+      (** Primary -> backup: records the backup was missing. *)
+  | Ssh_get_map of { from : gp; count : int }
+
+type resp =
+  | R_ok
+  | R_append of { ok : bool; view : int }
+  | R_tail of { ok : bool; tail : int }
+  | R_state of { gp : gp; entries : Types.entry list }
+  | R_gp of { gp : gp }
+  | R_records of { records : (gp * Types.record) list }
+  | R_map of { chunk : (gp * int) list }
+  | R_missing of { rids : Types.Rid.t list }
+
+(** Approximate wire sizes, for the fabric's per-byte costs. *)
+
+let record_wire (r : Types.record) = r.size + 16
+
+let slots_wire slots =
+  List.fold_left (fun acc (_, r) -> acc + record_wire r) 0 slots
+
+let req_size = function
+  | Sr_append { entry; _ } -> Types.entry_wire_size entry + 16
+  | Sr_gc { slots; _ } -> (24 * List.length slots) + 16
+  | Sr_install_view { flushed; _ } -> (24 * List.length flushed) + 32
+  | Msh_push { slots; _ } | Msh_replicate { slots; _ } -> slots_wire slots
+  | Ssh_data_write { record } -> record_wire record
+  | Ssh_order { bindings; map_chunk; _ } ->
+    (24 * List.length bindings) + (12 * List.length map_chunk)
+  | Ssh_replicate_order { bindings; map_chunk; noops; _ } ->
+    (24 * List.length bindings)
+    + (12 * List.length map_chunk)
+    + (16 * List.length noops)
+  | Ssh_backfill { slots } -> slots_wire slots
+  | Sh_read { positions } -> 8 * List.length positions
+  | Sr_check_tail _ | Sr_seal _ | Sr_get_state | Sr_wait_ordered _
+  | Sh_set_stable _ | Sh_trim _ | Ssh_get_map _ ->
+    32
+
+let resp_size = function
+  | R_records { records } -> slots_wire records
+  | R_state { entries; _ } ->
+    List.fold_left (fun acc e -> acc + Types.entry_wire_size e) 16 entries
+  | R_map { chunk } -> 12 * List.length chunk
+  | R_missing { rids } -> 16 * List.length rids
+  | R_ok | R_append _ | R_tail _ | R_gp _ -> 16

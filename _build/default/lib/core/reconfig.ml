@@ -1,0 +1,145 @@
+open Ll_sim
+open Ll_net
+open Ll_control
+open Erwin_common
+
+let config_path = "/erwin/config"
+
+let serialize_config ~view replicas =
+  Printf.sprintf "view=%d members=%s" view
+    (String.concat "," (List.map Seq_replica.name replicas))
+
+let run_view_change (cluster : t) ep ~detect ?(exclude = fun _ -> false) () =
+  let start = Engine.now () in
+  let old_view = cluster.view in
+  let survivors =
+    List.filter
+      (fun r -> Fabric.is_alive (Seq_replica.node r) && not (exclude r))
+      cluster.replicas
+  in
+  if survivors = [] then
+    (* More than f failures: remain (safely) unavailable, section 4.1. *)
+    cluster.reconfiguring <- false
+  else begin
+    (* Seal: no new records can commit in the old view, because clients
+       need acks from all replicas of that view. *)
+    let t0 = Engine.now () in
+    (* Seals and installs are idempotent; retried so a lossy network
+       cannot wedge a view change halfway. *)
+    let retried req r =
+      let iv = Ivar.create () in
+      Engine.spawn ~name:"reconfig.call" (fun () ->
+          match
+            Rpc.call_retry ep ~dst:(Seq_replica.node_id r)
+              ~size:(Proto.req_size req) ~timeout:(Engine.ms 10) ~max_tries:50
+              req
+          with
+          | Some resp -> Ivar.fill iv resp
+          | None -> Ivar.fill iv Proto.R_ok)
+      |> fun () -> iv
+    in
+    let seals = List.map (retried (Proto.Sr_seal { view = old_view })) survivors in
+    ignore (Ivar.join_all seals : Proto.resp list);
+    (* Let any in-flight background push finish before overwriting tails. *)
+    Orderer.wait_idle cluster;
+    let seal_d = Engine.now () - t0 in
+    (* Flush the recovery replica's unordered log. Any survivor is safe;
+       we pick the first. *)
+    let t0 = Engine.now () in
+    let recovery = List.hd survivors in
+    let gp, entries =
+      match
+        Rpc.call_retry ep ~dst:(Seq_replica.node_id recovery)
+          ~timeout:(Engine.ms 10) ~max_tries:50 Proto.Sr_get_state
+      with
+      | Some (Proto.R_state { gp; entries }) -> (gp, entries)
+      | Some _ | None -> failwith "reconfig: bad get_state response"
+    in
+    let slots = List.mapi (fun i e -> (gp + i, e)) entries in
+    Orderer.push_batch cluster ep ~truncate_from:(Some gp) slots;
+    let new_gp = gp + List.length entries in
+    let flush_d = Engine.now () - t0 in
+    (* New view: configuration to ZooKeeper first, then install, and only
+       then advance stable-gp. *)
+    let t0 = Engine.now () in
+    let new_view = old_view + 1 in
+    Zookeeper.set_data cluster.zk ~path:config_path
+      ~data:(serialize_config ~view:new_view survivors);
+    let flushed = List.map (fun (p, e) -> (p, Types.entry_rid e)) slots in
+    let installs =
+      List.map
+        (retried (Proto.Sr_install_view { new_view; new_gp; flushed }))
+        survivors
+    in
+    ignore (Ivar.join_all installs : Proto.resp list);
+    cluster.replicas <- survivors;
+    cluster.view <- new_view;
+    Orderer.broadcast_stable cluster ep new_gp;
+    let new_view_d = Engine.now () - t0 in
+    cluster.reconfiguring <- false;
+    cluster.crash_time <- None;
+    cluster.reconfig_log <-
+      {
+        detect;
+        seal = seal_d;
+        flush = flush_d;
+        new_view = new_view_d;
+        total = detect + (Engine.now () - start);
+      }
+      :: cluster.reconfig_log;
+    Waitq.broadcast cluster.view_changed
+  end
+
+let trigger (cluster : t) ep =
+  if not cluster.reconfiguring then begin
+    cluster.reconfiguring <- true;
+    let detect =
+      match cluster.crash_time with
+      | Some t -> Engine.now () - t
+      | None -> 0
+    in
+    Engine.spawn ~name:"controller.view-change" (fun () ->
+        run_view_change cluster ep ~detect ();
+        (* A second failure during the view change would have been
+           swallowed by the [reconfiguring] guard: re-check. *)
+        if
+          List.exists
+            (fun r -> not (Fabric.is_alive (Seq_replica.node r)))
+            cluster.replicas
+          && not cluster.reconfiguring
+        then begin
+          cluster.reconfiguring <- true;
+          run_view_change cluster ep ~detect:0 ()
+        end)
+  end
+
+let start (cluster : t) =
+  let ep = new_endpoint cluster ~name:"controller" in
+  ignore
+    (Zookeeper.create_znode cluster.zk ~path:config_path
+       ~data:(serialize_config ~view:0 cluster.replicas)
+      : bool);
+  Zookeeper.on_session_expired cluster.zk (fun name ->
+      let member =
+        List.exists (fun r -> String.equal (Seq_replica.name r) name)
+          cluster.replicas
+      in
+      if member then trigger cluster ep)
+
+let force_view_change (cluster : t) =
+  let ep = new_endpoint cluster ~name:"controller.force" in
+  trigger cluster ep
+
+let remove_replica (cluster : t) victim =
+  (* Straggler mitigation (section 5.5): reconfigure a live but slow
+     replica out of the sequencing layer. The view change is the ordinary
+     one; the victim is simply left out of the new configuration (and,
+     being sealed in the old view, can never commit anything again). *)
+  if not cluster.reconfiguring then begin
+    cluster.reconfiguring <- true;
+    let ep = new_endpoint cluster ~name:"controller.remove" in
+    run_view_change cluster ep ~detect:0
+      ~exclude:(fun r ->
+        String.equal (Seq_replica.name r) (Seq_replica.name victim))
+      ()
+  end

@@ -1,0 +1,23 @@
+(** Sequencing-layer failure handling: views and reconfiguration
+    (section 4.5).
+
+    A ZooKeeper-session expiry triggers the controller, which then runs
+    the paper's four steps: {e detect} (the session timeout itself),
+    {e seal} the old view on every surviving replica, {e flush} the
+    recovery replica's unordered log to the shards starting at its
+    last-ordered-gp (logically overwriting any tail the failed leader may
+    have pushed), and {e start the new view} — writing the new
+    configuration to ZooKeeper {e before} advancing stable-gp, as the
+    correctness argument requires. Phase durations are appended to the
+    cluster's [reconfig_log] (figure 17b). *)
+
+val start : Erwin_common.t -> unit
+(** Installs the ZooKeeper expiry watcher that drives view changes. *)
+
+val force_view_change : Erwin_common.t -> unit
+(** Runs a view change immediately (test hook; skips detection). *)
+
+val remove_replica : Erwin_common.t -> Seq_replica.t -> unit
+(** Reconfigures a live replica out of the sequencing layer — the
+    persistent-straggler mitigation of section 5.5. Blocking (the view
+    change runs on the calling fiber). *)

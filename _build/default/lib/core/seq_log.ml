@@ -1,0 +1,136 @@
+open Ll_sim
+
+type t = {
+  capacity : int;
+  entries : (int, Types.entry) Hashtbl.t;  (* slot -> live entry *)
+  by_rid : (Types.Rid.t, int) Hashtbl.t;  (* live rid -> slot *)
+  ordered_seq : (int, int) Hashtbl.t;  (* client -> max ordered seq *)
+  mutable first : int;  (* lowest possibly-live slot *)
+  mutable next : int;  (* next slot *)
+  mutable live : int;
+  mutable gp : int;
+  space : Waitq.t;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    entries = Hashtbl.create 1024;
+    by_rid = Hashtbl.create 1024;
+    ordered_seq = Hashtbl.create 64;
+    first = 0;
+    next = 0;
+    live = 0;
+    gp = 0;
+    space = Waitq.create ();
+  }
+
+type append_result = Appended | Duplicate
+
+let already_ordered t (rid : Types.Rid.t) =
+  match Hashtbl.find_opt t.ordered_seq rid.client with
+  | Some s -> rid.seq <= s
+  | None -> false
+
+let is_duplicate t rid = Hashtbl.mem t.by_rid rid || already_ordered t rid
+
+let do_append t e =
+  let slot = t.next in
+  Hashtbl.replace t.entries slot e;
+  Hashtbl.replace t.by_rid (Types.entry_rid e) slot;
+  t.next <- slot + 1;
+  t.live <- t.live + 1
+
+let try_append t e =
+  let rid = Types.entry_rid e in
+  if is_duplicate t rid then Some Duplicate
+  else if t.live >= t.capacity then None
+  else begin
+    do_append t e;
+    Some Appended
+  end
+
+let append_wait t e =
+  let rid = Types.entry_rid e in
+  if is_duplicate t rid then Duplicate
+  else begin
+    Waitq.await t.space (fun () -> t.live < t.capacity || is_duplicate t rid);
+    if is_duplicate t rid then Duplicate
+    else begin
+      do_append t e;
+      Appended
+    end
+  end
+
+let append_or_wait t e ~cancel =
+  let rid = Types.entry_rid e in
+  let ready () =
+    cancel () || t.live < t.capacity || is_duplicate t rid
+  in
+  Waitq.await t.space ready;
+  if is_duplicate t rid then Some Duplicate
+  else if cancel () then None
+  else begin
+    do_append t e;
+    Some Appended
+  end
+
+let kick t = Waitq.broadcast t.space
+
+let unordered t ?max () =
+  let limit = match max with Some m -> m | None -> t.live in
+  let acc = ref [] in
+  let taken = ref 0 in
+  let slot = ref t.first in
+  while !taken < limit && !slot < t.next do
+    (match Hashtbl.find_opt t.entries !slot with
+    | Some e ->
+      acc := e :: !acc;
+      incr taken
+    | None -> ());
+    incr slot
+  done;
+  List.rev !acc
+
+let live_count t = t.live
+
+let note_ordered t (rid : Types.Rid.t) =
+  if rid.client >= 0 then begin
+    match Hashtbl.find_opt t.ordered_seq rid.client with
+    | Some s when s >= rid.seq -> ()
+    | _ -> Hashtbl.replace t.ordered_seq rid.client rid.seq
+  end
+
+let advance_first t =
+  while t.first < t.next && not (Hashtbl.mem t.entries t.first) do
+    t.first <- t.first + 1
+  done
+
+let remove_ordered t rids =
+  List.iter
+    (fun rid ->
+      note_ordered t rid;
+      match Hashtbl.find_opt t.by_rid rid with
+      | Some slot ->
+        Hashtbl.remove t.entries slot;
+        Hashtbl.remove t.by_rid rid;
+        t.live <- t.live - 1
+      | None -> ())
+    rids;
+  advance_first t;
+  Waitq.broadcast t.space
+
+let mark_ordered t rids = List.iter (note_ordered t) rids
+
+let clear t =
+  Hashtbl.reset t.entries;
+  Hashtbl.reset t.by_rid;
+  t.live <- 0;
+  t.first <- t.next;
+  Waitq.broadcast t.space
+
+let last_ordered_gp t = t.gp
+
+let set_last_ordered_gp t gp = t.gp <- gp
+
+let mem t rid = Hashtbl.mem t.by_rid rid

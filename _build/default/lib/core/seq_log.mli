@@ -1,0 +1,68 @@
+(** The per-sequencing-replica log.
+
+    Conceptually the paper's ring buffer (section 5.6): entries are
+    appended at the tail and garbage collection frees space from the front.
+    Because acknowledged entries appear on every replica but possibly
+    interleaved with unacknowledged ones, followers must be able to remove
+    an arbitrary {e set} of entries (the batch the leader just ordered),
+    not only a prefix — so the implementation is an ordered log with
+    rid-keyed tombstoning plus a live-entry capacity bound that exerts
+    backpressure on appends.
+
+    The log also owns the duplicate filter (section 4.5: "If the retries
+    result in duplicates, Erwin correctly filters them using request-ids"):
+    an entry is a duplicate if its rid is still live in the log, or if a
+    rid with an equal-or-higher sequence number from the same client has
+    already been ordered. *)
+
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] bounds the number of live (unordered) entries. *)
+
+(** Result of offering an entry to the log. *)
+type append_result =
+  | Appended
+  | Duplicate  (** already live or already ordered; ack as success *)
+
+val append_wait : t -> Types.entry -> append_result
+(** Appends (blocking while at capacity) unless the entry is a duplicate. *)
+
+val try_append : t -> Types.entry -> append_result option
+(** Non-blocking variant: [None] when the log is full. *)
+
+val append_or_wait :
+  t -> Types.entry -> cancel:(unit -> bool) -> append_result option
+(** Like {!append_wait} but gives up (returning [None]) once [cancel ()]
+    holds — used to reject appends blocked on backpressure when the
+    replica gets sealed. Callers flipping the cancel condition must call
+    {!kick}. *)
+
+val kick : t -> unit
+(** Wake fibers blocked in {!append_or_wait} so they re-check [cancel]. *)
+
+val unordered : t -> ?max:int -> unit -> Types.entry list
+(** The live entries in log order (the yet-to-be-ordered portion). *)
+
+val live_count : t -> int
+
+val remove_ordered : t -> Types.Rid.t list -> unit
+(** Garbage collection: removes the given rids (those present) and records
+    them as ordered in the duplicate filter. Frees capacity. *)
+
+val mark_ordered : t -> Types.Rid.t list -> unit
+(** Updates only the duplicate filter (used when installing a new view on a
+    replica that never held the flushed entries). *)
+
+val clear : t -> unit
+(** Drops all live entries (view change reset); the duplicate filter is
+    retained. *)
+
+val last_ordered_gp : t -> int
+(** Number of globally ordered positions this replica knows of (the next
+    position to be assigned). The paper's last-ordered-gp counter. *)
+
+val set_last_ordered_gp : t -> int -> unit
+
+val mem : t -> Types.Rid.t -> bool

@@ -1,0 +1,140 @@
+open Ll_sim
+open Ll_net
+
+type t = {
+  cfg : Config.t;
+  node : (Proto.req, Proto.resp) Rpc.msg Fabric.node;
+  ep : (Proto.req, Proto.resp) Rpc.endpoint;
+  rname : string;
+  slog : Seq_log.t;
+  mutable view : int;
+  mutable sealed : bool;
+  (* appendSync support: rids appended with [track = true] get their bound
+     position remembered so Sr_wait_ordered can answer. *)
+  tracked : (Types.Rid.t, unit) Hashtbl.t;
+  bound_gp : (Types.Rid.t, int) Hashtbl.t;
+  bound_watch : Waitq.t;
+}
+
+let node t = t.node
+let node_id t = Fabric.id t.node
+let name t = t.rname
+let log t = t.slog
+let view t = t.view
+let is_sealed t = t.sealed
+
+let record_bindings t slots =
+  List.iter
+    (fun (gp, rid) ->
+      if Hashtbl.mem t.tracked rid then begin
+        Hashtbl.remove t.tracked rid;
+        Hashtbl.replace t.bound_gp rid gp
+      end)
+    slots;
+  Waitq.broadcast t.bound_watch
+
+let apply_gc t ~slots ~new_gp =
+  Seq_log.remove_ordered t.slog (List.map snd slots);
+  Seq_log.set_last_ordered_gp t.slog new_gp;
+  record_bindings t slots
+
+let handle t ~src:_ (req : Proto.req) ~reply =
+  match req with
+  | Sr_append { view; entry; track } ->
+    if view <> t.view || t.sealed then
+      reply (Proto.R_append { ok = false; view = t.view })
+    else begin
+      if track then Hashtbl.replace t.tracked (Types.entry_rid entry) ();
+      (* Blocks under backpressure; gives up if sealed meanwhile. *)
+      match
+        Seq_log.append_or_wait t.slog entry ~cancel:(fun () ->
+            t.sealed || view <> t.view)
+      with
+      | Some (Seq_log.Appended | Seq_log.Duplicate) ->
+        reply (Proto.R_append { ok = true; view = t.view })
+      | None -> reply (Proto.R_append { ok = false; view = t.view })
+    end
+  | Sr_check_tail { view } ->
+    if view <> t.view || t.sealed then
+      reply (Proto.R_tail { ok = false; tail = 0 })
+    else
+      reply
+        (Proto.R_tail
+           {
+             ok = true;
+             tail = Seq_log.last_ordered_gp t.slog + Seq_log.live_count t.slog;
+           })
+  | Sr_gc { view; slots; new_gp } ->
+    if view <> t.view || t.sealed then
+      reply (Proto.R_append { ok = false; view = t.view })
+    else begin
+      apply_gc t ~slots ~new_gp;
+      reply (Proto.R_append { ok = true; view = t.view })
+    end
+  | Sr_seal { view } ->
+    (* Idempotent; sealing an already-newer view is a stale message. *)
+    if view >= t.view then begin
+      t.sealed <- true;
+      Seq_log.kick t.slog
+    end;
+    reply Proto.R_ok
+  | Sr_get_state ->
+    reply
+      (Proto.R_state
+         {
+           gp = Seq_log.last_ordered_gp t.slog;
+           entries = Seq_log.unordered t.slog ();
+         })
+  | Sr_install_view { new_view; new_gp; flushed } ->
+    Seq_log.clear t.slog;
+    Seq_log.mark_ordered t.slog (List.map snd flushed);
+    Seq_log.set_last_ordered_gp t.slog new_gp;
+    record_bindings t flushed;
+    t.view <- new_view;
+    t.sealed <- false;
+    Seq_log.kick t.slog;
+    reply Proto.R_ok
+  | Sr_wait_ordered { rid } ->
+    Waitq.await t.bound_watch (fun () -> Hashtbl.mem t.bound_gp rid);
+    reply (Proto.R_gp { gp = Hashtbl.find t.bound_gp rid })
+  | Sh_set_stable _ | Sh_read _ | Sh_trim _ | Msh_push _ | Msh_replicate _
+  | Ssh_data_write _ | Ssh_order _ | Ssh_replicate_order _ | Ssh_backfill _
+  | Ssh_get_map _ ->
+    failwith (t.rname ^ ": shard request sent to a sequencing replica")
+
+let service_time cfg (req : Proto.req) =
+  match req with
+  | Sr_append { entry; _ } ->
+    cfg.Config.seq_base_ns
+    + int_of_float
+        (cfg.Config.seq_per_byte_ns
+        *. float_of_int (Types.entry_wire_size entry))
+  | Sr_gc { slots; _ } ->
+    cfg.Config.seq_base_ns + (50 * List.length slots)
+  | _ -> cfg.Config.seq_base_ns
+
+let create ~cfg ~fabric ~name:rname =
+  let node =
+    Fabric.add_node fabric ~name:rname
+      ~send_overhead:cfg.Config.rpc_overhead
+      ~recv_overhead:cfg.Config.rpc_overhead ()
+  in
+  let ep = Rpc.endpoint fabric node in
+  let t =
+    {
+      cfg;
+      node;
+      ep;
+      rname;
+      slog = Seq_log.create ~capacity:cfg.Config.seq_capacity;
+      view = 0;
+      sealed = false;
+      tracked = Hashtbl.create 64;
+      bound_gp = Hashtbl.create 64;
+      bound_watch = Waitq.create ();
+    }
+  in
+  Rpc.set_service_time ep (service_time cfg);
+  Rpc.set_handler ep (fun ~src req ~reply ->
+      handle t ~src req ~reply:(fun r -> reply ~size:(Proto.resp_size r) r));
+  t

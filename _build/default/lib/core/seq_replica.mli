@@ -1,0 +1,38 @@
+(** A sequencing-layer replica (sections 4.1–4.3, 4.5).
+
+    Replicas are coordination-free: each one independently appends incoming
+    entries to its local log and acks the client directly. The leader's log
+    order is only used later by the background {!Orderer}; on leader
+    failure any survivor's log can recover the order, because every log is
+    a valid linearization of acknowledged appends.
+
+    A replica participates in views: it rejects appends (and GC) when
+    sealed or when the client's view is stale, and is reset into new views
+    by the reconfiguration controller. *)
+
+open Ll_net
+
+type t
+
+val create :
+  cfg:Config.t ->
+  fabric:(Proto.req, Proto.resp) Rpc.msg Fabric.t ->
+  name:string ->
+  t
+(** Creates the replica's fabric node and endpoint, installs its handler,
+    and charges [cfg.seq_base_ns + size * cfg.seq_per_byte_ns] of CPU per
+    incoming request. *)
+
+val node : t -> (Proto.req, Proto.resp) Rpc.msg Fabric.node
+val node_id : t -> Fabric.node_id
+val name : t -> string
+
+val log : t -> Seq_log.t
+(** Direct access for the colocated background orderer (the paper uses
+    RDMA reads of the leader's ring buffer for exactly this, section 5.6). *)
+
+val view : t -> int
+val is_sealed : t -> bool
+
+val apply_gc : t -> slots:(int * Types.Rid.t) list -> new_gp:int -> unit
+(** Local equivalent of [Sr_gc], used by the orderer on the leader. *)

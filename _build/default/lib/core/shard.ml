@@ -1,0 +1,419 @@
+open Ll_sim
+open Ll_net
+open Ll_storage
+
+type replica = {
+  node : (Proto.req, Proto.resp) Rpc.msg Fabric.node;
+  ep : (Proto.req, Proto.resp) Rpc.endpoint;
+  store : Types.record Flushed_store.t;  (* bound records, by position *)
+  journal : unit Flushed_store.t;
+      (* staging journal: Erwin-st data writes are persisted (and charged
+         to the device) here; binding later only updates the position
+         index in memory *)
+  mutable journal_pos : int;
+  staging : (Types.Rid.t, Types.record) Hashtbl.t;
+  staged_at : (Types.Rid.t, Engine.time) Hashtbl.t;
+  nooped : (Types.Rid.t, unit) Hashtbl.t;
+  staging_watch : Waitq.t;
+  map_log : (int, int) Hashtbl.t;  (* position -> shard id *)
+}
+
+type t = {
+  cfg : Config.t;
+  fabric : (Proto.req, Proto.resp) Rpc.msg Fabric.t;
+  sid : int;
+  primary : replica;
+  mutable backups : replica list;
+  mutable stable : int;
+  stable_watch : Waitq.t;
+}
+
+let shard_id t = t.sid
+let primary_id t = Fabric.id t.primary.node
+let replica_ids t = List.map (fun r -> Fabric.id r.node) (t.primary :: t.backups)
+let stable_gp t = t.stable
+let read_local t pos = Flushed_store.read t.primary.store ~pos
+let bound_positions t = Flushed_store.entries t.primary.store
+let staged_count t = Hashtbl.length t.primary.staging
+
+let make_disk cfg =
+  match cfg.Config.shard_disk with
+  | Config.Sata -> Disk.sata_ssd ()
+  | Config.Nvme -> Disk.nvme_ssd ()
+
+(* Move bound records at positions >= from back to staging and drop their
+   map entries: recovery may rebind them at different positions
+   (section 4.5's tail overwrite, realized logically). *)
+let unbind_from r from =
+  let doomed = Flushed_store.entries_from r.store from in
+  List.iter
+    (fun (_, (rec_ : Types.record)) ->
+      if not (Types.is_no_op rec_) then begin
+        Hashtbl.replace r.staging rec_.Types.rid rec_;
+        Hashtbl.replace r.staged_at rec_.Types.rid 0
+      end)
+    doomed;
+  Flushed_store.truncate r.store from;
+  let stale = Hashtbl.fold (fun gp _ acc -> if gp >= from then gp :: acc else acc) r.map_log [] in
+  List.iter (Hashtbl.remove r.map_log) stale
+
+let apply_truncate r = function
+  | Some from -> unbind_from r from
+  | None -> ()
+
+(* [charged = true] pays the device for the record bytes (Erwin-m pushes,
+   where this is the first time the shard sees the data); [charged =
+   false] is an index-only bind of already-journaled bytes (Erwin-st). *)
+let store_slots ?(charged = true) r slots =
+  if charged then
+    Flushed_store.append_batch r.store
+      (List.map (fun (gp, (rec_ : Types.record)) -> (gp, rec_.Types.size, rec_)) slots)
+  else
+    List.iter (fun (gp, rec_) -> Flushed_store.set_mem r.store ~pos:gp rec_) slots
+
+let journal_record r (record : Types.record) =
+  let pos = r.journal_pos in
+  r.journal_pos <- pos + 1;
+  Flushed_store.append r.journal ~pos ~size:record.Types.size ()
+
+let record_map r chunk =
+  List.iter (fun (gp, sid) -> Hashtbl.replace r.map_log gp sid) chunk
+
+(* Resolve one Erwin-st binding on a replica that is expected to hold the
+   staged record: wait [data_wait_timeout] for in-flight data, then no-op
+   (section 5.4). Returns the bound record. *)
+let resolve_binding cfg r rid =
+  let found () = Hashtbl.mem r.staging rid in
+  if not (found ()) then
+    ignore
+      (Waitq.await_timeout r.staging_watch
+         ~timeout:cfg.Config.data_wait_timeout found
+        : bool);
+  match Hashtbl.find_opt r.staging rid with
+  | Some rec_ ->
+    Hashtbl.remove r.staging rid;
+    Hashtbl.remove r.staged_at rid;
+    rec_
+  | None ->
+    Hashtbl.replace r.nooped rid ();
+    Types.no_op
+
+let handle_primary t ~src:_ (req : Proto.req) ~reply =
+  let r = t.primary in
+  match req with
+  | Msh_push { truncate_from; slots } ->
+    apply_truncate r truncate_from;
+    store_slots r slots;
+    (* Retried on loss; replication by explicit position is idempotent. *)
+    let acks =
+      List.map
+        (fun b ->
+          let iv = Ivar.create () in
+          Engine.spawn (fun () ->
+              ignore
+                (Rpc.call_retry r.ep ~dst:(Fabric.id b.node)
+                   ~size:(Proto.req_size (Msh_replicate { truncate_from; slots }))
+                   ~timeout:(Engine.ms 10) ~max_tries:50
+                   (Proto.Msh_replicate { truncate_from; slots }));
+              Ivar.fill iv ());
+          iv)
+        t.backups
+    in
+    ignore (Ivar.join_all acks);
+    reply Proto.R_ok
+  | Ssh_data_write { record } ->
+    if Hashtbl.mem r.nooped record.Types.rid then
+      reply (Proto.R_append { ok = false; view = 0 })
+    else begin
+      (* A retry of an already-staged rid must not hit the device again. *)
+      let fresh = not (Hashtbl.mem r.staging record.Types.rid) in
+      Hashtbl.replace r.staging record.Types.rid record;
+      Hashtbl.replace r.staged_at record.Types.rid (Engine.now ());
+      Waitq.broadcast r.staging_watch;
+      (* Durability: the staged bytes go to the device (with
+         backpressure); the ack is sent once journaled. *)
+      if fresh then journal_record r record;
+      reply (Proto.R_append { ok = true; view = 0 })
+    end
+  | Ssh_order { truncate_from; bindings; map_chunk } ->
+    apply_truncate r truncate_from;
+    (* Idempotency under retried pushes: a position already bound must
+       not be resolved again (its record left staging on the first
+       pass, and re-resolving would wrongly no-op it). *)
+    let bindings =
+      List.filter
+        (fun (gp, _) -> Flushed_store.read r.store ~pos:gp = None)
+        bindings
+    in
+    let resolved =
+      List.map (fun (gp, rid) -> (gp, rid, resolve_binding t.cfg r rid)) bindings
+    in
+    let slots = List.map (fun (gp, _, rec_) -> (gp, rec_)) resolved in
+    store_slots ~charged:false r slots;
+    record_map r map_chunk;
+    let noops =
+      List.filter_map
+        (fun (_, rid, rec_) -> if Types.is_no_op rec_ then Some rid else None)
+        resolved
+    in
+    let repl_req =
+      Proto.Ssh_replicate_order
+        { truncate_from;
+          bindings = List.map (fun (gp, rid, _) -> (gp, rid)) resolved;
+          noops;
+          map_chunk }
+    in
+    let acks =
+      List.map
+        (fun b ->
+          let iv = Ivar.create () in
+          Engine.spawn (fun () ->
+              match
+                Rpc.call_retry r.ep ~dst:(Fabric.id b.node)
+                  ~size:(Proto.req_size repl_req) ~timeout:(Engine.ms 10)
+                  ~max_tries:50 repl_req
+              with
+              | Some resp -> Ivar.fill iv resp
+              | None -> Ivar.fill iv Proto.R_ok);
+          iv)
+        t.backups
+    in
+    let resps = Ivar.join_all acks in
+    (* Backfill records a backup could not find in its own staging. *)
+    List.iter2
+      (fun b resp ->
+        match resp with
+        | Proto.R_missing { rids } when rids <> [] ->
+          let slots =
+            List.filter_map
+              (fun (gp, rid, rec_) ->
+                if List.exists (Types.Rid.equal rid) rids then Some (gp, rec_)
+                else None)
+              resolved
+          in
+          let bf = Proto.Ssh_backfill { slots } in
+          ignore
+            (Rpc.call r.ep ~dst:(Fabric.id b.node) ~size:(Proto.req_size bf) bf)
+        | _ -> ())
+      t.backups resps;
+    reply Proto.R_ok
+  | Sh_read { positions } ->
+    let max_pos = List.fold_left max (-1) positions in
+    Waitq.await t.stable_watch (fun () -> t.stable > max_pos);
+    let records =
+      List.filter_map
+        (fun gp ->
+          match Flushed_store.read r.store ~pos:gp with
+          | Some rec_ -> Some (gp, rec_)
+          | None -> None)
+        positions
+    in
+    reply (Proto.R_records { records })
+  | Ssh_get_map { from; count } ->
+    Waitq.await t.stable_watch (fun () -> t.stable > from);
+    let upto = min t.stable (from + count) in
+    let chunk = ref [] in
+    for gp = upto - 1 downto from do
+      match Hashtbl.find_opt r.map_log gp with
+      | Some sid -> chunk := (gp, sid) :: !chunk
+      | None -> ()
+    done;
+    reply (Proto.R_map { chunk = !chunk })
+  | Sh_set_stable { gp } ->
+    if gp > t.stable then begin
+      t.stable <- gp;
+      Waitq.broadcast t.stable_watch
+    end;
+    reply Proto.R_ok
+  | Sh_trim { upto } ->
+    Flushed_store.trim r.store upto;
+    List.iter
+      (fun b -> Rpc.send_oneway r.ep ~dst:(Fabric.id b.node) (Proto.Sh_trim { upto }))
+      t.backups;
+    reply Proto.R_ok
+  | Sr_append _ | Sr_check_tail _ | Sr_gc _ | Sr_seal _ | Sr_get_state
+  | Sr_install_view _ | Sr_wait_ordered _ | Msh_replicate _
+  | Ssh_replicate_order _ | Ssh_backfill _ ->
+    failwith "shard primary: unexpected request"
+
+let handle_backup r ~src:_ (req : Proto.req) ~reply =
+  match req with
+  | Msh_replicate { truncate_from; slots } ->
+    apply_truncate r truncate_from;
+    store_slots r slots;
+    reply Proto.R_ok
+  | Ssh_data_write { record } ->
+    if Hashtbl.mem r.nooped record.Types.rid then
+      reply (Proto.R_append { ok = false; view = 0 })
+    else begin
+      let fresh = not (Hashtbl.mem r.staging record.Types.rid) in
+      Hashtbl.replace r.staging record.Types.rid record;
+      Hashtbl.replace r.staged_at record.Types.rid (Engine.now ());
+      Waitq.broadcast r.staging_watch;
+      if fresh then journal_record r record;
+      reply (Proto.R_append { ok = true; view = 0 })
+    end
+  | Ssh_replicate_order { truncate_from; bindings; noops; map_chunk } ->
+    apply_truncate r truncate_from;
+    let missing = ref [] in
+    let slots =
+      List.filter_map
+        (fun (gp, rid) ->
+          if List.exists (Types.Rid.equal rid) noops then begin
+            Hashtbl.replace r.nooped rid ();
+            Hashtbl.remove r.staging rid;
+            Hashtbl.remove r.staged_at rid;
+            Some (gp, Types.no_op)
+          end
+          else
+            match Hashtbl.find_opt r.staging rid with
+            | Some rec_ ->
+              Hashtbl.remove r.staging rid;
+              Hashtbl.remove r.staged_at rid;
+              Some (gp, rec_)
+            | None ->
+              missing := rid :: !missing;
+              None)
+        bindings
+    in
+    store_slots ~charged:false r slots;
+    record_map r map_chunk;
+    if !missing = [] then reply Proto.R_ok
+    else reply (Proto.R_missing { rids = !missing })
+  | Ssh_backfill { slots } ->
+    (* Backfilled bytes are new to this replica: charge them. *)
+    store_slots r slots;
+    reply Proto.R_ok
+  | Sh_trim { upto } ->
+    Flushed_store.trim r.store upto;
+    reply Proto.R_ok
+  | Sr_append _ | Sr_check_tail _ | Sr_gc _ | Sr_seal _ | Sr_get_state
+  | Sr_install_view _ | Sr_wait_ordered _ | Msh_push _ | Ssh_order _
+  | Sh_read _ | Ssh_get_map _ | Sh_set_stable _ ->
+    failwith "shard backup: unexpected request"
+
+let service_time cfg (req : Proto.req) =
+  cfg.Config.shard_base_ns
+  + int_of_float (0.3 *. float_of_int (Proto.req_size req))
+
+let make_replica cfg fabric ~name =
+  let node =
+    Fabric.add_node fabric ~name ~send_overhead:cfg.Config.rpc_overhead
+      ~recv_overhead:cfg.Config.rpc_overhead ()
+  in
+  let ep = Rpc.endpoint fabric node in
+  Rpc.set_service_time ep (service_time cfg);
+  (* One device per replica, shared by the bound store and the staging
+     journal. *)
+  let disk = make_disk cfg in
+  {
+    node;
+    ep;
+    store =
+      Flushed_store.create ~disk
+        ~dirty_limit_bytes:cfg.Config.dirty_limit_bytes ();
+    journal =
+      Flushed_store.create ~disk
+        ~dirty_limit_bytes:cfg.Config.dirty_limit_bytes ();
+    journal_pos = 0;
+    staging = Hashtbl.create 256;
+    staged_at = Hashtbl.create 256;
+    nooped = Hashtbl.create 64;
+    staging_watch = Waitq.create ();
+    map_log = Hashtbl.create 1024;
+  }
+
+let install_backup_handler b =
+  Rpc.set_handler b.ep (fun ~src req ~reply ->
+      handle_backup b ~src req ~reply:(fun resp ->
+          reply ~size:(Proto.resp_size resp) resp))
+
+let create ~cfg ~fabric ~shard_id =
+  let primary =
+    make_replica cfg fabric ~name:(Printf.sprintf "shard%d.primary" shard_id)
+  in
+  let backups =
+    List.init cfg.Config.shard_backup_count (fun i ->
+        make_replica cfg fabric
+          ~name:(Printf.sprintf "shard%d.backup%d" shard_id i))
+  in
+  let t =
+    {
+      cfg;
+      fabric;
+      sid = shard_id;
+      primary;
+      backups;
+      stable = 0;
+      stable_watch = Waitq.create ();
+    }
+  in
+  Rpc.set_handler primary.ep (fun ~src req ~reply ->
+      handle_primary t ~src req ~reply:(fun resp ->
+          reply ~size:(Proto.resp_size resp) resp));
+  List.iter install_backup_handler backups;
+  t
+
+(* Section 5.4: "Failures within a shard are handled by replacing the
+   failed replica with a new one after copying both ordered and unordered
+   records from a live node to the new one." Two copy passes — a bulk
+   pass, then a delta pass after the swap — so pushes racing the copy are
+   not lost (binding by explicit position is idempotent). *)
+let replace_backup t ~index =
+  let fresh =
+    make_replica t.cfg t.fabric
+      ~name:(Printf.sprintf "shard%d.backup%d'" t.sid index)
+  in
+  install_backup_handler fresh;
+  let src = t.primary in
+  let copy_from pos =
+    let ordered = Flushed_store.entries_from src.store pos in
+    let bytes =
+      List.fold_left
+        (fun acc (_, (r : Types.record)) -> acc + r.Types.size)
+        0 ordered
+    in
+    (* Bulk state transfer over the wire. *)
+    Engine.sleep
+      (Engine.us 500
+      + int_of_float (t.cfg.Config.link.Fabric.per_byte_ns *. float_of_int bytes)
+      );
+    Flushed_store.append_batch fresh.store
+      (List.map
+         (fun (gp, (r : Types.record)) -> (gp, r.Types.size, r))
+         ordered);
+    match List.rev ordered with (gp, _) :: _ -> gp + 1 | [] -> pos
+  in
+  let copied_upto = copy_from 0 in
+  (* Unordered (staged) records and the map log come along too. *)
+  Hashtbl.iter (fun rid r -> Hashtbl.replace fresh.staging rid r) src.staging;
+  Hashtbl.iter (fun rid at -> Hashtbl.replace fresh.staged_at rid at) src.staged_at;
+  Hashtbl.iter (fun rid () -> Hashtbl.replace fresh.nooped rid ()) src.nooped;
+  Hashtbl.iter (fun gp sid -> Hashtbl.replace fresh.map_log gp sid) src.map_log;
+  (* Swap in, then catch up on anything pushed during the bulk copy. *)
+  t.backups <- List.mapi (fun i b -> if i = index then fresh else b) t.backups;
+  ignore (copy_from copied_upto : int)
+
+let backup_ids t = List.map (fun b -> Fabric.id b.node) t.backups
+
+let start_scrubber t ~age ~every =
+  let scrub r =
+    let doomed =
+      Hashtbl.fold
+        (fun rid at acc ->
+          if Engine.now () - at > age then rid :: acc else acc)
+        r.staged_at []
+    in
+    List.iter
+      (fun rid ->
+        Hashtbl.remove r.staging rid;
+        Hashtbl.remove r.staged_at rid)
+      doomed
+  in
+  Engine.spawn ~name:(Printf.sprintf "shard%d.scrubber" t.sid) (fun () ->
+      let rec loop () =
+        Engine.sleep every;
+        List.iter scrub (t.primary :: t.backups);
+        loop ()
+      in
+      loop ())

@@ -1,0 +1,36 @@
+module Rid = struct
+  type t = { client : int; seq : int }
+
+  let compare a b =
+    let c = compare a.client b.client in
+    if c <> 0 then c else compare a.seq b.seq
+
+  let equal a b = a.client = b.client && a.seq = b.seq
+
+  let hash a = Hashtbl.hash (a.client, a.seq)
+
+  let pp fmt a = Format.fprintf fmt "%d.%d" a.client a.seq
+end
+
+type record = { rid : Rid.t; size : int; data : string }
+
+let record ~rid ~size ?(data = "") () = { rid; size; data }
+
+let pp_record fmt r =
+  Format.fprintf fmt "{rid=%a size=%d}" Rid.pp r.rid r.size
+
+type entry =
+  | Data of record
+  | Meta of { rid : Rid.t; shard : int; size : int }
+
+let entry_rid = function Data r -> r.rid | Meta m -> m.rid
+
+let meta_size = 16
+
+let entry_wire_size = function
+  | Data r -> r.size
+  | Meta _ -> meta_size
+
+let no_op = { rid = { Rid.client = -1; seq = -1 }; size = 0; data = "<no-op>" }
+
+let is_no_op r = Rid.equal r.rid no_op.rid

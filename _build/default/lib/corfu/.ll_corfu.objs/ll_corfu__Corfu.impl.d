@@ -1,0 +1,1 @@
+lib/corfu/corfu.ml: Array Disk Engine Fabric Flushed_store Fun Ivar Lazylog List Ll_net Ll_sim Ll_storage Printf Rpc Waitq

@@ -1,0 +1,1 @@
+lib/corfu/corfu.mli: Engine Fabric Lazylog Ll_net Ll_sim

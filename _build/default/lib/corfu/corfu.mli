@@ -1,0 +1,52 @@
+(** Corfu baseline (Balakrishnan et al., NSDI '12), as described in the
+    paper's section 2.2 and used as the eager-ordering comparison system.
+
+    A client append first obtains the next position from a centralized
+    sequencer (one RTT), then writes the record to the storage servers
+    responsible for that position via a {e client-driven chain}: the
+    replicas are updated serially, one after the other, so a write to a
+    k-replica shard costs k more RTTs (k+1 total; 4 RTTs with three
+    replicas). The record is bound to its position — and the append
+    eagerly ordered — once it reaches the chain's tail.
+
+    Placement is [position mod nshards]; every storage server of a shard
+    stores all of the shard's records and drains them to disk in the
+    background (disk-bound sustained throughput, like the other systems
+    here). Reads go to the chain tail, which serves a position once it has
+    been written. *)
+
+open Ll_sim
+open Ll_net
+
+type config = {
+  nshards : int;
+  replicas_per_shard : int;
+  shard_disk : Lazylog.Config.disk_kind;
+  link : Fabric.link;
+  rpc_overhead : Engine.time;
+  sequencer_base_ns : int;
+  storage_base_ns : int;
+}
+
+val default_config : config
+(** One shard of three replicas on SATA disks, eRPC-class endpoints. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Must run inside {!Ll_sim.Engine.run}. *)
+
+val client : t -> Lazylog.Log_api.t
+(** [append_sync] is provided (Corfu appends always learn their position);
+    [append] simply discards it. *)
+
+val positions_written : t -> int
+
+val messages_sent : t -> int
+(** Fabric message count (protocol-complexity assertions in tests). *)
+
+val allocate_position : t -> int
+(** Takes a sequencer position without writing it — simulates a client
+    that crashed mid-append, leaving a hole. Readers unstick themselves by
+    junk-filling the hole along the chain (Corfu's hole-filling
+    protocol); test hook. *)

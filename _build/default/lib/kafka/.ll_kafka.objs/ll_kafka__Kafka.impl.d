@@ -1,0 +1,1 @@
+lib/kafka/kafka.ml: Array Disk Engine Fabric Flushed_store Ivar Lazylog List Ll_net Ll_sim Ll_storage Printf Rpc Waitq

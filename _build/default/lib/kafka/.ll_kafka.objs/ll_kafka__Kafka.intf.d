@@ -1,0 +1,1 @@
+lib/kafka/kafka.mli: Engine Fabric Lazylog Ll_net Ll_sim

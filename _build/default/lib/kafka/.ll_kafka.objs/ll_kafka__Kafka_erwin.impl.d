@@ -1,0 +1,1 @@
+lib/kafka/kafka_erwin.ml: Array Client_core Config Engine Erwin_common Fun Ivar Kafka Lazylog List Ll_net Ll_sim Log_api Printf Proto Seq_log Seq_replica Types

@@ -1,0 +1,1 @@
+lib/kafka/kafka_erwin.mli: Kafka Lazylog

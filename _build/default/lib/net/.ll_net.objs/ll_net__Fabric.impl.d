@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Engine Hashtbl Ll_sim Mailbox Rng

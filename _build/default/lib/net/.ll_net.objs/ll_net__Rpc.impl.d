@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Engine Fabric Hashtbl Ivar Ll_sim

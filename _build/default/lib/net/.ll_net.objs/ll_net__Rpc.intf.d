@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Engine Fabric Ivar Ll_sim

@@ -1,0 +1,140 @@
+open Ll_sim
+
+type node_id = int
+
+type link = {
+  one_way : Engine.time;
+  per_byte_ns : float;
+  jitter : Engine.time;
+}
+
+let default_link = { one_way = 1_500; per_byte_ns = 0.32; jitter = 300 }
+
+type 'm node = {
+  nid : node_id;
+  nname : string;
+  send_overhead : Engine.time;
+  recv_overhead : Engine.time;
+  inbox : (node_id * 'm) Mailbox.t;
+  mutable alive : bool;
+  mutable extra : Engine.time;
+  mutable delivered : int;
+}
+
+type 'm t = {
+  link : link;
+  rng : Rng.t;
+  mutable nodes : 'm node array;
+  (* FIFO enforcement: earliest time the next message on (src,dst) may
+     arrive. *)
+  last_arrival : (node_id * node_id, Engine.time) Hashtbl.t;
+  partitions : (node_id * node_id, unit) Hashtbl.t;
+  mutable drop_p : float;
+  mutable sent : int;
+  mutable sent_bytes : int;
+}
+
+let create ?(link = default_link) ?(seed = 7) () =
+  {
+    link;
+    rng = Rng.create ~seed;
+    nodes = [||];
+    last_arrival = Hashtbl.create 64;
+    partitions = Hashtbl.create 8;
+    drop_p = 0.0;
+    sent = 0;
+    sent_bytes = 0;
+  }
+
+let add_node t ~name ?(send_overhead = 500) ?(recv_overhead = 500) () =
+  let n =
+    {
+      nid = Array.length t.nodes;
+      nname = name;
+      send_overhead;
+      recv_overhead;
+      inbox = Mailbox.create ();
+      alive = true;
+      extra = 0;
+      delivered = 0;
+    }
+  in
+  t.nodes <- Array.append t.nodes [| n |];
+  n
+
+let id n = n.nid
+let name n = n.nname
+let node_by_id t i = t.nodes.(i)
+
+let pair_key a b = if a < b then (a, b) else (b, a)
+
+let partitioned t a b = Hashtbl.mem t.partitions (pair_key a b)
+
+let send t ~src ~dst ~size msg =
+  let dst_node = t.nodes.(dst) in
+  if
+    src.alive && dst_node.alive
+    && (not (partitioned t src.nid dst))
+    && not (t.drop_p > 0.0 && Rng.bool t.rng ~p:t.drop_p)
+  then begin
+    t.sent <- t.sent + 1;
+    t.sent_bytes <- t.sent_bytes + size;
+    let jitter =
+      if t.link.jitter > 0 then Rng.int t.rng t.link.jitter else 0
+    in
+    let wire =
+      t.link.one_way
+      + int_of_float (t.link.per_byte_ns *. float_of_int size)
+      + jitter
+    in
+    let delay =
+      src.send_overhead + wire + dst_node.recv_overhead + src.extra
+      + dst_node.extra
+    in
+    let arrival = Engine.now () + delay in
+    let key = (src.nid, dst) in
+    let arrival =
+      match Hashtbl.find_opt t.last_arrival key with
+      | Some last when last >= arrival -> last + 1
+      | _ -> arrival
+    in
+    Hashtbl.replace t.last_arrival key arrival;
+    let sender = src.nid in
+    Engine.at arrival (fun () ->
+        (* Re-check liveness and partition at delivery time: a message in
+           flight to a node that crashes meanwhile is lost. *)
+        if dst_node.alive && not (partitioned t sender dst) then begin
+          dst_node.delivered <- dst_node.delivered + 1;
+          Mailbox.send dst_node.inbox (sender, msg)
+        end)
+  end
+
+let recv n = Mailbox.recv n.inbox
+
+let recv_timeout n ~timeout = Mailbox.recv_timeout n.inbox ~timeout
+
+let inbox_length n = Mailbox.length n.inbox
+
+let crash _t n =
+  n.alive <- false;
+  Mailbox.clear n.inbox
+
+let recover _t n = n.alive <- true
+
+let is_alive n = n.alive
+
+let partition t a b = Hashtbl.replace t.partitions (pair_key a b) ()
+
+let heal t a b = Hashtbl.remove t.partitions (pair_key a b)
+
+let set_drop_probability t p = t.drop_p <- p
+
+let set_extra_delay n d = n.extra <- d
+
+let extra_delay n = n.extra
+
+let messages_sent t = t.sent
+
+let bytes_sent t = t.sent_bytes
+
+let node_messages_in n = n.delivered

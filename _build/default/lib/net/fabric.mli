@@ -1,0 +1,95 @@
+(** Simulated datacenter network fabric.
+
+    A fabric connects a set of nodes and delivers typed messages between
+    them with a configurable latency model:
+
+    {v delay = send_overhead(src) + one_way + size * per_byte
+             + jitter + recv_overhead(dst) v}
+
+    The per-endpoint software overheads model the RPC stack (eRPC-class
+    endpoints cost ~1 us, gRPC-class endpoints cost hundreds of us — the
+    knob behind the Erwin-vs-Scalog-artifact latency gap in the paper's
+    section 6.1). Delivery is FIFO per (src, dst) pair, as over a TCP
+    connection. Nodes can crash (messages to and from them are dropped) and
+    pairs can be partitioned. *)
+
+open Ll_sim
+
+type node_id = int
+
+type link = {
+  one_way : Engine.time;  (** propagation + switching, one direction *)
+  per_byte_ns : float;  (** serialization cost per payload byte *)
+  jitter : Engine.time;  (** max uniform extra delay *)
+}
+
+val default_link : link
+(** 25 Gb-class datacenter link: 1.5 us one way, 0.32 ns/B, 300 ns jitter. *)
+
+type 'm t
+
+type 'm node
+
+val create : ?link:link -> ?seed:int -> unit -> 'm t
+
+val add_node :
+  'm t ->
+  name:string ->
+  ?send_overhead:Engine.time ->
+  ?recv_overhead:Engine.time ->
+  unit ->
+  'm node
+(** Registers a node. Overheads default to 500 ns each (eRPC-class). *)
+
+val id : 'm node -> node_id
+val name : 'm node -> string
+val node_by_id : 'm t -> node_id -> 'm node
+
+val send : 'm t -> src:'m node -> dst:node_id -> size:int -> 'm -> unit
+(** Fire-and-forget message of [size] payload bytes. Dropped silently if
+    either endpoint is crashed or the pair is partitioned at send time. *)
+
+val recv : 'm node -> node_id * 'm
+(** Blocks until a message arrives at this node; returns the sender. *)
+
+val recv_timeout : 'm node -> timeout:Engine.time -> (node_id * 'm) option
+
+val inbox_length : 'm node -> int
+
+(** {1 Fault injection} *)
+
+val crash : 'm t -> 'm node -> unit
+(** Crash: pending and future messages are dropped, inbox is cleared.
+    Fibers blocked in {!recv} stay blocked. *)
+
+val recover : 'm t -> 'm node -> unit
+val is_alive : 'm node -> bool
+
+val partition : 'm t -> node_id -> node_id -> unit
+(** Symmetrically block traffic between two nodes. *)
+
+val heal : 'm t -> node_id -> node_id -> unit
+
+val set_drop_probability : 'm t -> float -> unit
+(** Uniform random message loss for every link (default 0). *)
+
+val set_extra_delay : 'm node -> Engine.time -> unit
+(** Straggler injection: adds a fixed delay to every message into and out
+    of this node (0 to clear). *)
+
+val extra_delay : 'm node -> Engine.time
+
+(** {1 Message accounting}
+
+    Structural verification of protocol complexity: tests count the
+    messages an operation costs (e.g. an Erwin append is exactly one
+    request and one response per sequencing replica — 1 RTT). *)
+
+val messages_sent : 'm t -> int
+(** Total messages accepted for delivery since creation (drops and crashes
+    included). *)
+
+val bytes_sent : 'm t -> int
+
+val node_messages_in : 'm node -> int
+(** Messages delivered to this node's inbox. *)

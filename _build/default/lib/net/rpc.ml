@@ -1,0 +1,103 @@
+open Ll_sim
+
+type node_id = Fabric.node_id
+
+type ('req, 'resp) msg =
+  | Request of int * 'req
+  | Response of int * 'resp
+  | Oneway of 'req
+
+type ('req, 'resp) endpoint = {
+  fabric : ('req, 'resp) msg Fabric.t;
+  node : ('req, 'resp) msg Fabric.node;
+  pending : (int, 'resp Ivar.t) Hashtbl.t;
+  mutable next_token : int;
+  mutable handler :
+    (src:node_id -> 'req -> reply:(?size:int -> 'resp -> unit) -> unit)
+      option;
+  mutable service_time : 'req -> Engine.time;
+}
+
+let node t = t.node
+let endpoint_id t = Fabric.id t.node
+
+let dispatch t ~src req ~reply =
+  match t.handler with
+  | None -> ()
+  | Some h ->
+    let st = t.service_time req in
+    if st > 0 then Engine.sleep st;
+    (* The endpoint may have crashed while the request was "on CPU". *)
+    if Fabric.is_alive t.node then
+      Engine.spawn ~name:(Fabric.name t.node ^ ".handler") (fun () ->
+          h ~src req ~reply)
+
+let demux_loop t () =
+  let rec loop () =
+    let src, m = Fabric.recv t.node in
+    (match m with
+    | Response (token, resp) -> (
+      match Hashtbl.find_opt t.pending token with
+      | Some iv ->
+        Hashtbl.remove t.pending token;
+        ignore (Ivar.try_fill iv resp)
+      | None -> () (* response to a call that already timed out *))
+    | Request (token, req) ->
+      let replied = ref false in
+      let reply ?(size = 64) resp =
+        if not !replied then begin
+          replied := true;
+          Fabric.send t.fabric ~src:t.node ~dst:src ~size
+            (Response (token, resp))
+        end
+      in
+      dispatch t ~src req ~reply
+    | Oneway req -> dispatch t ~src req ~reply:(fun ?size:_ _ -> ()));
+    loop ()
+  in
+  loop ()
+
+let endpoint fabric node =
+  let t =
+    {
+      fabric;
+      node;
+      pending = Hashtbl.create 32;
+      next_token = 0;
+      handler = None;
+      service_time = (fun _ -> 0);
+    }
+  in
+  Engine.spawn ~name:(Fabric.name node ^ ".demux") (demux_loop t);
+  t
+
+let set_handler t h = t.handler <- Some h
+
+let set_service_time t f = t.service_time <- f
+
+let call_async t ~dst ?(size = 64) req =
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  let iv = Ivar.create () in
+  Hashtbl.replace t.pending token iv;
+  Fabric.send t.fabric ~src:t.node ~dst ~size (Request (token, req));
+  iv
+
+let call t ~dst ?size req = Ivar.read (call_async t ~dst ?size req)
+
+let call_timeout t ~dst ?size ~timeout req =
+  let iv = call_async t ~dst ?size req in
+  Ivar.read_timeout iv ~timeout
+
+let call_retry t ~dst ?size ?(timeout = Engine.ms 1) ?(max_tries = 3) req =
+  let rec go tries =
+    if tries = 0 then None
+    else
+      match call_timeout t ~dst ?size ~timeout req with
+      | Some r -> Some r
+      | None -> go (tries - 1)
+  in
+  go max_tries
+
+let send_oneway t ~dst ?(size = 64) req =
+  Fabric.send t.fabric ~src:t.node ~dst ~size (Oneway req)

@@ -1,0 +1,71 @@
+(** Request/response RPC over a {!Fabric}.
+
+    Every participant (client or server) owns an {e endpoint} bound to a
+    fabric node. An endpoint demultiplexes incoming traffic: responses
+    complete pending calls; requests are charged the endpoint's service
+    time on the endpoint's (single) CPU and then dispatched to the handler
+    on a fresh fiber, so a handler that blocks on sub-operations does not
+    stall the server loop but CPU work is properly serialized.
+
+    A server that crashes (via {!Fabric.crash}) silently drops traffic;
+    callers should use {!call_timeout} on paths where failures are
+    expected. *)
+
+open Ll_sim
+
+type node_id = Fabric.node_id
+
+type ('req, 'resp) msg
+
+type ('req, 'resp) endpoint
+
+val endpoint :
+  ('req, 'resp) msg Fabric.t -> ('req, 'resp) msg Fabric.node
+  -> ('req, 'resp) endpoint
+(** Creates the endpoint and starts its demux fiber. *)
+
+val node : ('req, 'resp) endpoint -> ('req, 'resp) msg Fabric.node
+val endpoint_id : ('req, 'resp) endpoint -> node_id
+
+val set_handler :
+  ('req, 'resp) endpoint ->
+  (src:node_id -> 'req -> reply:(?size:int -> 'resp -> unit) -> unit) ->
+  unit
+(** Installs the request handler. [reply] may be invoked at most once, from
+    any fiber, and sends the response back to the caller ([size] is the
+    response payload size in bytes, default 64). Requests arriving at an
+    endpoint with no handler are dropped. *)
+
+val set_service_time : ('req, 'resp) endpoint -> ('req -> Engine.time) -> unit
+(** CPU cost charged serially per incoming request (default 0). *)
+
+val call :
+  ('req, 'resp) endpoint -> dst:node_id -> ?size:int -> 'req -> 'resp
+(** Synchronous call; blocks forever if the peer never answers. [size] is
+    the request payload size in bytes (default 64). *)
+
+val call_timeout :
+  ('req, 'resp) endpoint ->
+  dst:node_id -> ?size:int -> timeout:Engine.time -> 'req ->
+  'resp option
+
+val call_retry :
+  ('req, 'resp) endpoint ->
+  dst:node_id ->
+  ?size:int ->
+  ?timeout:Engine.time ->
+  ?max_tries:int ->
+  'req ->
+  'resp option
+(** Retries a timed-out call up to [max_tries] times (default 3 tries with
+    1 ms timeouts). The callee must therefore treat the request as
+    idempotent or deduplicate. *)
+
+val call_async : ('req, 'resp) endpoint -> dst:node_id -> ?size:int -> 'req
+  -> 'resp Ivar.t
+(** Issues the request and returns an ivar for its response, allowing
+    parallel fan-out ("write to all replicas in parallel"). *)
+
+val send_oneway :
+  ('req, 'resp) endpoint -> dst:node_id -> ?size:int -> 'req -> unit
+(** Fire-and-forget; delivered to the peer's handler with a no-op [reply]. *)

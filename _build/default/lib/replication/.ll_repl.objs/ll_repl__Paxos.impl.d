@@ -1,0 +1,1 @@
+lib/replication/paxos.ml: Array Engine Fabric Hashtbl Ivar List Ll_net Ll_sim Printf Rpc

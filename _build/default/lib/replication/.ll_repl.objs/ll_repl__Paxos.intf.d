@@ -1,0 +1,1 @@
+lib/replication/paxos.mli: Engine Fabric Ll_net Ll_sim

@@ -1,0 +1,48 @@
+(** Leader-based multi-decree Paxos over a simulated fabric.
+
+    Used as the fault-tolerant ordering layer of the Scalog baseline
+    ("It establishes the global cut ... and makes this cut fault-tolerant
+    (via Paxos)"). The implementation is a compact multi-Paxos:
+
+    - a proposer first claims leadership with a {e prepare} round (phase
+      1), learning any previously accepted values it must re-propose;
+    - it then commits commands to consecutive slots with single-RTT
+      {e accept} rounds (phase 2) requiring a majority of acceptors;
+    - committed commands are reported, in slot order, to the [on_commit]
+      callback.
+
+    The module is generic in the command type and owns its own fabric of
+    [n] acceptor nodes. *)
+
+open Ll_sim
+open Ll_net
+
+type 'cmd t
+
+val create :
+  ?acceptors:int ->
+  ?link:Fabric.link ->
+  ?rpc_overhead:Engine.time ->
+  ?on_commit:(int -> 'cmd -> unit) ->
+  unit ->
+  'cmd t
+(** Defaults: 3 acceptors, eRPC-class endpoints. Must run inside
+    {!Ll_sim.Engine.run}. *)
+
+val become_leader : 'cmd t -> unit
+(** Runs phase 1 with a fresh ballot; re-commits any values accepted under
+    earlier ballots. Idempotent for an already-leading proposer. *)
+
+val propose : 'cmd t -> 'cmd -> int
+(** Commits the command to the next slot (blocking, one accept RTT with a
+    stable leader) and returns the slot. Runs {!become_leader} first if
+    needed. *)
+
+val committed : 'cmd t -> (int * 'cmd) list
+(** All committed slots in order (test/checker use). *)
+
+val chosen : 'cmd t -> int -> 'cmd option
+
+val crash_acceptor : 'cmd t -> int -> unit
+(** Fault injection: crash the i-th acceptor. A majority must survive for
+    {!propose} to return. *)

@@ -1,0 +1,1 @@
+lib/scalog/scalog.ml: Array Disk Engine Fabric Flushed_store Fun Hashtbl Ivar Lazylog List Ll_net Ll_repl Ll_sim Ll_storage Printf Rng Rpc Stats Waitq

@@ -1,0 +1,1 @@
+lib/scalog/scalog.mli: Engine Fabric Lazylog Ll_net Ll_sim

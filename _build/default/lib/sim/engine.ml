@@ -1,0 +1,151 @@
+type time = int
+
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = x * 1_000_000_000
+let us_f x = int_of_float ((x *. 1_000.) +. 0.5)
+let to_us t = float_of_int t /. 1_000.
+let to_ms t = float_of_int t /. 1_000_000.
+let to_sec t = float_of_int t /. 1_000_000_000.
+
+type event = { at : time; seq : int; fn : unit -> unit }
+
+let event_cmp a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+(* Global scheduler state. The simulation is single-domain and runs are not
+   reentrant, so plain mutable globals are safe and fast. *)
+let queue : event Heap.t = Heap.create ~cmp:event_cmp
+let clock = ref 0
+let seqno = ref 0
+let running = ref false
+let stopping = ref false
+let fibers = ref 0
+let rng = ref (Random.State.make [| 0 |])
+
+exception Fiber_failure of string * exn
+
+let require_running what =
+  if not !running then failwith (what ^ ": not inside Engine.run")
+
+let schedule at fn =
+  let at = if at < !clock then !clock else at in
+  incr seqno;
+  Heap.push queue { at; seq = !seqno; fn }
+
+type 'a waker = { mutable fired : bool; mutable resume : 'a -> unit }
+
+let wake w v =
+  if w.fired then false
+  else begin
+    w.fired <- true;
+    (* Resume on a fresh event so wake never re-enters the waker's fiber
+       from the middle of the caller's slice: determinism and no surprise
+       reentrancy. *)
+    schedule !clock (fun () -> w.resume v);
+    true
+  end
+
+let is_woken w = w.fired
+
+type _ Effect.t +=
+  | Now : time Effect.t
+  | Sleep : time -> unit Effect.t
+  | Spawn : (string * (unit -> unit)) -> unit Effect.t
+  | Suspend : ('a waker -> unit) -> 'a Effect.t
+
+let now () =
+  require_running "now";
+  Effect.perform Now
+
+let sleep d =
+  require_running "sleep";
+  Effect.perform (Sleep (if d < 0 then 0 else d))
+
+let sleep_until t =
+  let n = now () in
+  sleep (if t > n then t - n else 0)
+
+let spawn ?(name = "fiber") f =
+  require_running "spawn";
+  Effect.perform (Spawn (name, f))
+
+let yield () = sleep 0
+
+let suspend register =
+  require_running "suspend";
+  Effect.perform (Suspend register)
+
+let rec exec name f =
+  let open Effect.Deep in
+  incr fibers;
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          match e with
+          | Fiber_failure _ -> raise e
+          | e -> raise (Fiber_failure (name, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Now ->
+            Some (fun (k : (a, unit) continuation) -> continue k !clock)
+          | Sleep d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                schedule (!clock + d) (fun () -> continue k ()))
+          | Spawn (child_name, g) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                schedule !clock (fun () -> exec child_name g);
+                continue k ())
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let w = { fired = false; resume = (fun v -> continue k v) } in
+                register w)
+          | _ -> None);
+    }
+
+let at t fn =
+  require_running "at";
+  schedule t (fun () -> exec "at" fn)
+
+let after d fn = at (!clock + d) fn
+
+let random_state () = !rng
+
+let stop () = stopping := true
+
+let fiber_count () = !fibers
+
+let run ?(seed = 42) ?until main =
+  if !running then failwith "Engine.run: runs must not nest";
+  running := true;
+  stopping := false;
+  clock := 0;
+  seqno := 0;
+  fibers := 0;
+  Heap.clear queue;
+  rng := Random.State.make [| seed; 0x1a2706 |];
+  let finish () =
+    running := false;
+    Heap.clear queue
+  in
+  Fun.protect ~finally:finish (fun () ->
+      schedule 0 (fun () -> exec "main" main);
+      let continue_loop = ref true in
+      while !continue_loop && not !stopping do
+        match Heap.pop queue with
+        | None -> continue_loop := false
+        | Some ev -> (
+          match until with
+          | Some u when ev.at > u -> continue_loop := false
+          | _ ->
+            clock := ev.at;
+            ev.fn ())
+      done)

@@ -1,0 +1,98 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine executes lightweight cooperative fibers over a simulated
+    clock. Fibers are ordinary OCaml functions that may call {!now},
+    {!sleep}, {!spawn} and {!suspend}; blocking is implemented with OCaml 5
+    effect handlers, so protocol code reads as straight-line blocking code
+    while the whole simulation runs deterministically in a single domain.
+
+    Time is measured in integer nanoseconds of {e simulated} time. Runs are
+    reproducible: given the same seed and the same program, every run
+    produces the identical schedule. Events at equal timestamps fire in the
+    order they were scheduled. *)
+
+type time = int
+(** Simulated time in nanoseconds since the start of the run. *)
+
+exception Fiber_failure of string * exn
+(** Raised out of {!run} when a fiber raises: carries the fiber's name and
+    the original exception. *)
+
+(** {1 Time constructors} *)
+
+val ns : int -> time
+val us : int -> time
+val ms : int -> time
+val sec : int -> time
+
+val us_f : float -> time
+(** [us_f x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
+val to_us : time -> float
+val to_ms : time -> float
+val to_sec : time -> float
+
+(** {1 Fiber primitives}
+
+    All of these must be called from inside a fiber running under {!run};
+    calling them elsewhere raises [Failure]. *)
+
+val now : unit -> time
+(** Current simulated time. *)
+
+val sleep : time -> unit
+(** [sleep d] suspends the calling fiber for [d] simulated nanoseconds.
+    [sleep 0] yields to other fibers scheduled at the current instant. *)
+
+val sleep_until : time -> unit
+(** [sleep_until t] sleeps until absolute time [t] ([t <= now] is a yield). *)
+
+val spawn : ?name:string -> (unit -> unit) -> unit
+(** [spawn f] schedules fiber [f] to start at the current instant. [name] is
+    used in crash reports. *)
+
+val yield : unit -> unit
+
+type 'a waker
+(** A one-shot resumption capability for a suspended fiber. *)
+
+val wake : 'a waker -> 'a -> bool
+(** [wake w v] resumes the fiber suspended on [w] with value [v]. Returns
+    [true] if this call performed the wake-up and [false] if the waker had
+    already fired (each waker fires at most once). May be called from any
+    fiber or from a scheduled callback. *)
+
+val is_woken : 'a waker -> bool
+
+val suspend : ('a waker -> unit) -> 'a
+(** [suspend register] parks the calling fiber and hands its waker to
+    [register]. The fiber resumes with the value later passed to {!wake}.
+    If no one ever wakes the waker the fiber stays parked forever (which is
+    fine: the run simply ends when no events remain). *)
+
+val at : time -> (unit -> unit) -> unit
+(** [at t f] schedules callback [f] at absolute simulated time [t] (clamped
+    to now if in the past). [f] runs on its own fiber. *)
+
+val after : time -> (unit -> unit) -> unit
+(** [after d f] is [at (now () + d) f]. *)
+
+(** {1 Randomness} *)
+
+val random_state : unit -> Random.State.t
+(** The engine's deterministic random state (seeded by {!run}). *)
+
+(** {1 Running} *)
+
+val run : ?seed:int -> ?until:time -> (unit -> unit) -> unit
+(** [run main] resets the clock to 0 and executes [main] plus everything it
+    spawns until no scheduled events remain, or until simulated time
+    exceeds [until] if given. Exceptions escaping any fiber abort the run
+    and are re-raised. Runs must not nest. *)
+
+val stop : unit -> unit
+(** Request the current run to stop; remaining events are discarded once the
+    currently executing fiber slice returns. *)
+
+val fiber_count : unit -> int
+(** Number of fiber starts so far in this run (diagnostic). *)

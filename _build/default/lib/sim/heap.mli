@@ -1,0 +1,28 @@
+(** Array-backed binary min-heap.
+
+    Used as the event queue of the simulation {!Engine}, and available to any
+    other component that needs a priority queue. Elements are ordered by the
+    comparison function supplied at creation; ties are resolved by it as
+    well, so callers that need a stable order must encode a sequence number
+    in their elements. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** [pop t] removes and returns the minimum element, if any. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list t] is the heap's contents in unspecified order. *)

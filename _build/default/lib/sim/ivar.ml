@@ -1,0 +1,62 @@
+type 'a state =
+  | Empty of 'a option Engine.waker list
+  | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let try_fill t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+    t.state <- Full v;
+    List.iter (fun w -> ignore (Engine.wake w (Some v))) (List.rev waiters);
+    true
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already full"
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ -> (
+    let r =
+      Engine.suspend (fun w ->
+          match t.state with
+          | Full v -> ignore (Engine.wake w (Some v))
+          | Empty waiters -> t.state <- Empty (w :: waiters))
+    in
+    match r with
+    | Some v -> v
+    | None -> assert false (* only timeouts wake with [None] *))
+
+let read_timeout t ~timeout =
+  match t.state with
+  | Full v -> Some v
+  | Empty _ ->
+    Engine.suspend (fun w ->
+        (match t.state with
+        | Full v -> ignore (Engine.wake w (Some v))
+        | Empty waiters -> t.state <- Empty (w :: waiters));
+        Engine.after timeout (fun () -> ignore (Engine.wake w None)))
+
+let join_all ts = List.map read ts
+
+let join_all_timeout ts ~timeout =
+  let deadline = Engine.now () + timeout in
+  let rec loop acc = function
+    | [] -> Some (List.rev acc)
+    | t :: rest -> (
+      let remaining = deadline - Engine.now () in
+      if remaining < 0 then None
+      else
+        match read_timeout t ~timeout:remaining with
+        | Some v -> loop (v :: acc) rest
+        | None -> None)
+  in
+  loop [] ts

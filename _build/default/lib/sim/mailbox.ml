@@ -1,0 +1,37 @@
+type 'a t = {
+  items : 'a Queue.t;
+  waiters : 'a option Engine.waker Queue.t;
+}
+
+let create () = { items = Queue.create (); waiters = Queue.create () }
+
+(* Deliver [v] to the first waiter that has not already been woken (e.g. by
+   a timeout); returns false when no live waiter remains. *)
+let rec deliver_to_waiter t v =
+  match Queue.take_opt t.waiters with
+  | None -> false
+  | Some w -> if Engine.wake w (Some v) then true else deliver_to_waiter t v
+
+let send t v = if not (deliver_to_waiter t v) then Queue.push v t.items
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None -> (
+    match Engine.suspend (fun w -> Queue.push w t.waiters) with
+    | Some v -> v
+    | None -> assert false)
+
+let recv_timeout t ~timeout =
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None ->
+    Engine.suspend (fun w ->
+        Queue.push w t.waiters;
+        Engine.after timeout (fun () -> ignore (Engine.wake w None)))
+
+let try_recv t = Queue.take_opt t.items
+
+let length t = Queue.length t.items
+
+let clear t = Queue.clear t.items

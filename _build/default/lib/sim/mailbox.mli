@@ -1,0 +1,25 @@
+(** Unbounded FIFO channels between simulation fibers.
+
+    Messages are delivered in send order; multiple receivers are served in
+    the order they blocked. This is the delivery surface the simulated
+    network writes into. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Never blocks. *)
+
+val recv : 'a t -> 'a
+(** Blocks the calling fiber until a message is available. *)
+
+val recv_timeout : 'a t -> timeout:Engine.time -> 'a option
+
+val try_recv : 'a t -> 'a option
+
+val length : 'a t -> int
+(** Number of queued (undelivered) messages. *)
+
+val clear : 'a t -> unit
+(** Drops all queued messages (blocked receivers stay blocked). *)

@@ -1,0 +1,35 @@
+type t = { mutable waiters : bool Engine.waker list }
+
+let create () = { waiters = [] }
+
+let broadcast t =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (fun w -> ignore (Engine.wake w true)) (List.rev ws)
+
+let await t pred =
+  while not (pred ()) do
+    ignore (Engine.suspend (fun w -> t.waiters <- w :: t.waiters) : bool)
+  done
+
+let await_timeout t ~timeout pred =
+  let deadline = Engine.now () + timeout in
+  let rec loop () =
+    if pred () then true
+    else begin
+      let remaining = deadline - Engine.now () in
+      if remaining <= 0 then pred ()
+      else begin
+        let woke =
+          Engine.suspend (fun w ->
+              t.waiters <- w :: t.waiters;
+              Engine.after remaining (fun () -> ignore (Engine.wake w false)))
+        in
+        ignore (woke : bool);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let waiters t = List.length t.waiters

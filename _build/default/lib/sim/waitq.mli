@@ -1,0 +1,23 @@
+(** Condition-variable-style wait queues.
+
+    A [Waitq.t] lets fibers block until some predicate over shared mutable
+    state becomes true; whoever mutates that state calls {!broadcast}.
+    Used for slow-path reads ("wait until stable-gp >= p"), ring-buffer
+    backpressure, and similar protocol waits. *)
+
+type t
+
+val create : unit -> t
+
+val await : t -> (unit -> bool) -> unit
+(** [await t pred] returns immediately if [pred ()]; otherwise blocks until
+    a {!broadcast} after which [pred ()] is true (re-blocking as needed). *)
+
+val await_timeout : t -> timeout:Engine.time -> (unit -> bool) -> bool
+(** Like {!await} but gives up after [timeout] ns; returns whether the
+    predicate held on exit. *)
+
+val broadcast : t -> unit
+(** Wake all current waiters so they re-check their predicates. *)
+
+val waiters : t -> int

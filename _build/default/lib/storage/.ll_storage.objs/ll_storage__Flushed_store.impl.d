@@ -1,0 +1,1 @@
+lib/storage/flushed_store.ml: Disk Engine Hashtbl List Ll_sim Mem_log Queue Waitq

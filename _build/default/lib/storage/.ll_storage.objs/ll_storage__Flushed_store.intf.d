@@ -1,0 +1,1 @@
+lib/storage/flushed_store.mli: Disk

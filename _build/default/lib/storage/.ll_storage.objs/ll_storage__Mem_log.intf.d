@@ -1,0 +1,1 @@
+lib/storage/mem_log.mli:

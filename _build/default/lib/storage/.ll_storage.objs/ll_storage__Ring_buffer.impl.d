@@ -1,0 +1,1 @@
+lib/storage/ring_buffer.ml: Array List Ll_sim Waitq

@@ -1,0 +1,1 @@
+lib/storage/ring_buffer.mli:

@@ -1,0 +1,1 @@
+lib/storage/segment_log.ml: Disk Hashtbl List Mem_log

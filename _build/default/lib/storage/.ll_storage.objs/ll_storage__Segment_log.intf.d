@@ -1,0 +1,1 @@
+lib/storage/segment_log.mli: Disk

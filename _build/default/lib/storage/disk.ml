@@ -1,0 +1,41 @@
+open Ll_sim
+
+type t = {
+  base_latency : Engine.time;
+  ns_per_byte : float;
+  name : string;
+  mutable next_free : Engine.time;
+  mutable bytes_written : int;
+  mutable ops : int;
+}
+
+let create ?(base_latency = Engine.us 20) ?(ns_per_byte = 7.0)
+    ?(name = "disk") () =
+  { base_latency; ns_per_byte; name; next_free = 0; bytes_written = 0; ops = 0 }
+
+let sata_ssd () = create ~base_latency:(Engine.us 20) ~ns_per_byte:7.0 ()
+
+let nvme_ssd () = create ~base_latency:(Engine.us 8) ~ns_per_byte:3.5 ()
+
+let operate t ~bytes =
+  let now = Engine.now () in
+  let start = if t.next_free > now then t.next_free else now in
+  let dur =
+    t.base_latency + int_of_float (t.ns_per_byte *. float_of_int bytes)
+  in
+  t.next_free <- start + dur;
+  t.ops <- t.ops + 1;
+  Engine.sleep (t.next_free - now)
+
+let write t ~bytes =
+  t.bytes_written <- t.bytes_written + bytes;
+  operate t ~bytes
+
+let read t ~bytes = operate t ~bytes
+
+let queue_depth_time t =
+  let now = Engine.now () in
+  if t.next_free > now then t.next_free - now else 0
+
+let bytes_written t = t.bytes_written
+let ops t = t.ops

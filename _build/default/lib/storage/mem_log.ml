@@ -1,0 +1,57 @@
+(* Backed by a Hashtbl keyed by absolute position: trim and truncate are
+   then O(removed), and sparse inspection is easy. Positions are dense
+   between [first] and [length]. *)
+
+type 'a t = {
+  entries : (int, 'a) Hashtbl.t;
+  mutable first : int;
+  mutable next : int;
+}
+
+let create () = { entries = Hashtbl.create 256; first = 0; next = 0 }
+
+let append t v =
+  let pos = t.next in
+  Hashtbl.replace t.entries pos v;
+  t.next <- pos + 1;
+  pos
+
+let set t pos v =
+  if pos < 0 then invalid_arg "Mem_log.set: negative position";
+  Hashtbl.replace t.entries pos v;
+  if pos >= t.next then t.next <- pos + 1
+
+let get t pos =
+  if pos < t.first || pos >= t.next then None
+  else Hashtbl.find_opt t.entries pos
+
+let length t = t.next
+
+let first t = t.first
+
+let truncate t n =
+  let n = if n < t.first then t.first else n in
+  for pos = n to t.next - 1 do
+    Hashtbl.remove t.entries pos
+  done;
+  if n < t.next then t.next <- n
+
+let trim t n =
+  let n = if n > t.next then t.next else n in
+  for pos = t.first to n - 1 do
+    Hashtbl.remove t.entries pos
+  done;
+  if n > t.first then t.first <- n
+
+let iter t ~from f =
+  let from = if from < t.first then t.first else from in
+  for pos = from to t.next - 1 do
+    match Hashtbl.find_opt t.entries pos with
+    | Some v -> f pos v
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t ~from:t.first (fun pos v -> acc := (pos, v) :: !acc);
+  List.rev !acc

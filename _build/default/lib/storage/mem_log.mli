@@ -1,0 +1,39 @@
+(** Append-only in-memory log indexed by absolute position.
+
+    Supports a trimmed prefix (garbage collection) and truncation of the
+    tail (needed by shards during view-change flushes, section 4.5: shards
+    must be able to logically overwrite entries at the tail). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val append : 'a t -> 'a -> int
+(** Appends and returns the absolute position of the new entry. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t pos v] writes [v] at absolute position [pos] (sparse positions
+    are allowed — a shard holds only its own slice of the global position
+    space). Existing positions are overwritten (tail overwrite during
+    recovery). *)
+
+val get : 'a t -> int -> 'a option
+(** [None] if trimmed away or beyond the tail. *)
+
+val length : 'a t -> int
+(** Tail position: total entries ever appended minus nothing — i.e. the
+    next position to be written. *)
+
+val first : 'a t -> int
+(** Lowest untrimmed position. *)
+
+val truncate : 'a t -> int -> unit
+(** [truncate t n] drops entries at positions [>= n]. *)
+
+val trim : 'a t -> int -> unit
+(** [trim t n] discards entries at positions [< n]. *)
+
+val iter : 'a t -> from:int -> (int -> 'a -> unit) -> unit
+
+val to_list : 'a t -> (int * 'a) list
+(** All untrimmed entries with their positions, in order. *)

@@ -1,0 +1,73 @@
+open Ll_sim
+
+type 'a t = {
+  capacity : int;
+  slots : 'a option array;
+  mutable head : int;
+  mutable tail : int;
+  space : Waitq.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring_buffer.create: capacity";
+  {
+    capacity;
+    slots = Array.make capacity None;
+    head = 0;
+    tail = 0;
+    space = Waitq.create ();
+  }
+
+let capacity t = t.capacity
+let head t = t.head
+let tail t = t.tail
+let length t = t.tail - t.head
+let is_full t = length t >= t.capacity
+
+let try_append t v =
+  if is_full t then None
+  else begin
+    let i = t.tail in
+    t.slots.(i mod t.capacity) <- Some v;
+    t.tail <- i + 1;
+    Some i
+  end
+
+let append_wait t v =
+  Waitq.await t.space (fun () -> not (is_full t));
+  match try_append t v with
+  | Some i -> i
+  | None -> assert false
+
+let get t i =
+  if i < t.head || i >= t.tail then None else t.slots.(i mod t.capacity)
+
+let advance_head t n =
+  let n = if n > t.tail then t.tail else n in
+  if n > t.head then begin
+    for i = t.head to n - 1 do
+      t.slots.(i mod t.capacity) <- None
+    done;
+    t.head <- n;
+    Waitq.broadcast t.space
+  end
+
+let iter_from t from f =
+  let from = if from < t.head then t.head else from in
+  for i = from to t.tail - 1 do
+    match t.slots.(i mod t.capacity) with
+    | Some v -> f i v
+    | None -> ()
+  done
+
+let snapshot t =
+  let acc = ref [] in
+  iter_from t t.head (fun i v -> acc := (i, v) :: !acc);
+  List.rev !acc
+
+let clear t =
+  for i = t.head to t.tail - 1 do
+    t.slots.(i mod t.capacity) <- None
+  done;
+  t.head <- t.tail;
+  Waitq.broadcast t.space

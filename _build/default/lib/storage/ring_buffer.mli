@@ -1,0 +1,48 @@
+(** Bounded ring buffer with absolute head/tail counters.
+
+    This is the sequencing-replica log of the paper (section 5.6): "the log
+    is implemented as a ring buffer with a head and tail pointer. New
+    entries or metadata identifiers are added at the tail"; garbage
+    collection "modif[ies] the head pointers ... freeing space". Entries
+    live at absolute indexes [head..tail); capacity bounds [tail - head]
+    and a full buffer exerts backpressure on appends. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+val head : 'a t -> int
+(** Absolute index of the oldest retained entry. *)
+
+val tail : 'a t -> int
+(** Absolute index one past the newest entry (next append position). *)
+
+val length : 'a t -> int
+
+val is_full : 'a t -> bool
+
+val try_append : 'a t -> 'a -> int option
+(** [Some abs_index] on success; [None] when full. *)
+
+val append_wait : 'a t -> 'a -> int
+(** Appends, blocking the calling fiber while the buffer is full. *)
+
+val get : 'a t -> int -> 'a option
+(** [get t i] is the entry at absolute index [i] if [head <= i < tail]. *)
+
+val advance_head : 'a t -> int -> unit
+(** [advance_head t n] garbage collects entries below absolute index [n]
+    (clamped to [head..tail]) and wakes fibers blocked in
+    {!append_wait}. *)
+
+val iter_from : 'a t -> int -> (int -> 'a -> unit) -> unit
+(** Iterates entries at absolute indexes [>= max from head]. *)
+
+val snapshot : 'a t -> (int * 'a) list
+(** All live entries with their absolute indexes, oldest first. *)
+
+val clear : 'a t -> unit
+(** Empties the buffer, setting [head = tail] (absolute counters keep
+    advancing monotonically). *)

@@ -1,0 +1,43 @@
+(** Disk-backed segmented log, the shard's long-term store.
+
+    Mirrors the paper's shard storage (section 5.6): "A shard stores its
+    log portion across multiple files, each with a fixed number of entries.
+    Thus, it can easily locate the target file to satisfy a read. Files are
+    cached when read and thus subsequent reads are served from memory."
+
+    Entries are indexed by absolute log position. Writes are charged to the
+    underlying {!Disk} (batched writes amortize the device's base latency);
+    reads of uncached segments fetch the whole segment file once. *)
+
+
+type 'a t
+
+val create : disk:Disk.t -> ?entries_per_file:int -> unit -> 'a t
+(** [entries_per_file] defaults to 1024. *)
+
+val write : 'a t -> pos:int -> size:int -> 'a -> unit
+(** Persist one entry of [size] bytes at [pos] (blocking on the disk).
+    Overwriting an existing position is allowed (tail rewrites during
+    view-change flushes). *)
+
+val write_batch : 'a t -> (int * int * 'a) list -> unit
+(** [write_batch t [(pos, size, v); ...]] persists all entries with a
+    single device operation of their combined size. *)
+
+val read : 'a t -> pos:int -> 'a option
+(** Returns the entry, charging a device read if its segment is cold. *)
+
+val mem_read : 'a t -> pos:int -> 'a option
+(** Pure lookup with no device charge (for assertions and checkers). *)
+
+val length : 'a t -> int
+(** One past the highest position ever written. *)
+
+val truncate : 'a t -> int -> unit
+val trim : 'a t -> int -> unit
+
+val evict_cache : 'a t -> unit
+(** Drop the segment cache, so subsequent reads pay device fetches (used to
+    model a fail-over instance reading a cold journal). *)
+
+val entries : 'a t -> (int * 'a) list

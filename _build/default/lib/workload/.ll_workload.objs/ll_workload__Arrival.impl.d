@@ -1,0 +1,1 @@
+lib/workload/arrival.ml: Engine Ll_sim Printf Rng

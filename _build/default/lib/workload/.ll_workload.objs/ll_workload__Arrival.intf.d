@@ -1,0 +1,1 @@
+lib/workload/arrival.mli: Engine Ll_sim

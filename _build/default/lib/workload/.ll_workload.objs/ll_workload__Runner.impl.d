@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Arrival Engine Lazylog Ll_sim Log_api Stats Waitq

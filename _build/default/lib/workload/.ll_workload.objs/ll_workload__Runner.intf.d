@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Engine Lazylog Ll_sim Log_api Stats

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Ll_sim Rng

@@ -1,0 +1,40 @@
+open Ll_sim
+
+type arrivals = Poisson | Uniform
+
+let gap rng arrivals ~rate =
+  let mean_us = 1e6 /. rate in
+  match arrivals with
+  | Poisson -> Engine.us_f (Rng.exponential rng ~mean:mean_us)
+  | Uniform -> Engine.us_f mean_us
+
+let open_loop ?(arrivals = Poisson) ?(seed = 1) ~rate ~until op =
+  let rng = Rng.create ~seed in
+  Engine.spawn ~name:"open-loop" (fun () ->
+      let rec loop i =
+        if Engine.now () < until then begin
+          Engine.spawn ~name:"op" (fun () -> op i);
+          Engine.sleep (gap rng arrivals ~rate);
+          loop (i + 1)
+        end
+      in
+      loop 0)
+
+let closed_loop ~clients ~until op =
+  for c = 0 to clients - 1 do
+    Engine.spawn ~name:(Printf.sprintf "closed-loop.%d" c) (fun () ->
+        let rec loop i =
+          if Engine.now () < until then begin
+            op ~client:c i;
+            loop (i + 1)
+          end
+        in
+        loop 0)
+  done
+
+let at_rate_blocking ?(arrivals = Poisson) ?(seed = 1) ~rate ~n op =
+  let rng = Rng.create ~seed in
+  for i = 0 to n - 1 do
+    Engine.spawn ~name:"op" (fun () -> op i);
+    Engine.sleep (gap rng arrivals ~rate)
+  done

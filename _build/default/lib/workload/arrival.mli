@@ -1,0 +1,37 @@
+(** Open- and closed-loop load generation.
+
+    Open-loop drivers issue operations at a target rate regardless of
+    completion (Poisson or uniform inter-arrivals), with each operation on
+    its own fiber — so saturation shows up as queueing delay, exactly as
+    on a real load generator. Closed-loop drivers run a fixed number of
+    client fibers back-to-back. *)
+
+open Ll_sim
+
+type arrivals = Poisson | Uniform
+
+val open_loop :
+  ?arrivals:arrivals ->
+  ?seed:int ->
+  rate:float ->
+  until:Engine.time ->
+  (int -> unit) ->
+  unit
+(** [open_loop ~rate ~until op] spawns [op i] at approximately [rate]
+    per second of simulated time until the absolute time [until]. Returns
+    immediately (the generator runs on its own fiber). *)
+
+val closed_loop :
+  clients:int -> until:Engine.time -> (client:int -> int -> unit) -> unit
+(** [closed_loop ~clients ~until op] runs [clients] fibers, each executing
+    [op ~client i] back-to-back while [Engine.now () < until]. *)
+
+val at_rate_blocking :
+  ?arrivals:arrivals ->
+  ?seed:int ->
+  rate:float ->
+  n:int ->
+  (int -> unit) ->
+  unit
+(** Issues exactly [n] operations at [rate]/s, then returns once all have
+    been {e issued} (not necessarily completed). *)

@@ -1,0 +1,55 @@
+open Ll_sim
+open Lazylog
+
+let in_sim ?seed f =
+  let result = ref None in
+  Engine.run ?seed (fun () ->
+      result := Some (f ());
+      Engine.stop ());
+  match !result with
+  | Some r -> r
+  | None -> failwith "Runner.in_sim: simulation ended before f returned"
+
+type append_run = {
+  latency : Stats.Reservoir.t;
+  offered : float;
+  achieved : float;
+}
+
+let append_workload ?(clients = 8) ?(warmup = Engine.ms 20) ?(size = 4096)
+    ?(seed = 17) ~log_factory ~rate ~duration () =
+  let handles = Array.init clients (fun _ -> log_factory ()) in
+  let latency = Stats.Reservoir.create ~name:"append" () in
+  let measured = ref 0 in
+  let t_start = Engine.now () in
+  let t_measure = t_start + warmup in
+  let t_end = t_measure + duration in
+  let in_flight = ref 0 in
+  let drained = Waitq.create () in
+  Arrival.open_loop ~seed ~rate ~until:t_end (fun i ->
+      let log = handles.(i mod clients) in
+      incr in_flight;
+      let t0 = Engine.now () in
+      let ok = log.Log_api.append ~size ~data:(string_of_int i) in
+      if ok && t0 >= t_measure then begin
+        Stats.Reservoir.add latency (Engine.now () - t0);
+        incr measured
+      end;
+      decr in_flight;
+      if !in_flight = 0 then Waitq.broadcast drained);
+  Engine.sleep_until t_end;
+  (* Let stragglers complete (bounded, in case of saturation). *)
+  ignore
+    (Waitq.await_timeout drained ~timeout:(Engine.ms 200) (fun () ->
+         !in_flight = 0)
+      : bool);
+  {
+    latency;
+    offered = rate;
+    achieved = Stats.throughput_per_sec ~count:!measured ~dur:duration;
+  }
+
+let percentiles r =
+  ( Stats.Reservoir.mean_us r,
+    Stats.Reservoir.percentile_us r 50.0,
+    Stats.Reservoir.percentile_us r 99.0 )

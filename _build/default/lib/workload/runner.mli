@@ -1,0 +1,34 @@
+(** Measurement harness: drive a shared log with a workload inside the
+    simulator and collect latency/throughput statistics. *)
+
+open Ll_sim
+open Lazylog
+
+val in_sim : ?seed:int -> (unit -> 'a) -> 'a
+(** [in_sim f] runs [f] inside a fresh {!Engine.run} and returns its
+    result, stopping the engine once [f] returns (background fibers are
+    discarded). *)
+
+type append_run = {
+  latency : Stats.Reservoir.t;  (** per-append, post-warmup *)
+  offered : float;  (** target ops/s *)
+  achieved : float;  (** completed ops/s in the measurement window *)
+}
+
+val append_workload :
+  ?clients:int ->
+  ?warmup:Engine.time ->
+  ?size:int ->
+  ?seed:int ->
+  log_factory:(unit -> Log_api.t) ->
+  rate:float ->
+  duration:Engine.time ->
+  unit ->
+  append_run
+(** Open-loop (Poisson) append-only workload of [size]-byte records at
+    [rate]/s for [duration] after [warmup], spread over [clients] client
+    handles (default 8). Blocks until the run drains. Must be called
+    inside a simulation ({!in_sim} or [Engine.run]). *)
+
+val percentiles : Stats.Reservoir.t -> float * float * float
+(** (mean, p50, p99) in microseconds. *)

@@ -1,0 +1,1 @@
+test/lin_check.ml: Alcotest Engine Hashtbl Lazylog List Ll_sim Log_api Printf Types

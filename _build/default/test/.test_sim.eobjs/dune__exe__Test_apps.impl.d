@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Engine Erwin_m Kv_store Lazylog List Ll_apps Ll_sim Log_aggregation Log_api Smr Waitq Wordcount

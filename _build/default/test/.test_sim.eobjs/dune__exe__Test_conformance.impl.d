@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Config Engine Erwin_m Erwin_st Lazylog List Ll_corfu Ll_kafka Ll_scalog Ll_sim Log_api Printf Types

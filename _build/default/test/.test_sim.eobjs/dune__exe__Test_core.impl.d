@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Engine Hashtbl Lazylog List Ll_sim QCheck QCheck_alcotest Seq_log Types

@@ -1,0 +1,1 @@
+test/test_corfu.ml: Alcotest Corfu Engine Lazylog List Ll_corfu Ll_sim Option Waitq

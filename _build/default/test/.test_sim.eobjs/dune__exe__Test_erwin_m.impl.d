@@ -1,0 +1,1 @@
+test/test_erwin_m.ml: Alcotest Config Engine Erwin_common Erwin_m Hashtbl Lazylog List Ll_corfu Ll_net Ll_sim Option Printf Seq_log Seq_replica Shard Types Waitq

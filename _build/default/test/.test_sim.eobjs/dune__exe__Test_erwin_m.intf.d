@@ -1,0 +1,1 @@
+test/test_erwin_m.mli:

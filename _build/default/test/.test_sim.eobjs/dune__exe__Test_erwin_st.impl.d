@@ -1,0 +1,1 @@
+test/test_erwin_st.ml: Alcotest Config Engine Erwin_common Erwin_st Hashtbl Ivar Lazylog List Ll_net Ll_sim Printf Proto Rpc Seq_replica Shard Types Waitq

@@ -1,0 +1,1 @@
+test/test_kafka.ml: Alcotest Engine Hashtbl Kafka Kafka_erwin Lazylog List Ll_kafka Ll_sim Printf Waitq

@@ -1,0 +1,1 @@
+test/test_lin.ml: Alcotest Config Engine Erwin_common Erwin_m Erwin_st Lazylog Lin_check List Ll_corfu Ll_net Ll_scalog Ll_sim Log_api Printf QCheck QCheck_alcotest Rng Waitq

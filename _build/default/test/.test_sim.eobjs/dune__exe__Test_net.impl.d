@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Fabric Ivar List Ll_net Ll_sim Rpc

@@ -1,0 +1,1 @@
+test/test_orderer.ml: Alcotest Config Engine Erwin_common Erwin_m Fabric Lazylog List Ll_net Ll_sim Log_api Orderer Printf Seq_replica Types Waitq

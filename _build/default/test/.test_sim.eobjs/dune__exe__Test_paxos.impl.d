@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Engine List Ll_repl Ll_sim Paxos QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest Config Engine Erwin_common Erwin_m Erwin_st Hashtbl Lazylog List Ll_net Ll_sim Log_api Printf Proto Reconfig Seq_replica Types Waitq

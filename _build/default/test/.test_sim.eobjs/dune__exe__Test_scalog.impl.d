@@ -1,0 +1,1 @@
+test/test_scalog.ml: Alcotest Engine Hashtbl Lazylog List Ll_scalog Ll_sim Printf Scalog Waitq

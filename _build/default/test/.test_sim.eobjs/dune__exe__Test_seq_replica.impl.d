@@ -1,0 +1,1 @@
+test/test_seq_replica.ml: Alcotest Config Engine Fabric Lazylog List Ll_net Ll_sim Proto Rpc Seq_log Seq_replica Types

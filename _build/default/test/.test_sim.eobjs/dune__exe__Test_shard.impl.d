@@ -1,0 +1,1 @@
+test/test_shard.ml: Alcotest Config Engine Fabric Lazylog List Ll_net Ll_sim Proto Rpc Shard Types

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Float Gen Heap Ivar List Ll_sim Mailbox QCheck QCheck_alcotest Random Rng Stats Waitq

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Disk Engine Flushed_store Hashtbl List Ll_sim Ll_storage Mem_log Option QCheck QCheck_alcotest Ring_buffer Segment_log

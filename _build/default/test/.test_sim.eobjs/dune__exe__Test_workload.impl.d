@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Arrival Engine Hashtbl Lazylog Ll_sim Ll_workload Runner Ycsb

@@ -1,0 +1,1 @@
+test/test_zk.ml: Alcotest Engine List Ll_control Ll_sim Zookeeper

@@ -1,0 +1,89 @@
+(* Shared test harness: history recording and the real-time-order check
+   that defines the shared logs' linearizability guarantee ("if a record
+   append B starts in real time after another record append A completes,
+   then B is guaranteed to be ordered after A"). *)
+
+open Ll_sim
+open Lazylog
+
+type event = {
+  data : string;
+  invoked : Engine.time;
+  mutable acked : Engine.time option;
+}
+
+type history = { mutable events : event list }
+
+let new_history () = { events = [] }
+
+(* Wrap a log client so appends are recorded into the history. *)
+let recording h (log : Log_api.t) =
+  {
+    log with
+    Log_api.append =
+      (fun ~size ~data ->
+        let ev = { data; invoked = Engine.now (); acked = None } in
+        h.events <- ev :: h.events;
+        let ok = log.Log_api.append ~size ~data in
+        if ok then ev.acked <- Some (Engine.now ());
+        ok);
+  }
+
+let acked_events h = List.filter (fun e -> e.acked <> None) h.events
+
+(* [check ~history ~final] verifies against the final log contents
+   (position-ordered record data):
+   1. every acked append appears exactly once;
+   2. real-time order is respected: ack(a) < invoke(b) => pos(a) < pos(b).
+   Returns an error description, or None if the history linearizes. *)
+let check ~history ~final =
+  let pos : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let dup = ref None in
+  List.iteri
+    (fun i data ->
+      if Hashtbl.mem pos data then dup := Some data;
+      Hashtbl.replace pos data i)
+    final;
+  match !dup with
+  | Some d -> Some (Printf.sprintf "duplicate record %S in the log" d)
+  | None -> (
+    let acked = acked_events history in
+    match
+      List.find_opt (fun e -> not (Hashtbl.mem pos e.data)) acked
+    with
+    | Some e -> Some (Printf.sprintf "acked record %S missing" e.data)
+    | None ->
+      let err = ref None in
+      List.iter
+        (fun a ->
+          match (a.acked, !err) with
+          | Some a_ack, None ->
+            List.iter
+              (fun b ->
+                if b.invoked > a_ack && !err = None then begin
+                  let pa = Hashtbl.find pos a.data in
+                  let pb = Hashtbl.find pos b.data in
+                  if pb < pa then
+                    err :=
+                      Some
+                        (Printf.sprintf
+                           "real-time order violated: %S (acked %d) before \
+                            %S (invoked %d) but positions %d >= %d"
+                           a.data a_ack b.data b.invoked pa pb)
+                end)
+              acked
+          | _ -> ())
+        acked;
+      !err)
+
+let read_final (log : Log_api.t) =
+  let tail = log.Log_api.check_tail () in
+  log.Log_api.read ~from:0 ~len:tail
+  |> List.filter (fun r -> not (Types.is_no_op r))
+  |> List.map (fun (r : Types.record) -> r.Types.data)
+
+(* Convenience: alcotest assertion. *)
+let assert_linearizable ~history ~final =
+  match check ~history ~final with
+  | None -> ()
+  | Some err -> Alcotest.fail err

@@ -1,0 +1,242 @@
+(* End-application tests (paper section 6.11): the decoupled KV store, the
+   audit-logged transaction processor, the journaled word count, and the
+   SMR example. *)
+
+open Ll_sim
+open Lazylog
+open Ll_apps
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let with_erwin f =
+  Engine.run (fun () ->
+      let cluster = Erwin_m.create () in
+      f (fun () -> Erwin_m.client cluster);
+      Engine.stop ())
+
+(* --- KV store --- *)
+
+let test_kv_put_get_converges () =
+  with_erwin (fun client ->
+      let kv = Kv_store.create ~log:(client ()) ~reader_log:(client ()) () in
+      Kv_store.put kv ~key:"k1" ~value:"v1";
+      Kv_store.put kv ~key:"k2" ~value:"v2";
+      Kv_store.put kv ~key:"k1" ~value:"v1b";
+      (* Eventually consistent: give the read server a moment. *)
+      Engine.sleep (Engine.ms 5);
+      Alcotest.(check (option string)) "k1 latest" (Some "v1b")
+        (Kv_store.get kv ~key:"k1");
+      Alcotest.(check (option string)) "k2" (Some "v2")
+        (Kv_store.get kv ~key:"k2");
+      Alcotest.(check (option string)) "missing" None
+        (Kv_store.get kv ~key:"nope");
+      checki "reader caught up" 0 (Kv_store.lag kv))
+
+let test_kv_reader_applies_in_order () =
+  with_erwin (fun client ->
+      let kv = Kv_store.create ~log:(client ()) ~reader_log:(client ()) () in
+      for i = 1 to 50 do
+        Kv_store.put kv ~key:"x" ~value:(string_of_int i)
+      done;
+      Engine.sleep (Engine.ms 10);
+      Alcotest.(check (option string)) "last write wins" (Some "50")
+        (Kv_store.get kv ~key:"x");
+      checki "applied all" 50 (Kv_store.applied kv))
+
+let test_kv_eventual_consistency_window () =
+  with_erwin (fun client ->
+      let kv =
+        Kv_store.create ~log:(client ()) ~reader_log:(client ())
+          ~poll_interval:(Engine.ms 2) ()
+      in
+      Kv_store.put kv ~key:"a" ~value:"1";
+      (* Immediately after the put the reader may not have applied it:
+         that is the decoupled design (reads are eventually consistent). *)
+      let early = Kv_store.get kv ~key:"a" in
+      Engine.sleep (Engine.ms 10);
+      Alcotest.(check (option string)) "eventually present" (Some "1")
+        (Kv_store.get kv ~key:"a");
+      (* both outcomes of the early read are legal; just record it *)
+      ignore early)
+
+let test_kv_compaction_and_recovery () =
+  with_erwin (fun client ->
+      let kv = Kv_store.create ~log:(client ()) ~reader_log:(client ()) () in
+      for i = 1 to 30 do
+        Kv_store.put kv ~key:("k" ^ string_of_int (i mod 5))
+          ~value:("v" ^ string_of_int i)
+      done;
+      Engine.sleep (Engine.ms 5);
+      let tail_before = (client ()).Log_api.check_tail () in
+      Kv_store.compact kv;
+      Engine.sleep (Engine.ms 5);
+      (* The log prefix is gone, yet reads still serve all keys. *)
+      Alcotest.(check (option string)) "k4 after compaction" (Some "v29")
+        (Kv_store.get kv ~key:"k4");
+      let reader = client () in
+      let suffix = reader.Log_api.read ~from:0 ~len:(reader.Log_api.check_tail ()) in
+      checkb "prefix trimmed" true (List.length suffix < tail_before);
+      (* Updates after compaction land on top. *)
+      Kv_store.put kv ~key:"k1" ~value:"post";
+      Engine.sleep (Engine.ms 5);
+      (* A recovering reader reconstructs from checkpoint + suffix. *)
+      let kv2 = Kv_store.recover ~log:(client ()) () in
+      Alcotest.(check (option string)) "recovered k4" (Some "v29")
+        (Kv_store.get kv2 ~key:"k4");
+      Alcotest.(check (option string)) "recovered post-compaction update"
+        (Some "post")
+        (Kv_store.get kv2 ~key:"k1"))
+
+(* --- Log aggregation --- *)
+
+let test_log_aggregation_balances () =
+  with_erwin (fun client ->
+      let srv = Log_aggregation.create ~log:(client ()) () in
+      ignore (Log_aggregation.execute srv (Create { account = 1 }));
+      ignore (Log_aggregation.execute srv (Create { account = 2 }));
+      ignore (Log_aggregation.execute srv (Deposit { account = 1; amount = 100 }));
+      ignore
+        (Log_aggregation.execute srv (Transfer { src = 1; dst = 2; amount = 30 }));
+      ignore (Log_aggregation.execute srv (Withdraw { account = 2; amount = 10 }));
+      checki "balance 1" 70
+        (Log_aggregation.execute srv (Balance { account = 1 }));
+      checki "balance 2" 20
+        (Log_aggregation.execute srv (Balance { account = 2 }));
+      checki "audit trail complete" 7 (Log_aggregation.audit_records srv))
+
+let test_log_aggregation_audit_is_synchronous () =
+  with_erwin (fun client ->
+      let log = client () in
+      let srv = Log_aggregation.create ~log () in
+      ignore (Log_aggregation.execute srv (Create { account = 1 }));
+      (* The audit record is durable when execute returns. *)
+      checki "audit durable" 1 (log.check_tail ()))
+
+let test_txn_classification () =
+  checkb "create is write" true (Log_aggregation.is_write (Create { account = 1 }));
+  checkb "balance is read" false
+    (Log_aggregation.is_write (Balance { account = 1 }))
+
+(* --- Word count --- *)
+
+let test_wordcount_counts () =
+  with_erwin (fun client ->
+      let wc = Wordcount.create ~log:(client ()) ~batch:4 () in
+      let inputs =
+        [ "a"; "b"; "a"; "c"; "a"; "b"; "a"; "c"; "b"; "b"; "a"; "a" ]
+      in
+      let emitted = ref 0 in
+      let lat = Wordcount.run wc ~inputs (fun _ -> incr emitted) in
+      checki "all emitted" 12 !emitted;
+      checki "latency samples" 12 (Ll_sim.Stats.Reservoir.count lat);
+      Alcotest.(check (list (pair string int)))
+        "counts"
+        [ ("a", 6); ("b", 4); ("c", 2) ]
+        (Wordcount.counts wc))
+
+let test_wordcount_checkpoint_before_emit () =
+  with_erwin (fun client ->
+      let log = client () in
+      let wc = Wordcount.create ~log ~workers:1 ~batch:3 () in
+      let tail_at_emit = ref (-1) in
+      ignore
+        (Wordcount.run wc ~inputs:[ "x"; "y"; "z" ] (fun _ ->
+             if !tail_at_emit < 0 then tail_at_emit := log.check_tail ()));
+      checkb "checkpoint durable before emit" true (!tail_at_emit >= 1))
+
+let test_wordcount_recovery () =
+  with_erwin (fun client ->
+      let wc = Wordcount.create ~log:(client ()) ~batch:2 () in
+      let inputs = [ "a"; "b"; "a"; "b"; "c"; "a" ] in
+      ignore (Wordcount.run wc ~inputs (fun _ -> ()));
+      Engine.sleep (Engine.ms 5);
+      (* Fail over: a fresh instance reloads state from the journal. *)
+      let wc2 = Wordcount.create ~log:(client ()) ~batch:2 () in
+      let replayed = Wordcount.recover wc2 ~from_log:(client ()) in
+      checkb "replayed checkpoints" true (replayed > 0);
+      Alcotest.(check (list (pair string int)))
+        "state reconstructed"
+        (Wordcount.counts wc) (Wordcount.counts wc2))
+
+(* --- SMR --- *)
+
+let test_smr_applies_all_in_order () =
+  with_erwin (fun client ->
+      let applied = ref [] in
+      let smr = Smr.create ~log:(client ()) ~apply:(fun c -> applied := c :: !applied) in
+      for i = 1 to 20 do
+        ignore (Smr.submit smr (string_of_int i))
+      done;
+      checki "cursor at tail" 20 (Smr.applied smr);
+      Alcotest.(check (list string))
+        "applied in order"
+        (List.init 20 (fun i -> string_of_int (i + 1)))
+        (List.rev !applied))
+
+let test_smr_two_replicas_agree () =
+  with_erwin (fun client ->
+      let log_a = client () and log_b = client () in
+      let a = ref [] and b = ref [] in
+      let smr_a = Smr.create ~log:log_a ~apply:(fun c -> a := c :: !a) in
+      let smr_b = Smr.create ~log:log_b ~apply:(fun c -> b := c :: !b) in
+      let done_ = ref 0 in
+      Engine.spawn (fun () ->
+          for i = 1 to 15 do
+            ignore (Smr.submit smr_a ("a" ^ string_of_int i))
+          done;
+          incr done_);
+      Engine.spawn (fun () ->
+          for i = 1 to 15 do
+            ignore (Smr.submit smr_b ("b" ^ string_of_int i))
+          done;
+          incr done_);
+      let wq = Waitq.create () in
+      ignore (Waitq.await_timeout wq ~timeout:(Engine.ms 100) (fun () -> !done_ = 2));
+      (* Catch both up to the same tail. *)
+      ignore (Smr.submit smr_a "fin-a");
+      ignore (Smr.submit smr_b "fin-b");
+      ignore (Smr.submit smr_a "sync");
+      ignore (Smr.submit smr_b "sync2");
+      let common = min (List.length !a) (List.length !b) in
+      let prefix l = List.filteri (fun i _ -> i < common) (List.rev l) in
+      Alcotest.(check (list string))
+        "replicas applied identical prefixes" (prefix !a) (prefix !b))
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "kv-store",
+        [
+          Alcotest.test_case "put/get converges" `Quick
+            test_kv_put_get_converges;
+          Alcotest.test_case "in-order application" `Quick
+            test_kv_reader_applies_in_order;
+          Alcotest.test_case "eventual consistency window" `Quick
+            test_kv_eventual_consistency_window;
+          Alcotest.test_case "compaction and recovery" `Quick
+            test_kv_compaction_and_recovery;
+        ] );
+      ( "log-aggregation",
+        [
+          Alcotest.test_case "balances correct" `Quick
+            test_log_aggregation_balances;
+          Alcotest.test_case "audit synchronous" `Quick
+            test_log_aggregation_audit_is_synchronous;
+          Alcotest.test_case "txn classification" `Quick
+            test_txn_classification;
+        ] );
+      ( "wordcount",
+        [
+          Alcotest.test_case "counts" `Quick test_wordcount_counts;
+          Alcotest.test_case "checkpoint before emit" `Quick
+            test_wordcount_checkpoint_before_emit;
+          Alcotest.test_case "journal recovery" `Quick test_wordcount_recovery;
+        ] );
+      ( "smr",
+        [
+          Alcotest.test_case "applies in order" `Quick
+            test_smr_applies_all_in_order;
+          Alcotest.test_case "replicas agree" `Quick test_smr_two_replicas_agree;
+        ] );
+    ]

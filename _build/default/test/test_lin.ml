@@ -1,0 +1,320 @@
+(* Linearizability (real-time total order) property tests, run against all
+   four total-order systems — including under failure injection for the
+   Erwin systems. Uses the Lin_check history recorder. *)
+
+open Ll_sim
+open Lazylog
+
+let checkb = Alcotest.(check bool)
+
+let wait_for ?(timeout = Engine.ms 500) pred =
+  let wq = Waitq.create () in
+  ignore (Waitq.await_timeout wq ~timeout pred : bool)
+
+(* Drive [writers] concurrent clients with random think times and verify
+   the final log linearizes the append history. *)
+let run_system ?(writers = 6) ?(appends = 60) ?(crash = `None) ~seed
+    ~make_client ~post () =
+  let h = Lin_check.new_history () in
+  Engine.run ~seed (fun () ->
+      let rng = Rng.create ~seed in
+      let done_ = ref 0 in
+      for w = 0 to writers - 1 do
+        let log = Lin_check.recording h (make_client ()) in
+        Engine.spawn (fun () ->
+            for i = 1 to appends do
+              ignore
+                (log.Log_api.append ~size:256
+                   ~data:(Printf.sprintf "w%d-%d" w i));
+              (* Random think time makes histories overlap irregularly. *)
+              if Rng.bool rng ~p:0.3 then
+                Engine.sleep (Engine.us (Rng.int rng 50))
+            done;
+            incr done_)
+      done;
+      (match crash with
+      | `None -> ()
+      | `At (t, pick) -> Engine.after t pick);
+      wait_for (fun () -> !done_ = writers);
+      Alcotest.(check int) "writers finished" writers !done_;
+      Engine.sleep (Engine.ms 20);
+      let final = Lin_check.read_final (make_client ()) in
+      Lin_check.assert_linearizable ~history:h ~final;
+      post ();
+      Engine.stop ())
+
+let test_erwin_m_linearizable () =
+  let cluster = ref None in
+  run_system ~seed:101
+    ~make_client:(fun () ->
+      let c =
+        match !cluster with
+        | Some c -> c
+        | None ->
+          let c =
+            Erwin_m.create ~cfg:{ Config.default with Config.nshards = 2 } ()
+          in
+          cluster := Some c;
+          c
+      in
+      Erwin_m.client c)
+    ~post:(fun () -> cluster := None)
+    ()
+
+let test_erwin_st_linearizable () =
+  let cluster = ref None in
+  run_system ~seed:102
+    ~make_client:(fun () ->
+      let c =
+        match !cluster with
+        | Some c -> c
+        | None ->
+          let c =
+            Erwin_st.create ~cfg:{ Config.default with Config.nshards = 3 } ()
+          in
+          cluster := Some c;
+          c
+      in
+      Erwin_st.client c)
+    ~post:(fun () -> cluster := None)
+    ()
+
+let test_erwin_m_linearizable_under_leader_crash () =
+  let cluster = ref None in
+  let get () =
+    match !cluster with
+    | Some c -> c
+    | None ->
+      let c = Erwin_m.create ~cfg:{ Config.default with Config.nshards = 2 } () in
+      cluster := Some c;
+      c
+  in
+  run_system ~seed:103 ~appends:120
+    ~crash:
+      (`At
+        ( Engine.ms 1,
+          fun () ->
+            let c = get () in
+            Erwin_common.crash_replica c (Erwin_common.leader c) ))
+    ~make_client:(fun () -> Erwin_m.client (get ()))
+    ~post:(fun () ->
+      (match !cluster with
+      | Some c -> Alcotest.(check int) "view advanced" 1 c.Erwin_common.view
+      | None -> ());
+      cluster := None)
+    ()
+
+let test_erwin_st_linearizable_under_follower_crash () =
+  let cluster = ref None in
+  let get () =
+    match !cluster with
+    | Some c -> c
+    | None ->
+      let c = Erwin_st.create ~cfg:{ Config.default with Config.nshards = 2 } () in
+      cluster := Some c;
+      c
+  in
+  run_system ~seed:104 ~appends:120
+    ~crash:
+      (`At
+        ( Engine.ms 1,
+          fun () ->
+            let c = get () in
+            Erwin_common.crash_replica c (List.nth c.Erwin_common.replicas 2) ))
+    ~make_client:(fun () -> Erwin_st.client (get ()))
+    ~post:(fun () -> cluster := None)
+    ()
+
+let test_corfu_linearizable () =
+  let sys = ref None in
+  run_system ~seed:105
+    ~make_client:(fun () ->
+      let s =
+        match !sys with
+        | Some s -> s
+        | None ->
+          let s =
+            Ll_corfu.Corfu.create
+              ~config:{ Ll_corfu.Corfu.default_config with nshards = 2 }
+              ()
+          in
+          sys := Some s;
+          s
+      in
+      Ll_corfu.Corfu.client s)
+    ~post:(fun () -> sys := None)
+    ()
+
+let test_scalog_linearizable () =
+  let sys = ref None in
+  run_system ~seed:106 ~writers:4 ~appends:25
+    ~make_client:(fun () ->
+      let s =
+        match !sys with
+        | Some s -> s
+        | None ->
+          let s =
+            Ll_scalog.Scalog.create
+              ~config:{ Ll_scalog.Scalog.default_config with nshards = 2 }
+              ()
+          in
+          sys := Some s;
+          s
+      in
+      Ll_scalog.Scalog.client s)
+    ~post:(fun () -> sys := None)
+    ()
+
+(* Property: for ANY crash time and victim, Erwin-m histories linearize
+   and acked records survive. The crash lands anywhere in the first 4 ms
+   of a concurrent workload, hitting every phase of the ordering and
+   reconfiguration pipeline across cases. *)
+let prop_linearizable_any_crash_time =
+  QCheck.Test.make ~name:"erwin-m linearizable for any crash point" ~count:15
+    QCheck.(pair (int_bound 4_000) (int_bound 2))
+    (fun (crash_us, victim) ->
+      let ok = ref false in
+      let h = Lin_check.new_history () in
+      Engine.run ~seed:(crash_us + (victim * 7919)) (fun () ->
+          let cluster =
+            Erwin_m.create ~cfg:{ Config.default with Config.nshards = 2 } ()
+          in
+          let done_ = ref 0 in
+          for w = 0 to 3 do
+            let log = Lin_check.recording h (Erwin_m.client cluster) in
+            Engine.spawn (fun () ->
+                for i = 1 to 60 do
+                  ignore
+                    (log.Log_api.append ~size:128
+                       ~data:(Printf.sprintf "w%d-%d" w i))
+                done;
+                incr done_)
+          done;
+          Engine.after (Engine.us crash_us) (fun () ->
+              Erwin_common.crash_replica cluster
+                (List.nth cluster.Erwin_common.replicas victim));
+          wait_for (fun () -> !done_ = 4);
+          Engine.sleep (Engine.ms 25);
+          let final = Lin_check.read_final (Erwin_m.client cluster) in
+          ok := !done_ = 4 && Lin_check.check ~history:h ~final = None;
+          Engine.stop ());
+      !ok)
+
+(* Message loss: with 3% of all packets dropped, client retries and the
+   idempotent background paths must still deliver a linearizable log with
+   every acked record. *)
+let test_erwin_m_under_message_loss () =
+  let h = Lin_check.new_history () in
+  Engine.run ~seed:77 (fun () ->
+      let cluster =
+        Erwin_m.create ~cfg:{ Config.default with Config.nshards = 2 } ()
+      in
+      Ll_net.Fabric.set_drop_probability cluster.Erwin_common.fabric 0.03;
+      let done_ = ref 0 in
+      for w = 0 to 2 do
+        let log = Lin_check.recording h (Erwin_m.client cluster) in
+        Engine.spawn (fun () ->
+            for i = 1 to 40 do
+              ignore
+                (log.Log_api.append ~size:128
+                   ~data:(Printf.sprintf "w%d-%d" w i))
+            done;
+            incr done_)
+      done;
+      wait_for ~timeout:(Engine.sec 3) (fun () -> !done_ = 3);
+      Alcotest.(check int) "writers finished despite loss" 3 !done_;
+      (* Stop dropping so the final read is clean. *)
+      Ll_net.Fabric.set_drop_probability cluster.Erwin_common.fabric 0.0;
+      Engine.sleep (Engine.ms 50);
+      let final = Lin_check.read_final (Erwin_m.client cluster) in
+      Lin_check.assert_linearizable ~history:h ~final;
+      Engine.stop ())
+
+let test_erwin_st_under_message_loss () =
+  let h = Lin_check.new_history () in
+  Engine.run ~seed:78 (fun () ->
+      let cluster =
+        Erwin_st.create ~cfg:{ Config.default with Config.nshards = 2 } ()
+      in
+      Ll_net.Fabric.set_drop_probability cluster.Erwin_common.fabric 0.03;
+      let done_ = ref 0 in
+      for w = 0 to 2 do
+        let log = Lin_check.recording h (Erwin_st.client cluster) in
+        Engine.spawn (fun () ->
+            for i = 1 to 30 do
+              ignore
+                (log.Log_api.append ~size:128
+                   ~data:(Printf.sprintf "w%d-%d" w i))
+            done;
+            incr done_)
+      done;
+      wait_for ~timeout:(Engine.sec 3) (fun () -> !done_ = 3);
+      Alcotest.(check int) "writers finished despite loss" 3 !done_;
+      Ll_net.Fabric.set_drop_probability cluster.Erwin_common.fabric 0.0;
+      Engine.sleep (Engine.ms 100);
+      let final = Lin_check.read_final (Erwin_st.client cluster) in
+      Lin_check.assert_linearizable ~history:h ~final;
+      Engine.stop ())
+
+(* The checker itself must catch violations. *)
+let test_checker_detects_reorder () =
+  Engine.run (fun () ->
+      let h = Lin_check.new_history () in
+      let fake_log order =
+        {
+          Log_api.name = "fake";
+          append = (fun ~size:_ ~data:_ -> Engine.sleep 10; true);
+          read = (fun ~from:_ ~len:_ -> []);
+          check_tail = (fun () -> List.length order);
+          trim = (fun ~upto:_ -> true);
+          append_sync = None;
+        }
+      in
+      let log = Lin_check.recording h (fake_log []) in
+      ignore (log.Log_api.append ~size:1 ~data:"first");
+      Engine.sleep 100;
+      ignore (log.Log_api.append ~size:1 ~data:"second");
+      (* A log claiming "second" precedes "first" violates real time. *)
+      checkb "violation detected" true
+        (Lin_check.check ~history:h ~final:[ "second"; "first" ] <> None);
+      checkb "correct order accepted" true
+        (Lin_check.check ~history:h ~final:[ "first"; "second" ] = None);
+      checkb "missing acked detected" true
+        (Lin_check.check ~history:h ~final:[ "first" ] <> None);
+      checkb "duplicate detected" true
+        (Lin_check.check ~history:h ~final:[ "first"; "second"; "first" ]
+        <> None);
+      Engine.stop ())
+
+let () =
+  Alcotest.run "linearizability"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "detects violations" `Quick
+            test_checker_detects_reorder;
+        ] );
+      ( "systems",
+        [
+          Alcotest.test_case "erwin-m" `Quick test_erwin_m_linearizable;
+          Alcotest.test_case "erwin-st" `Quick test_erwin_st_linearizable;
+          Alcotest.test_case "corfu" `Quick test_corfu_linearizable;
+          Alcotest.test_case "scalog" `Slow test_scalog_linearizable;
+        ] );
+      ( "under-failures",
+        [
+          Alcotest.test_case "erwin-m, leader crash" `Quick
+            test_erwin_m_linearizable_under_leader_crash;
+          Alcotest.test_case "erwin-st, follower crash" `Quick
+            test_erwin_st_linearizable_under_follower_crash;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_linearizable_any_crash_time ] );
+      ( "under-loss",
+        [
+          Alcotest.test_case "erwin-m, 3% message loss" `Quick
+            test_erwin_m_under_message_loss;
+          Alcotest.test_case "erwin-st, 3% message loss" `Quick
+            test_erwin_st_under_message_loss;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Tests for the simulated network: fabric delivery, FIFO links, fault
+   injection, and the RPC layer. *)
+
+open Ll_sim
+open Ll_net
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_delivery_and_latency () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "hi";
+      let t0 = Engine.now () in
+      let src, m = Fabric.recv b in
+      Alcotest.(check string) "payload" "hi" m;
+      checki "sender" (Fabric.id a) src;
+      let d = Engine.now () - t0 in
+      (* one_way 1.5us + overheads 2x0.5us + jitter <= 0.3us *)
+      checkb "delay plausible" true (d >= Engine.us 2 && d <= Engine.us 3))
+
+let test_size_charged () =
+  Engine.run (fun () ->
+      let fab =
+        Fabric.create
+          ~link:{ Fabric.one_way = 1_000; per_byte_ns = 1.0; jitter = 0 }
+          ()
+      in
+      let a = Fabric.add_node fab ~name:"a" ~send_overhead:0 ~recv_overhead:0 () in
+      let b = Fabric.add_node fab ~name:"b" ~send_overhead:0 ~recv_overhead:0 () in
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:10_000 "big";
+      ignore (Fabric.recv b);
+      checki "10KB at 1ns/B + 1us" 11_000 (Engine.now ()))
+
+let test_fifo_per_pair () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      (* A big message takes longer on the wire; a small one sent just
+         after must still arrive second. *)
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:1_000_000 1;
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 2;
+      let _, m1 = Fabric.recv b in
+      let _, m2 = Fabric.recv b in
+      Alcotest.(check (list int)) "fifo" [ 1; 2 ] [ m1; m2 ])
+
+let test_crash_drops () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      Fabric.crash fab b;
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "lost";
+      Engine.sleep (Engine.ms 1);
+      checki "inbox empty" 0 (Fabric.inbox_length b);
+      Fabric.recover fab b;
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "kept";
+      Engine.sleep (Engine.ms 1);
+      checki "inbox has one" 1 (Fabric.inbox_length b))
+
+let test_crash_in_flight () =
+  (* A message in flight to a node that crashes before delivery is lost. *)
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "in-flight";
+      Fabric.crash fab b;
+      Engine.sleep (Engine.ms 1);
+      Fabric.recover fab b;
+      checki "lost" 0 (Fabric.inbox_length b))
+
+let test_partition () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      Fabric.partition fab (Fabric.id a) (Fabric.id b);
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "blocked";
+      Engine.sleep (Engine.ms 1);
+      checki "partitioned" 0 (Fabric.inbox_length b);
+      Fabric.heal fab (Fabric.id a) (Fabric.id b);
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "through";
+      Engine.sleep (Engine.ms 1);
+      checki "healed" 1 (Fabric.inbox_length b))
+
+(* --- RPC --- *)
+
+type req = Echo of int | Slow of int
+
+let setup fab =
+  let sn = Fabric.add_node fab ~name:"server" () in
+  let cn = Fabric.add_node fab ~name:"client" () in
+  let server = Rpc.endpoint fab sn in
+  let client = Rpc.endpoint fab cn in
+  (sn, server, client)
+
+let test_rpc_roundtrip () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, server, client = setup fab in
+      Rpc.set_handler server (fun ~src:_ req ~reply ->
+          match req with
+          | Echo n -> reply (n * 2)
+          | Slow n ->
+            Engine.sleep (Engine.ms 5);
+            reply n);
+      checki "echo" 84 (Rpc.call client ~dst:(Fabric.id sn) (Echo 42)))
+
+let test_rpc_service_time_serializes () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, server, client = setup fab in
+      Rpc.set_service_time server (fun _ -> Engine.us 10);
+      Rpc.set_handler server (fun ~src:_ req ~reply ->
+          match req with Echo n -> reply n | Slow n -> reply n);
+      let t0 = Engine.now () in
+      let ivs =
+        List.init 10 (fun i -> Rpc.call_async client ~dst:(Fabric.id sn) (Echo i))
+      in
+      ignore (Ivar.join_all ivs);
+      (* 10 requests x 10us serialized CPU >= 100us total. *)
+      checkb "cpu serialized" true (Engine.now () - t0 >= Engine.us 100))
+
+let test_rpc_blocking_handler_does_not_stall () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, server, client = setup fab in
+      Rpc.set_handler server (fun ~src:_ req ~reply ->
+          match req with
+          | Slow n ->
+            Engine.sleep (Engine.ms 10);
+            reply n
+          | Echo n -> reply n);
+      let slow = Rpc.call_async client ~dst:(Fabric.id sn) (Slow 1) in
+      Engine.sleep (Engine.us 50);
+      let t0 = Engine.now () in
+      checki "fast passes slow" 2 (Rpc.call client ~dst:(Fabric.id sn) (Echo 2));
+      checkb "fast was fast" true (Engine.now () - t0 < Engine.ms 1);
+      checki "slow finishes" 1 (Ivar.read slow))
+
+let test_rpc_timeout_and_retry () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, server, client = setup fab in
+      Rpc.set_handler server (fun ~src:_ req ~reply ->
+          match req with Echo n -> reply n | Slow n -> reply n);
+      Fabric.crash fab sn;
+      checkb "timeout on crashed server" true
+        (Rpc.call_timeout client ~dst:(Fabric.id sn) ~timeout:(Engine.ms 1)
+           (Echo 1)
+        = None);
+      checkb "retry exhausts" true
+        (Rpc.call_retry client ~dst:(Fabric.id sn) ~timeout:(Engine.ms 1)
+           ~max_tries:2 (Echo 1)
+        = None);
+      Fabric.recover fab sn;
+      checkb "retry succeeds after recovery" true
+        (Rpc.call_retry client ~dst:(Fabric.id sn) ~timeout:(Engine.ms 1)
+           (Echo 5)
+        = Some 5))
+
+let test_rpc_oneway () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, server, client = setup fab in
+      let got = ref 0 in
+      Rpc.set_handler server (fun ~src:_ req ~reply:_ ->
+          match req with Echo n -> got := n | Slow _ -> ());
+      Rpc.send_oneway client ~dst:(Fabric.id sn) (Echo 7);
+      Engine.sleep (Engine.ms 1);
+      checki "delivered" 7 !got)
+
+let test_drop_probability () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      Fabric.set_drop_probability fab 0.5;
+      for _ = 1 to 200 do
+        Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 ()
+      done;
+      Engine.sleep (Engine.ms 5);
+      let n = Fabric.inbox_length b in
+      checkb "roughly half dropped" true (n > 60 && n < 140))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "fabric",
+        [
+          Alcotest.test_case "delivery and latency" `Quick
+            test_delivery_and_latency;
+          Alcotest.test_case "per-byte cost" `Quick test_size_charged;
+          Alcotest.test_case "fifo per pair" `Quick test_fifo_per_pair;
+          Alcotest.test_case "crash drops traffic" `Quick test_crash_drops;
+          Alcotest.test_case "crash loses in-flight" `Quick
+            test_crash_in_flight;
+          Alcotest.test_case "partition/heal" `Quick test_partition;
+          Alcotest.test_case "drop probability" `Quick test_drop_probability;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+          Alcotest.test_case "service time serializes" `Quick
+            test_rpc_service_time_serializes;
+          Alcotest.test_case "blocking handler does not stall" `Quick
+            test_rpc_blocking_handler_does_not_stall;
+          Alcotest.test_case "timeout and retry" `Quick
+            test_rpc_timeout_and_retry;
+          Alcotest.test_case "oneway" `Quick test_rpc_oneway;
+        ] );
+    ]

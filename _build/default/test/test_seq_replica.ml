@@ -1,0 +1,157 @@
+(* Direct protocol tests of a sequencing replica: view checks, sealing,
+   duplicate filtering over the wire, state transfer, view installation,
+   and appendSync tracking. *)
+
+open Ll_sim
+open Ll_net
+open Lazylog
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let rid c s = { Types.Rid.client = c; seq = s }
+
+let entry ?(size = 128) c s = Types.Data (Types.record ~rid:(rid c s) ~size ())
+
+let with_replica ?(cfg = Config.default) f =
+  Engine.run (fun () ->
+      let fabric = Fabric.create ~link:cfg.Config.link () in
+      let r = Seq_replica.create ~cfg ~fabric ~name:"r0" in
+      let node = Fabric.add_node fabric ~name:"probe" () in
+      let ep = Rpc.endpoint fabric node in
+      f r ep;
+      Engine.stop ())
+
+let call r ep req =
+  Rpc.call ep ~dst:(Seq_replica.node_id r) ~size:(Proto.req_size req) req
+
+let append ?(view = 0) ?(track = false) r ep e =
+  match call r ep (Proto.Sr_append { view; entry = e; track }) with
+  | Proto.R_append { ok; _ } -> ok
+  | _ -> Alcotest.fail "bad append response"
+
+let test_append_ack_and_dedup () =
+  with_replica (fun r ep ->
+      checkb "accepted" true (append r ep (entry 1 1));
+      checkb "duplicate also acked" true (append r ep (entry 1 1));
+      checki "stored once" 1 (Seq_log.live_count (Seq_replica.log r)))
+
+let test_wrong_view_rejected () =
+  with_replica (fun r ep ->
+      checkb "stale view" false (append ~view:7 r ep (entry 1 1));
+      checki "nothing stored" 0 (Seq_log.live_count (Seq_replica.log r)))
+
+let test_seal_rejects_then_install_unseals () =
+  with_replica (fun r ep ->
+      ignore (append r ep (entry 1 1));
+      ignore (call r ep (Proto.Sr_seal { view = 0 }));
+      checkb "sealed" true (Seq_replica.is_sealed r);
+      checkb "rejected while sealed" false (append r ep (entry 1 2));
+      (* Install the next view: log cleared, filter retains ordered rids. *)
+      (match
+         call r ep
+           (Proto.Sr_install_view
+              { new_view = 1; new_gp = 1; flushed = [ (0, rid 1 1) ] })
+       with
+      | Proto.R_ok -> ()
+      | _ -> Alcotest.fail "install failed");
+      checkb "unsealed" false (Seq_replica.is_sealed r);
+      checki "view" 1 (Seq_replica.view r);
+      checki "gp" 1 (Seq_log.last_ordered_gp (Seq_replica.log r));
+      checkb "flushed rid filtered" true (append ~view:1 r ep (entry 1 1));
+      checki "still empty (duplicate)" 0 (Seq_log.live_count (Seq_replica.log r));
+      checkb "fresh rid accepted" true (append ~view:1 r ep (entry 1 2)))
+
+let test_get_state_returns_unordered () =
+  with_replica (fun r ep ->
+      ignore (append r ep (entry 1 1));
+      ignore (append r ep (entry 2 1));
+      match call r ep Proto.Sr_get_state with
+      | Proto.R_state { gp; entries } ->
+        checki "gp" 0 gp;
+        checki "both entries" 2 (List.length entries)
+      | _ -> Alcotest.fail "bad state response")
+
+let test_check_tail_includes_unordered () =
+  with_replica (fun r ep ->
+      ignore (append r ep (entry 1 1));
+      ignore (append r ep (entry 1 2));
+      Seq_replica.apply_gc r ~slots:[ (0, rid 1 1) ] ~new_gp:1;
+      match call r ep (Proto.Sr_check_tail { view = 0 }) with
+      | Proto.R_tail { ok = true; tail } -> checki "gp + live" 2 tail
+      | _ -> Alcotest.fail "bad tail response")
+
+let test_check_tail_rejected_when_sealed () =
+  with_replica (fun r ep ->
+      ignore (call r ep (Proto.Sr_seal { view = 0 }));
+      match call r ep (Proto.Sr_check_tail { view = 0 }) with
+      | Proto.R_tail { ok; _ } -> checkb "rejected" false ok
+      | _ -> Alcotest.fail "bad tail response")
+
+let test_gc_over_wire () =
+  with_replica (fun r ep ->
+      ignore (append r ep (entry 1 1));
+      ignore (append r ep (entry 1 2));
+      (match
+         call r ep
+           (Proto.Sr_gc { view = 0; slots = [ (0, rid 1 1) ]; new_gp = 1 })
+       with
+      | Proto.R_append { ok = true; _ } -> ()
+      | _ -> Alcotest.fail "gc failed");
+      checki "one left" 1 (Seq_log.live_count (Seq_replica.log r));
+      checki "gp" 1 (Seq_log.last_ordered_gp (Seq_replica.log r));
+      (* GC in a stale view must be refused (the controller owns views). *)
+      match call r ep (Proto.Sr_gc { view = 9; slots = []; new_gp = 5 }) with
+      | Proto.R_append { ok; _ } -> checkb "stale gc refused" false ok
+      | _ -> Alcotest.fail "bad gc response")
+
+let test_wait_ordered_tracks () =
+  with_replica (fun r ep ->
+      checkb "tracked append" true (append ~track:true r ep (entry 3 1));
+      let got = ref (-1) in
+      Engine.spawn (fun () ->
+          match call r ep (Proto.Sr_wait_ordered { rid = rid 3 1 }) with
+          | Proto.R_gp { gp } -> got := gp
+          | _ -> ());
+      Engine.sleep (Engine.us 50);
+      checki "still waiting" (-1) !got;
+      Seq_replica.apply_gc r ~slots:[ (42, rid 3 1) ] ~new_gp:43;
+      Engine.sleep (Engine.us 50);
+      checki "woken with position" 42 !got)
+
+let test_seal_releases_blocked_appends () =
+  let cfg = { Config.default with seq_capacity = 1 } in
+  with_replica ~cfg (fun r ep ->
+      ignore (append r ep (entry 1 1));
+      let result = ref None in
+      Engine.spawn (fun () -> result := Some (append r ep (entry 1 2)));
+      Engine.sleep (Engine.us 100);
+      checkb "blocked on capacity" true (!result = None);
+      ignore (call r ep (Proto.Sr_seal { view = 0 }));
+      Engine.sleep (Engine.ms 1);
+      checkb "released with rejection" true (!result = Some false))
+
+let () =
+  Alcotest.run "seq_replica"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "append ack + dedup" `Quick
+            test_append_ack_and_dedup;
+          Alcotest.test_case "wrong view rejected" `Quick
+            test_wrong_view_rejected;
+          Alcotest.test_case "seal / install-view cycle" `Quick
+            test_seal_rejects_then_install_unseals;
+          Alcotest.test_case "get_state" `Quick test_get_state_returns_unordered;
+          Alcotest.test_case "checkTail includes unordered" `Quick
+            test_check_tail_includes_unordered;
+          Alcotest.test_case "checkTail rejected when sealed" `Quick
+            test_check_tail_rejected_when_sealed;
+          Alcotest.test_case "gc over wire + view check" `Quick
+            test_gc_over_wire;
+          Alcotest.test_case "wait_ordered tracking" `Quick
+            test_wait_ordered_tracks;
+          Alcotest.test_case "seal releases blocked appends" `Quick
+            test_seal_releases_blocked_appends;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(* Direct protocol tests of the Erwin shard service: pushes and
+   replication, read gating on stable-gp, logical tail overwrite
+   (unbind/truncate), map chunks, backup backfill, and journal
+   accounting. *)
+
+open Ll_sim
+open Ll_net
+open Lazylog
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let rid c s = { Types.Rid.client = c; seq = s }
+
+let record ?(size = 256) c s data = Types.record ~rid:(rid c s) ~size ~data ()
+
+let with_shard ?(cfg = Config.default) f =
+  Engine.run (fun () ->
+      let fabric = Fabric.create ~link:cfg.Config.link () in
+      let shard = Shard.create ~cfg ~fabric ~shard_id:0 in
+      let node =
+        Fabric.add_node fabric ~name:"probe" ~send_overhead:500
+          ~recv_overhead:500 ()
+      in
+      let ep = Rpc.endpoint fabric node in
+      f shard ep;
+      Engine.stop ())
+
+let call ep shard req =
+  Rpc.call ep ~dst:(Shard.primary_id shard) ~size:(Proto.req_size req) req
+
+let push ep shard ?truncate_from slots =
+  match call ep shard (Proto.Msh_push { truncate_from; slots }) with
+  | Proto.R_ok -> ()
+  | _ -> Alcotest.fail "push failed"
+
+let set_stable ep shard gp =
+  match call ep shard (Proto.Sh_set_stable { gp }) with
+  | Proto.R_ok -> ()
+  | _ -> Alcotest.fail "set_stable failed"
+
+let read ep shard positions =
+  match call ep shard (Proto.Sh_read { positions }) with
+  | Proto.R_records { records } -> records
+  | _ -> Alcotest.fail "read failed"
+
+let test_push_and_read () =
+  with_shard (fun shard ep ->
+      push ep shard [ (0, record 1 1 "a"); (1, record 1 2 "b") ];
+      set_stable ep shard 2;
+      let records = read ep shard [ 0; 1 ] in
+      checki "both" 2 (List.length records);
+      Alcotest.(check string) "first" "a" (snd (List.hd records)).Types.data)
+
+let test_read_blocks_until_stable () =
+  with_shard (fun shard ep ->
+      push ep shard [ (0, record 1 1 "a") ];
+      let got = ref None in
+      Engine.spawn (fun () -> got := Some (read ep shard [ 0 ]));
+      Engine.sleep (Engine.ms 1);
+      checkb "read gated on stable-gp" true (!got = None);
+      set_stable ep shard 1;
+      Engine.sleep (Engine.ms 1);
+      (match !got with
+      | Some [ (0, r) ] -> Alcotest.(check string) "value" "a" r.Types.data
+      | _ -> Alcotest.fail "read did not complete"))
+
+let test_replication_to_backups () =
+  (* The primary must not ack a push before its backups have it: crash a
+     backup and the push cannot complete. *)
+  Engine.run (fun () ->
+      let cfg = { Config.default with shard_backup_count = 1 } in
+      let fabric = Fabric.create () in
+      let shard = Shard.create ~cfg ~fabric ~shard_id:0 in
+      let node = Fabric.add_node fabric ~name:"probe" () in
+      let ep = Rpc.endpoint fabric node in
+      (* Crash the backup (node id 1: primary is 0). *)
+      Fabric.crash fabric (Fabric.node_by_id fabric 1);
+      let answered = ref false in
+      Engine.spawn (fun () ->
+          ignore
+            (call ep shard
+               (Proto.Msh_push
+                  { truncate_from = None; slots = [ (0, record 1 1 "a") ] }));
+          answered := true);
+      Engine.sleep (Engine.ms 5);
+      checkb "push unacknowledged without backup" false !answered;
+      Engine.stop ())
+
+let test_truncate_overwrite () =
+  with_shard (fun shard ep ->
+      push ep shard [ (0, record 1 1 "old0"); (1, record 1 2 "old1") ];
+      (* Recovery overwrites the tail from position 1. *)
+      push ep shard ~truncate_from:1 [ (1, record 2 1 "new1") ];
+      set_stable ep shard 2;
+      let records = read ep shard [ 0; 1 ] in
+      Alcotest.(check (list string))
+        "overwritten" [ "old0"; "new1" ]
+        (List.map (fun (_, (r : Types.record)) -> r.data) records))
+
+let test_st_unbind_restages () =
+  (* Erwin-st truncate moves bound records back to staging so recovery can
+     rebind them at different positions. *)
+  with_shard (fun shard ep ->
+      let r1 = record 1 1 "x" in
+      (match call ep shard (Proto.Ssh_data_write { record = r1 }) with
+      | Proto.R_append { ok = true; _ } -> ()
+      | _ -> Alcotest.fail "stage failed");
+      (match
+         call ep shard
+           (Proto.Ssh_order
+              { truncate_from = None;
+                bindings = [ (5, rid 1 1) ];
+                map_chunk = [ (5, 0) ] })
+       with
+      | Proto.R_ok -> ()
+      | _ -> Alcotest.fail "order failed");
+      checki "bound, staging empty" 0 (Shard.staged_count shard);
+      (* Rebind at a different position after a truncate. *)
+      (match
+         call ep shard
+           (Proto.Ssh_order
+              { truncate_from = Some 2;
+                bindings = [ (3, rid 1 1) ];
+                map_chunk = [ (3, 0) ] })
+       with
+      | Proto.R_ok -> ()
+      | _ -> Alcotest.fail "reorder failed");
+      set_stable ep shard 4;
+      (match read ep shard [ 3 ] with
+      | [ (3, r) ] -> Alcotest.(check string) "rebound" "x" r.Types.data
+      | l -> Alcotest.failf "expected 1, got %d" (List.length l));
+      checkb "old position gone" true (Shard.read_local shard 5 = None))
+
+let test_get_map_waits_and_serves () =
+  with_shard (fun shard ep ->
+      let r1 = record 1 1 "x" in
+      ignore (call ep shard (Proto.Ssh_data_write { record = r1 }));
+      ignore
+        (call ep shard
+           (Proto.Ssh_order
+              { truncate_from = None;
+                bindings = [ (0, rid 1 1) ];
+                map_chunk = [ (0, 0); (1, 2); (2, 1) ] }));
+      set_stable ep shard 3;
+      (match call ep shard (Proto.Ssh_get_map { from = 0; count = 10 }) with
+      | Proto.R_map { chunk } ->
+        Alcotest.(check (list (pair int int)))
+          "full chunk, all shards' positions"
+          [ (0, 0); (1, 2); (2, 1) ]
+          chunk
+      | _ -> Alcotest.fail "bad map response"))
+
+let test_backfill_to_backup () =
+  (* A backup missing a staged record asks for backfill during order
+     replication; afterwards both replicas hold the bound record. *)
+  Engine.run (fun () ->
+      let cfg = { Config.default with shard_backup_count = 1 } in
+      let fabric = Fabric.create () in
+      let shard = Shard.create ~cfg ~fabric ~shard_id:0 in
+      let node = Fabric.add_node fabric ~name:"probe" () in
+      let ep = Rpc.endpoint fabric node in
+      (* Stage only on the primary (simulates a client that died after one
+         data write). *)
+      let r1 = record 1 1 "solo" in
+      (match
+         Rpc.call ep ~dst:(Shard.primary_id shard)
+           (Proto.Ssh_data_write { record = r1 })
+       with
+      | Proto.R_append { ok = true; _ } -> ()
+      | _ -> Alcotest.fail "stage failed");
+      (match
+         Rpc.call ep ~dst:(Shard.primary_id shard)
+           (Proto.Ssh_order
+              { truncate_from = None;
+                bindings = [ (0, rid 1 1) ];
+                map_chunk = [ (0, 0) ] })
+       with
+      | Proto.R_ok -> ()
+      | _ -> Alcotest.fail "order failed");
+      (* The record was NOT a no-op (primary had it), and the backup got
+         backfilled: read after stable. *)
+      ignore
+        (Rpc.call ep ~dst:(Shard.primary_id shard) (Proto.Sh_set_stable { gp = 1 }));
+      (match
+         Rpc.call ep ~dst:(Shard.primary_id shard) (Proto.Sh_read { positions = [ 0 ] })
+       with
+      | Proto.R_records { records = [ (0, r) ] } ->
+        Alcotest.(check string) "bound" "solo" r.Types.data
+      | _ -> Alcotest.fail "read failed");
+      Engine.stop ())
+
+let test_journal_retry_dedup () =
+  (* A retried data write of the same rid must not hit the device twice. *)
+  with_shard (fun shard ep ->
+      let r1 = record ~size:4096 1 1 "x" in
+      ignore (call ep shard (Proto.Ssh_data_write { record = r1 }));
+      ignore (call ep shard (Proto.Ssh_data_write { record = r1 }));
+      ignore (call ep shard (Proto.Ssh_data_write { record = r1 }));
+      checki "staged once" 1 (Shard.staged_count shard))
+
+let test_trim_drops_prefix () =
+  with_shard (fun shard ep ->
+      push ep shard (List.init 6 (fun i -> (i, record 1 (i + 1) (string_of_int i))));
+      set_stable ep shard 6;
+      (match call ep shard (Proto.Sh_trim { upto = 3 }) with
+      | Proto.R_ok -> ()
+      | _ -> Alcotest.fail "trim failed");
+      let records = read ep shard [ 0; 1; 2; 3; 4; 5 ] in
+      Alcotest.(check (list int))
+        "only suffix" [ 3; 4; 5 ]
+        (List.map fst records))
+
+let test_backup_replacement () =
+  (* Crash a backup, keep pushing, replace it, and verify the replacement
+     holds the full shard state — including records pushed during the
+     copy (section 5.4). *)
+  Engine.run (fun () ->
+      let cfg = { Config.default with shard_backup_count = 1 } in
+      let fabric = Fabric.create () in
+      let shard = Shard.create ~cfg ~fabric ~shard_id:0 in
+      let node = Fabric.add_node fabric ~name:"probe" () in
+      let ep = Rpc.endpoint fabric node in
+      push ep shard [ (0, record 1 1 "a"); (1, record 1 2 "b") ];
+      (* Kill the backup: pushes degrade (retry until giving up) but the
+         primary stays usable. *)
+      let dead = List.hd (Shard.backup_ids shard) in
+      Fabric.crash fabric (Fabric.node_by_id fabric dead);
+      Engine.spawn (fun () -> push ep shard [ (2, record 1 3 "c") ]);
+      Engine.sleep (Engine.ms 2);
+      (* Replace; pushes racing the copy are caught by the delta pass. *)
+      Shard.replace_backup shard ~index:0;
+      Engine.sleep (Engine.ms 600);
+      push ep shard [ (3, record 1 4 "d") ];
+      set_stable ep shard 4;
+      checki "four records on the primary" 4
+        (List.length (Shard.bound_positions shard));
+      (* The new backup answers replication traffic: a further push must
+         complete quickly (no retry storms). *)
+      let t0 = Engine.now () in
+      push ep shard [ (4, record 1 5 "e") ];
+      checkb "replication healthy again" true
+        (Engine.now () - t0 < Engine.ms 2);
+      Engine.stop ())
+
+let test_replacement_under_st_staging () =
+  (* The replacement must also carry staged (unordered) records so later
+     bindings on the new backup do not need backfill. *)
+  Engine.run (fun () ->
+      let cfg = { Config.default with shard_backup_count = 1 } in
+      let fabric = Fabric.create () in
+      let shard = Shard.create ~cfg ~fabric ~shard_id:0 in
+      let node = Fabric.add_node fabric ~name:"probe" () in
+      let ep = Rpc.endpoint fabric node in
+      (* Stage on the primary only, then replace the backup. *)
+      ignore (call ep shard (Proto.Ssh_data_write { record = record 7 1 "x" }));
+      Shard.replace_backup shard ~index:0;
+      (* Bind: the new backup resolves from its copied staging (no
+         R_missing round). *)
+      (match
+         call ep shard
+           (Proto.Ssh_order
+              { truncate_from = None;
+                bindings = [ (0, rid 7 1) ];
+                map_chunk = [ (0, 0) ] })
+       with
+      | Proto.R_ok -> ()
+      | _ -> Alcotest.fail "order failed");
+      set_stable ep shard 1;
+      (match read ep shard [ 0 ] with
+      | [ (0, r) ] -> Alcotest.(check string) "bound" "x" r.Types.data
+      | _ -> Alcotest.fail "read failed");
+      Engine.stop ())
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "erwin-m paths",
+        [
+          Alcotest.test_case "push and read" `Quick test_push_and_read;
+          Alcotest.test_case "read gated on stable" `Quick
+            test_read_blocks_until_stable;
+          Alcotest.test_case "replication required" `Quick
+            test_replication_to_backups;
+          Alcotest.test_case "truncate overwrite" `Quick
+            test_truncate_overwrite;
+          Alcotest.test_case "trim" `Quick test_trim_drops_prefix;
+        ] );
+      ( "erwin-st paths",
+        [
+          Alcotest.test_case "unbind restages" `Quick test_st_unbind_restages;
+          Alcotest.test_case "get_map" `Quick test_get_map_waits_and_serves;
+          Alcotest.test_case "backup backfill" `Quick test_backfill_to_backup;
+          Alcotest.test_case "journal retry dedup" `Quick
+            test_journal_retry_dedup;
+        ] );
+      ( "replica replacement (s5.4)",
+        [
+          Alcotest.test_case "backup replacement" `Quick
+            test_backup_replacement;
+          Alcotest.test_case "staged state carried over" `Quick
+            test_replacement_under_st_staging;
+        ] );
+    ]

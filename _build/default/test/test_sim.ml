@@ -1,0 +1,407 @@
+(* Tests for the simulation substrate: heap, engine, ivar, mailbox, waitq,
+   rng, stats. *)
+
+open Ll_sim
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some x ->
+      out := x :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (List.rev !out)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  checkb "empty" true (Heap.pop h = None);
+  Heap.push h 1;
+  check "len" 1 (Heap.length h);
+  Heap.clear h;
+  check "cleared" 0 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+(* --- Engine --- *)
+
+let test_clock_advances () =
+  let times = ref [] in
+  Engine.run (fun () ->
+      times := Engine.now () :: !times;
+      Engine.sleep (Engine.us 5);
+      times := Engine.now () :: !times;
+      Engine.sleep (Engine.ms 1);
+      times := Engine.now () :: !times);
+  Alcotest.(check (list int))
+    "timestamps" [ 0; 5_000; 1_005_000 ] (List.rev !times)
+
+let test_spawn_ordering () =
+  (* Fibers scheduled at the same instant run in spawn order. *)
+  let order = ref [] in
+  Engine.run (fun () ->
+      Engine.spawn (fun () -> order := 1 :: !order);
+      Engine.spawn (fun () -> order := 2 :: !order);
+      Engine.spawn (fun () -> order := 3 :: !order));
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_determinism () =
+  let run () =
+    let trace = ref [] in
+    Engine.run ~seed:99 (fun () ->
+        let rng = Engine.random_state () in
+        for _ = 1 to 5 do
+          let d = Random.State.int rng 100 in
+          Engine.spawn (fun () ->
+              Engine.sleep (Engine.us d);
+              trace := (Engine.now (), d) :: !trace)
+        done);
+    !trace
+  in
+  Alcotest.(check bool) "identical traces" true (run () = run ())
+
+let test_until () =
+  let reached = ref false in
+  Engine.run ~until:(Engine.ms 1) (fun () ->
+      Engine.sleep (Engine.ms 10);
+      reached := true);
+  checkb "not reached past until" false !reached
+
+let test_exception_propagates () =
+  let boom () =
+    Engine.run (fun () ->
+        Engine.spawn (fun () ->
+            Engine.sleep 10;
+            failwith "boom"))
+  in
+  (match boom () with
+  | () -> Alcotest.fail "expected exception"
+  | exception Engine.Fiber_failure (_, Failure m) ->
+    Alcotest.(check string) "message" "boom" m
+  | exception e -> raise e);
+  (* The engine must be usable again after an aborted run. *)
+  Engine.run (fun () -> Engine.sleep 1)
+
+let test_wake_once () =
+  Engine.run (fun () ->
+      let woken = ref 0 in
+      Engine.spawn (fun () ->
+          let v =
+            Engine.suspend (fun w ->
+                Engine.after 10 (fun () ->
+                    if Engine.wake w 1 then incr woken);
+                Engine.after 20 (fun () ->
+                    if Engine.wake w 2 then incr woken))
+          in
+          Alcotest.(check int) "first wake wins" 1 v);
+      Engine.sleep 100;
+      Alcotest.(check int) "woken once" 1 !woken)
+
+(* --- Ivar --- *)
+
+let test_ivar_basic () =
+  Engine.run (fun () ->
+      let iv = Ivar.create () in
+      checkb "empty" false (Ivar.is_full iv);
+      let got = ref [] in
+      for i = 0 to 2 do
+        Engine.spawn (fun () ->
+            (* Bind before consing: the read suspends, and [!got] must be
+               re-read after resumption. *)
+            let v = Ivar.read iv in
+            got := (i, v) :: !got)
+      done;
+      Engine.after (Engine.us 3) (fun () -> Ivar.fill iv 42);
+      Engine.sleep (Engine.us 10);
+      check "all readers woken" 3 (List.length !got);
+      checkb "all read 42" true (List.for_all (fun (_, v) -> v = 42) !got);
+      checkb "double fill refused" false (Ivar.try_fill iv 1))
+
+let test_ivar_timeout () =
+  Engine.run (fun () ->
+      let iv = Ivar.create () in
+      let r = Ivar.read_timeout iv ~timeout:(Engine.us 5) in
+      checkb "timed out" true (r = None);
+      Ivar.fill iv 7;
+      checkb "filled now" true
+        (Ivar.read_timeout iv ~timeout:(Engine.us 1) = Some 7))
+
+let test_join_all_timeout () =
+  Engine.run (fun () ->
+      let a = Ivar.create () and b = Ivar.create () in
+      Engine.after 5 (fun () -> Ivar.fill a 1);
+      checkb "partial fill times out" true
+        (Ivar.join_all_timeout [ a; b ] ~timeout:(Engine.us 1) = None);
+      Ivar.fill b 2;
+      checkb "both" true
+        (Ivar.join_all_timeout [ a; b ] ~timeout:(Engine.us 1) = Some [ 1; 2 ]))
+
+(* --- Mailbox --- *)
+
+let test_mailbox_fifo () =
+  Engine.run (fun () ->
+      let mb = Mailbox.create () in
+      List.iter (Mailbox.send mb) [ 1; 2; 3 ];
+      check "fifo 1" 1 (Mailbox.recv mb);
+      check "fifo 2" 2 (Mailbox.recv mb);
+      check "fifo 3" 3 (Mailbox.recv mb))
+
+let test_mailbox_blocking_receivers () =
+  Engine.run (fun () ->
+      let mb = Mailbox.create () in
+      let got = ref [] in
+      for i = 0 to 1 do
+        Engine.spawn (fun () ->
+            let m = Mailbox.recv mb in
+            got := (i, m) :: !got)
+      done;
+      Engine.after 5 (fun () ->
+          Mailbox.send mb "a";
+          Mailbox.send mb "b");
+      Engine.sleep 20;
+      (* Receivers are served in blocking order. *)
+      Alcotest.(check (list (pair int string)))
+        "each receiver one message"
+        [ (0, "a"); (1, "b") ]
+        (List.sort compare !got))
+
+let test_mailbox_timeout_then_send () =
+  (* A waiter whose timeout fired must not swallow a later message. *)
+  Engine.run (fun () ->
+      let mb = Mailbox.create () in
+      let r1 = Mailbox.recv_timeout mb ~timeout:5 in
+      Alcotest.(check bool) "timed out" true (r1 = None);
+      Mailbox.send mb 9;
+      check "message preserved" 9 (Mailbox.recv mb))
+
+(* --- Waitq --- *)
+
+let test_waitq () =
+  Engine.run (fun () ->
+      let wq = Waitq.create () in
+      let flag = ref false in
+      let through = ref false in
+      Engine.spawn (fun () ->
+          Waitq.await wq (fun () -> !flag);
+          through := true);
+      Engine.sleep 5;
+      checkb "blocked" false !through;
+      (* broadcast without predicate change: must keep waiting *)
+      Waitq.broadcast wq;
+      Engine.sleep 5;
+      checkb "still blocked" false !through;
+      flag := true;
+      Waitq.broadcast wq;
+      Engine.sleep 5;
+      checkb "released" true !through)
+
+let test_waitq_timeout () =
+  Engine.run (fun () ->
+      let wq = Waitq.create () in
+      let ok = Waitq.await_timeout wq ~timeout:(Engine.us 5) (fun () -> false) in
+      checkb "predicate false on timeout" false ok)
+
+(* --- Rng --- *)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:5 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:100.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean within 5%" true (mean > 95.0 && mean < 105.0)
+
+let test_zipf_bounds_and_skew () =
+  let rng = Rng.create ~seed:6 in
+  let g = Rng.Zipf.create rng ~n:1000 ~theta:0.99 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let k = Rng.Zipf.next g in
+    checkb "in range" true (k >= 0 && k < 1000);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Hottest key should be much hotter than the median key. *)
+  let hottest = Array.fold_left max 0 counts in
+  checkb "skewed" true (hottest > 50_000 / 100)
+
+(* --- Stats --- *)
+
+let test_reservoir_percentiles () =
+  let r = Stats.Reservoir.create () in
+  for i = 1 to 100 do
+    Stats.Reservoir.add r (i * 1000)
+  done;
+  Alcotest.(check (float 0.1)) "mean" 50.5 (Stats.Reservoir.mean_us r);
+  Alcotest.(check (float 0.5)) "p50" 50.5 (Stats.Reservoir.percentile_us r 50.0);
+  Alcotest.(check (float 1.5)) "p99" 99.0 (Stats.Reservoir.percentile_us r 99.0);
+  Alcotest.(check (float 0.01)) "min" 1.0 (Stats.Reservoir.min_us r);
+  Alcotest.(check (float 0.01)) "max" 100.0 (Stats.Reservoir.max_us r)
+
+let test_reservoir_cdf () =
+  let r = Stats.Reservoir.create () in
+  for i = 1 to 1000 do
+    Stats.Reservoir.add r i
+  done;
+  let cdf = Stats.Reservoir.cdf r ~points:10 in
+  check "10 points" 10 (List.length cdf);
+  let _, last_pct = List.nth cdf 9 in
+  Alcotest.(check (float 0.01)) "ends at 100%" 100.0 last_pct
+
+let test_timeline () =
+  let tl = Stats.Timeline.create ~bin:(Engine.ms 1) in
+  for i = 0 to 99 do
+    Stats.Timeline.record tl ~at:(i * Engine.us 10)
+  done;
+  check "total" 100 (Stats.Timeline.total tl);
+  match Stats.Timeline.series tl with
+  | [ (_, rate) ] -> Alcotest.(check (float 1.0)) "rate" 100_000.0 rate
+  | l -> Alcotest.failf "expected one bin, got %d" (List.length l)
+
+let test_reservoir_merge () =
+  let a = Stats.Reservoir.create () and b = Stats.Reservoir.create () in
+  List.iter (Stats.Reservoir.add a) [ 1000; 2000 ];
+  List.iter (Stats.Reservoir.add b) [ 3000; 4000 ];
+  let m = Stats.Reservoir.merge [ a; b ] in
+  check "count" 4 (Stats.Reservoir.count m);
+  Alcotest.(check (float 0.01)) "mean" 2.5 (Stats.Reservoir.mean_us m)
+
+let test_reservoir_stddev_and_clear () =
+  let r = Stats.Reservoir.create () in
+  List.iter (Stats.Reservoir.add r) [ 1000; 1000; 1000 ];
+  Alcotest.(check (float 0.001)) "no spread" 0.0 (Stats.Reservoir.stddev_us r);
+  Stats.Reservoir.clear r;
+  check "cleared" 0 (Stats.Reservoir.count r);
+  checkb "mean of empty is nan" true (Float.is_nan (Stats.Reservoir.mean_us r))
+
+let test_timeline_multi_bin () =
+  let tl = Stats.Timeline.create ~bin:(Engine.ms 1) in
+  Stats.Timeline.record_n tl ~at:(Engine.us 500) ~n:10;
+  Stats.Timeline.record_n tl ~at:(Engine.us 2_500) ~n:30;
+  (match Stats.Timeline.series tl with
+  | [ (t0, r0); (t1, r1) ] ->
+    Alcotest.(check (float 1e-6)) "bin 0 time" 0.0 t0;
+    Alcotest.(check (float 1.0)) "bin 0 rate" 10_000.0 r0;
+    Alcotest.(check (float 1e-6)) "bin 2 time" 0.002 t1;
+    Alcotest.(check (float 1.0)) "bin 2 rate" 30_000.0 r1
+  | l -> Alcotest.failf "expected 2 bins, got %d" (List.length l));
+  check "total" 40 (Stats.Timeline.total tl)
+
+let test_at_clamps_past () =
+  Engine.run (fun () ->
+      Engine.sleep (Engine.us 10);
+      let ran_at = ref (-1) in
+      (* Scheduling in the past runs "now", never back in time. *)
+      Engine.at 0 (fun () -> ran_at := Engine.now ());
+      Engine.sleep 1;
+      check "clamped to now" (Engine.us 10) !ran_at)
+
+let test_sleep_until_past_is_yield () =
+  Engine.run (fun () ->
+      Engine.sleep (Engine.us 5);
+      Engine.sleep_until 0;
+      check "no time travel" (Engine.us 5) (Engine.now ()))
+
+let test_rng_split_independence () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  checkb "streams differ" true (xs <> ys)
+
+let prop_percentile_monotonic =
+  QCheck.Test.make ~name:"percentiles are monotonic" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 200) (int_range 0 1_000_000))
+    (fun xs ->
+      let r = Stats.Reservoir.create () in
+      List.iter (Stats.Reservoir.add r) xs;
+      let ps = [ 0.0; 10.0; 50.0; 90.0; 99.0; 100.0 ] in
+      let vs = List.map (Stats.Reservoir.percentile_us r) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vs)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "pops sorted" `Quick test_heap_order;
+          Alcotest.test_case "empty/clear" `Quick test_heap_empty;
+        ]
+        @ qc [ prop_heap_sorts ] );
+      ( "engine",
+        [
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "spawn order" `Quick test_spawn_ordering;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "until bounds run" `Quick test_until;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "waker fires once" `Quick test_wake_once;
+          Alcotest.test_case "at clamps past times" `Quick test_at_clamps_past;
+          Alcotest.test_case "sleep_until past is a yield" `Quick
+            test_sleep_until_past_is_yield;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill wakes all" `Quick test_ivar_basic;
+          Alcotest.test_case "timeout" `Quick test_ivar_timeout;
+          Alcotest.test_case "join_all_timeout" `Quick test_join_all_timeout;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocking receivers" `Quick
+            test_mailbox_blocking_receivers;
+          Alcotest.test_case "timeout does not lose messages" `Quick
+            test_mailbox_timeout_then_send;
+        ] );
+      ( "waitq",
+        [
+          Alcotest.test_case "await/broadcast" `Quick test_waitq;
+          Alcotest.test_case "await timeout" `Quick test_waitq_timeout;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "zipf bounds and skew" `Quick
+            test_zipf_bounds_and_skew;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independence;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentiles" `Quick test_reservoir_percentiles;
+          Alcotest.test_case "cdf" `Quick test_reservoir_cdf;
+          Alcotest.test_case "timeline" `Quick test_timeline;
+          Alcotest.test_case "merge" `Quick test_reservoir_merge;
+          Alcotest.test_case "stddev and clear" `Quick
+            test_reservoir_stddev_and_clear;
+          Alcotest.test_case "timeline multi-bin" `Quick
+            test_timeline_multi_bin;
+        ]
+        @ qc [ prop_percentile_monotonic ] );
+    ]

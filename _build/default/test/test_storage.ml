@@ -1,0 +1,236 @@
+(* Tests for the storage substrate: mem log, ring buffer, disk model,
+   segment log, and the write-buffered store. *)
+
+open Ll_sim
+open Ll_storage
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Mem_log --- *)
+
+let test_mem_log_basic () =
+  let l = Mem_log.create () in
+  checki "p0" 0 (Mem_log.append l "a");
+  checki "p1" 1 (Mem_log.append l "b");
+  Alcotest.(check (option string)) "get" (Some "a") (Mem_log.get l 0);
+  Mem_log.set l 5 "sparse";
+  checki "length after sparse set" 6 (Mem_log.length l);
+  Alcotest.(check (option string)) "hole" None (Mem_log.get l 3)
+
+let test_mem_log_trim_truncate () =
+  let l = Mem_log.create () in
+  for i = 0 to 9 do
+    ignore (Mem_log.append l i)
+  done;
+  Mem_log.trim l 4;
+  checki "first" 4 (Mem_log.first l);
+  Alcotest.(check (option int)) "trimmed" None (Mem_log.get l 2);
+  Mem_log.truncate l 7;
+  checki "length" 7 (Mem_log.length l);
+  Alcotest.(check (option int)) "truncated" None (Mem_log.get l 8);
+  Alcotest.(check (list (pair int int)))
+    "survivors"
+    [ (4, 4); (5, 5); (6, 6) ]
+    (Mem_log.to_list l)
+
+(* --- Ring buffer --- *)
+
+let test_ring_basic () =
+  let r = Ring_buffer.create ~capacity:4 in
+  checki "i0" 0 (Option.get (Ring_buffer.try_append r "a"));
+  checki "i1" 1 (Option.get (Ring_buffer.try_append r "b"));
+  Alcotest.(check (option string)) "get" (Some "a") (Ring_buffer.get r 0);
+  ignore (Ring_buffer.try_append r "c");
+  ignore (Ring_buffer.try_append r "d");
+  checkb "full" true (Ring_buffer.is_full r);
+  checkb "rejects when full" true (Ring_buffer.try_append r "e" = None);
+  Ring_buffer.advance_head r 2;
+  checki "head" 2 (Ring_buffer.head r);
+  Alcotest.(check (option string)) "gc'd" None (Ring_buffer.get r 0);
+  checki "i4 wraps" 4 (Option.get (Ring_buffer.try_append r "e"));
+  Alcotest.(check (list (pair int string)))
+    "snapshot"
+    [ (2, "c"); (3, "d"); (4, "e") ]
+    (Ring_buffer.snapshot r)
+
+let test_ring_backpressure () =
+  Engine.run (fun () ->
+      let r = Ring_buffer.create ~capacity:2 in
+      ignore (Ring_buffer.try_append r 1);
+      ignore (Ring_buffer.try_append r 2);
+      let appended_at = ref (-1) in
+      Engine.spawn (fun () ->
+          ignore (Ring_buffer.append_wait r 3);
+          appended_at := Engine.now ());
+      Engine.sleep (Engine.us 10);
+      checki "still blocked" (-1) !appended_at;
+      Ring_buffer.advance_head r 1;
+      Engine.sleep 1;
+      checkb "unblocked after gc" true (!appended_at >= 0))
+
+let prop_ring_matches_model =
+  (* Random append/gc sequences agree with a simple list model. *)
+  QCheck.Test.make ~name:"ring buffer matches model" ~count:200
+    QCheck.(list (pair bool small_nat))
+    (fun ops ->
+      let r = Ring_buffer.create ~capacity:8 in
+      let model = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun (is_append, v) ->
+          if is_append then (
+            match Ring_buffer.try_append r v with
+            | Some i -> Hashtbl.replace model i v
+            | None -> ())
+          else begin
+            let n = Ring_buffer.head r + (v mod 4) in
+            Ring_buffer.advance_head r n;
+            Hashtbl.iter
+              (fun i _ -> if i < Ring_buffer.head r then Hashtbl.remove model i)
+              (Hashtbl.copy model)
+          end;
+          (* every live index agrees *)
+          Hashtbl.iter
+            (fun i v -> if Ring_buffer.get r i <> Some v then ok := false)
+            model)
+        ops;
+      !ok)
+
+(* --- Disk --- *)
+
+let test_disk_serializes () =
+  Engine.run (fun () ->
+      let d = Disk.create ~base_latency:(Engine.us 10) ~ns_per_byte:1.0 () in
+      let done_at = ref [] in
+      for _ = 1 to 3 do
+        Engine.spawn (fun () ->
+            Disk.write d ~bytes:10_000;
+            done_at := Engine.now () :: !done_at)
+      done;
+      Engine.sleep (Engine.ms 1);
+      (* each op = 10us + 10us = 20us, serialized: 20/40/60us *)
+      Alcotest.(check (list int))
+        "serialized completions"
+        [ Engine.us 20; Engine.us 40; Engine.us 60 ]
+        (List.rev !done_at))
+
+let test_disk_counters () =
+  Engine.run (fun () ->
+      let d = Disk.create () in
+      Disk.write d ~bytes:100;
+      Disk.write d ~bytes:200;
+      checki "ops" 2 (Disk.ops d);
+      checki "bytes" 300 (Disk.bytes_written d))
+
+(* --- Segment log --- *)
+
+let test_segment_log_cold_read () =
+  Engine.run (fun () ->
+      let disk = Disk.create ~base_latency:(Engine.us 10) ~ns_per_byte:0.0 () in
+      let l = Segment_log.create ~disk ~entries_per_file:4 () in
+      for i = 0 to 7 do
+        Segment_log.write l ~pos:i ~size:100 (string_of_int i)
+      done;
+      let ops_before = Disk.ops disk in
+      (* Freshly written segments are hot. *)
+      Alcotest.(check (option string)) "hot read" (Some "3")
+        (Segment_log.read l ~pos:3);
+      checki "no device read" ops_before (Disk.ops disk);
+      Segment_log.evict_cache l;
+      Alcotest.(check (option string)) "cold read" (Some "3")
+        (Segment_log.read l ~pos:3);
+      checki "one device read" (ops_before + 1) (Disk.ops disk);
+      (* second read of same segment is cached *)
+      ignore (Segment_log.read l ~pos:2);
+      checki "cached" (ops_before + 1) (Disk.ops disk))
+
+(* --- Flushed store --- *)
+
+let test_flushed_store_async_drain () =
+  Engine.run (fun () ->
+      let disk = Disk.create ~base_latency:(Engine.us 50) ~ns_per_byte:0.0 () in
+      let s = Flushed_store.create ~disk () in
+      let t0 = Engine.now () in
+      for i = 0 to 9 do
+        Flushed_store.append s ~pos:i ~size:1000 i
+      done;
+      (* appends are memory-speed: no disk latency in the caller *)
+      checkb "fast appends" true (Engine.now () - t0 < Engine.us 1);
+      checkb "dirty" true (Flushed_store.dirty_bytes s > 0);
+      Flushed_store.flush_wait s;
+      checki "drained" 0 (Flushed_store.dirty_bytes s);
+      Alcotest.(check (option int)) "readable" (Some 5)
+        (Flushed_store.read s ~pos:5))
+
+let test_flushed_store_backpressure () =
+  Engine.run (fun () ->
+      let disk = Disk.create ~base_latency:(Engine.us 100) ~ns_per_byte:0.0 () in
+      let s = Flushed_store.create ~disk ~dirty_limit_bytes:1_000 () in
+      let t0 = Engine.now () in
+      (* First append fills the dirty buffer; the next must wait for the
+         device. *)
+      Flushed_store.append s ~pos:0 ~size:1_000 0;
+      Flushed_store.append s ~pos:1 ~size:1_000 1;
+      checkb "second append backpressured" true
+        (Engine.now () - t0 >= Engine.us 100))
+
+let test_flushed_store_truncate_rewrite () =
+  Engine.run (fun () ->
+      let disk = Disk.create () in
+      let s = Flushed_store.create ~disk () in
+      Flushed_store.append s ~pos:0 ~size:10 "old0";
+      Flushed_store.append s ~pos:1 ~size:10 "old1";
+      Flushed_store.truncate s 1;
+      Flushed_store.append s ~pos:1 ~size:10 "new1";
+      Flushed_store.flush_wait s;
+      Alcotest.(check (option string)) "rewritten" (Some "new1")
+        (Flushed_store.read s ~pos:1);
+      Alcotest.(check (list (pair int string)))
+        "entries"
+        [ (0, "old0"); (1, "new1") ]
+        (Flushed_store.entries s))
+
+let test_flushed_store_entries_from () =
+  Engine.run (fun () ->
+      let s = Flushed_store.create ~disk:(Disk.create ()) () in
+      List.iter
+        (fun p -> Flushed_store.append s ~pos:p ~size:1 p)
+        [ 0; 2; 4; 6 ];
+      Alcotest.(check (list (pair int int)))
+        "from 3" [ (4, 4); (6, 6) ]
+        (Flushed_store.entries_from s 3))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "storage"
+    [
+      ( "mem_log",
+        [
+          Alcotest.test_case "basic" `Quick test_mem_log_basic;
+          Alcotest.test_case "trim/truncate" `Quick test_mem_log_trim_truncate;
+        ] );
+      ( "ring_buffer",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "backpressure" `Quick test_ring_backpressure;
+        ]
+        @ qc [ prop_ring_matches_model ] );
+      ( "disk",
+        [
+          Alcotest.test_case "serializes" `Quick test_disk_serializes;
+          Alcotest.test_case "counters" `Quick test_disk_counters;
+        ] );
+      ( "segment_log",
+        [ Alcotest.test_case "cold read" `Quick test_segment_log_cold_read ] );
+      ( "flushed_store",
+        [
+          Alcotest.test_case "async drain" `Quick test_flushed_store_async_drain;
+          Alcotest.test_case "backpressure" `Quick
+            test_flushed_store_backpressure;
+          Alcotest.test_case "truncate then rewrite" `Quick
+            test_flushed_store_truncate_rewrite;
+          Alcotest.test_case "entries_from" `Quick
+            test_flushed_store_entries_from;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Workload-generation tests: YCSB mixes, arrival processes, and the
+   measurement runner. *)
+
+open Ll_sim
+open Ll_workload
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_ycsb_load_is_sequential_inserts () =
+  let g = Ycsb.create ~keyspace:1000 ~profile:Ycsb.Load () in
+  for i = 0 to 9 do
+    match Ycsb.next g with
+    | Ycsb.Insert k -> checki "sequential" i k
+    | _ -> Alcotest.fail "load must only insert"
+  done
+
+let mix profile n =
+  let g = Ycsb.create ~keyspace:1000 ~profile () in
+  let w = ref 0 and r = ref 0 in
+  for _ = 1 to n do
+    match Ycsb.next g with
+    | Ycsb.Insert _ | Ycsb.Update _ | Ycsb.Read_modify_write _ -> incr w
+    | Ycsb.Read _ -> incr r
+  done;
+  (!w, !r)
+
+let test_ycsb_a_mix () =
+  let w, r = mix Ycsb.A 10_000 in
+  checkb "about 50/50" true (abs (w - r) < 600)
+
+let test_ycsb_b_mix () =
+  let w, _ = mix Ycsb.B 10_000 in
+  checkb "about 5% writes" true (w > 300 && w < 700)
+
+let test_ycsb_c_read_only () =
+  let w, r = mix Ycsb.C 2_000 in
+  checkb "no writes" true (w = 0 && r = 2_000)
+
+let test_ycsb_d_read_latest () =
+  (* 5% inserts; reads target recent keys. *)
+  let g = Ycsb.create ~keyspace:1000 ~profile:Ycsb.D () in
+  let inserts = ref 0 and recent = ref 0 and reads = ref 0 in
+  let frontier = ref 0 in
+  for _ = 1 to 10_000 do
+    match Ycsb.next g with
+    | Ycsb.Insert _ -> incr inserts; incr frontier
+    | Ycsb.Read k ->
+      incr reads;
+      checkb "reads below frontier" true (k < max 1 !frontier);
+      if !frontier - k <= 32 then incr recent
+    | Ycsb.Update _ | Ycsb.Read_modify_write _ -> Alcotest.fail "unexpected op"
+  done;
+  checkb "about 5% inserts" true (!inserts > 300 && !inserts < 700);
+  checkb "reads skew recent" true
+    (float_of_int !recent /. float_of_int !reads > 0.7)
+
+let test_ycsb_f_mix () =
+  let g = Ycsb.create ~keyspace:1000 ~profile:Ycsb.F () in
+  let rmw = ref 0 and rd = ref 0 in
+  for _ = 1 to 10_000 do
+    match Ycsb.next g with
+    | Ycsb.Read_modify_write _ -> incr rmw
+    | Ycsb.Read _ -> incr rd
+    | Ycsb.Insert _ | Ycsb.Update _ -> Alcotest.fail "unexpected op"
+  done;
+  checkb "about 50/50" true (abs (!rmw - !rd) < 600)
+
+let test_ycsb_keys_in_range () =
+  let g = Ycsb.create ~keyspace:50 ~profile:Ycsb.A () in
+  for _ = 1 to 1000 do
+    match Ycsb.next g with
+    | Ycsb.Update k | Ycsb.Read k | Ycsb.Read_modify_write k ->
+      checkb "range" true (k >= 0 && k < 50)
+    | Ycsb.Insert _ -> ()
+  done
+
+let test_open_loop_rate () =
+  Engine.run (fun () ->
+      let count = ref 0 in
+      Arrival.open_loop ~rate:100_000. ~until:(Engine.ms 100) (fun _ -> incr count);
+      Engine.sleep (Engine.ms 120);
+      (* 100K/s for 100ms = ~10000 ops, Poisson noise ~ +/-3% *)
+      checkb "rate honored" true (!count > 9_000 && !count < 11_000);
+      Engine.stop ())
+
+let test_open_loop_nonblocking () =
+  (* Slow ops must not slow the arrival process (open loop). *)
+  Engine.run (fun () ->
+      let count = ref 0 in
+      Arrival.open_loop ~rate:10_000. ~until:(Engine.ms 50) (fun _ ->
+          incr count;
+          Engine.sleep (Engine.ms 100));
+      Engine.sleep (Engine.ms 60);
+      checkb "arrivals kept flowing" true (!count > 400);
+      Engine.stop ())
+
+let test_closed_loop () =
+  Engine.run (fun () ->
+      let per_client = Hashtbl.create 4 in
+      Arrival.closed_loop ~clients:3 ~until:(Engine.ms 1) (fun ~client _ ->
+          Engine.sleep (Engine.us 100);
+          let c = try Hashtbl.find per_client client with Not_found -> 0 in
+          Hashtbl.replace per_client client (c + 1));
+      Engine.sleep (Engine.ms 2);
+      checki "3 clients ran" 3 (Hashtbl.length per_client);
+      Hashtbl.iter
+        (fun _ n -> checkb "about 10 ops each" true (n >= 9 && n <= 11))
+        per_client;
+      Engine.stop ())
+
+let test_runner_append_workload () =
+  let run =
+    Runner.in_sim (fun () ->
+        let cluster = Lazylog.Erwin_m.create () in
+        Runner.append_workload
+          ~log_factory:(fun () -> Lazylog.Erwin_m.client cluster)
+          ~warmup:(Engine.ms 5) ~size:512 ~rate:20_000.
+          ~duration:(Engine.ms 50) ())
+  in
+  checkb "achieved close to offered" true
+    (run.Runner.achieved > 17_000. && run.Runner.achieved < 23_000.);
+  let mean, p50, p99 = Runner.percentiles run.Runner.latency in
+  checkb "latency sane" true (mean > 1.0 && mean < 100.0);
+  checkb "p50 <= p99" true (p50 <= p99)
+
+let test_in_sim_returns_value () =
+  checki "value" 42 (Runner.in_sim (fun () -> Engine.sleep 5; 42))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "ycsb",
+        [
+          Alcotest.test_case "load sequential" `Quick
+            test_ycsb_load_is_sequential_inserts;
+          Alcotest.test_case "A mix" `Quick test_ycsb_a_mix;
+          Alcotest.test_case "B mix" `Quick test_ycsb_b_mix;
+          Alcotest.test_case "C read-only" `Quick test_ycsb_c_read_only;
+          Alcotest.test_case "D read-latest" `Quick test_ycsb_d_read_latest;
+          Alcotest.test_case "F rmw mix" `Quick test_ycsb_f_mix;
+          Alcotest.test_case "key range" `Quick test_ycsb_keys_in_range;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "open-loop rate" `Quick test_open_loop_rate;
+          Alcotest.test_case "open-loop nonblocking" `Quick
+            test_open_loop_nonblocking;
+          Alcotest.test_case "closed loop" `Quick test_closed_loop;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "in_sim" `Quick test_in_sim_returns_value;
+          Alcotest.test_case "append workload" `Slow
+            test_runner_append_workload;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+(* Mini-ZooKeeper tests: znodes, sessions, expiry-based failure detection,
+   and watches. *)
+
+open Ll_sim
+open Ll_control
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_znodes () =
+  Engine.run (fun () ->
+      let zk = Zookeeper.create () in
+      checkb "create" true (Zookeeper.create_znode zk ~path:"/a" ~data:"1");
+      checkb "no duplicate create" false
+        (Zookeeper.create_znode zk ~path:"/a" ~data:"2");
+      Alcotest.(check (option string)) "get" (Some "1")
+        (Zookeeper.get_data zk ~path:"/a");
+      Zookeeper.set_data zk ~path:"/a" ~data:"3";
+      Alcotest.(check (option string)) "set" (Some "3")
+        (Zookeeper.get_data zk ~path:"/a");
+      Zookeeper.delete zk ~path:"/a";
+      checkb "deleted" false (Zookeeper.exists zk ~path:"/a");
+      Engine.stop ())
+
+let test_op_latency () =
+  Engine.run (fun () ->
+      let zk = Zookeeper.create ~op_latency:(Engine.ms 2) () in
+      let t0 = Engine.now () in
+      ignore (Zookeeper.get_data zk ~path:"/x");
+      checkb "ops are not free" true (Engine.now () - t0 >= Engine.ms 2);
+      Engine.stop ())
+
+let test_session_expiry_on_death () =
+  Engine.run (fun () ->
+      let zk =
+        Zookeeper.create ~session_timeout:(Engine.ms 5)
+          ~heartbeat_interval:(Engine.ms 1) ()
+      in
+      let alive = ref true in
+      let expired = ref [] in
+      Zookeeper.on_session_expired zk (fun name -> expired := name :: !expired);
+      Zookeeper.start_session zk ~name:"node1" ~alive:(fun () -> !alive);
+      Engine.sleep (Engine.ms 20);
+      checkb "alive while heartbeating" true (Zookeeper.session_alive zk "node1");
+      checki "no expiry" 0 (List.length !expired);
+      let death = Engine.now () in
+      alive := false;
+      Engine.sleep (Engine.ms 20);
+      Alcotest.(check (list string)) "expired once" [ "node1" ] !expired;
+      checkb "marked dead" false (Zookeeper.session_alive zk "node1");
+      ignore death;
+      Engine.stop ())
+
+let test_expiry_within_session_timeout () =
+  Engine.run (fun () ->
+      let timeout = Engine.ms 10 in
+      let zk =
+        Zookeeper.create ~session_timeout:timeout
+          ~heartbeat_interval:(Engine.ms 2) ()
+      in
+      let alive = ref true in
+      let expired_at = ref 0 in
+      Zookeeper.on_session_expired zk (fun _ -> expired_at := Engine.now ());
+      Zookeeper.start_session zk ~name:"n" ~alive:(fun () -> !alive);
+      Engine.sleep (Engine.ms 7);
+      let death = Engine.now () in
+      alive := false;
+      Engine.sleep (Engine.ms 30);
+      let detect = !expired_at - death in
+      checkb "detected after death" true (detect > 0);
+      checkb "within ~session timeout + heartbeat" true
+        (detect <= timeout + Engine.ms 2);
+      Engine.stop ())
+
+let test_data_watches () =
+  Engine.run (fun () ->
+      let zk = Zookeeper.create () in
+      let seen = ref [] in
+      Zookeeper.watch_data zk ~path:"/cfg" (fun d -> seen := d :: !seen);
+      Zookeeper.set_data zk ~path:"/cfg" ~data:"v1";
+      Zookeeper.set_data zk ~path:"/cfg" ~data:"v2";
+      Alcotest.(check (list string)) "watch fired per set" [ "v2"; "v1" ] !seen;
+      Engine.stop ())
+
+let () =
+  Alcotest.run "zookeeper"
+    [
+      ( "zookeeper",
+        [
+          Alcotest.test_case "znodes" `Quick test_znodes;
+          Alcotest.test_case "op latency" `Quick test_op_latency;
+          Alcotest.test_case "session expiry" `Quick
+            test_session_expiry_on_death;
+          Alcotest.test_case "detection bounded by timeout" `Quick
+            test_expiry_within_session_timeout;
+          Alcotest.test_case "data watches" `Quick test_data_watches;
+        ] );
+    ]
