@@ -84,10 +84,11 @@ let read_grouped (cluster : t) ep ~shard_of positions =
   let calls =
     Hashtbl.fold
       (fun sid ps acc ->
-        let shard =
-          List.find (fun s -> Shard.shard_id s = sid) cluster.shards
+        let shard = shard_by_id cluster sid in
+        let req =
+          Proto.Sh_read
+            { positions = List.rev !ps; stable_hint = cluster.stable_gp }
         in
-        let req = Proto.Sh_read { positions = List.rev !ps } in
         let iv = Ivar.create () in
         Engine.spawn ~name:"client.read" (fun () ->
             match

@@ -10,6 +10,9 @@ type t = {
   seq_capacity : int;
   order_interval : Engine.time;
   max_batch : int;
+  min_batch : int;
+  adaptive_batch : bool;
+  pipeline_depth : int;
   seq_base_ns : int;
   seq_per_byte_ns : float;
   shard_base_ns : int;
@@ -29,6 +32,9 @@ let default =
     seq_capacity = 1 lsl 16;
     order_interval = Engine.us 20;
     max_batch = 8192;
+    min_batch = 64;
+    adaptive_batch = true;
+    pipeline_depth = 4;
     (* ~1.2 M small-record appends/s and ~1.3 M metadata appends/s per
        replica; ~330 K/s at 4 KB (records traverse the replica's 25 Gb NIC
        twice: ingest + background push), flattening for large records

@@ -18,6 +18,13 @@ type t = {
   order_interval : Engine.time;
       (** background-ordering period (how often the leader cuts a batch) *)
   max_batch : int;  (** max entries ordered per background pass *)
+  min_batch : int;  (** adaptive batching floor (see {!field-adaptive_batch}) *)
+  adaptive_batch : bool;
+      (** grow the ordering batch while the sequencing log keeps a backlog,
+          shrink it back to [min_batch] when drained *)
+  pipeline_depth : int;
+      (** max ordering batches in flight at once; [1] plus
+          [adaptive_batch = false] selects the legacy serial orderer *)
   seq_base_ns : int;  (** sequencing-replica CPU per request, base *)
   seq_per_byte_ns : float;  (** sequencing-replica CPU per payload byte *)
   shard_base_ns : int;  (** shard CPU per request *)

@@ -12,6 +12,27 @@ type reconfig_timings = {
   total : Engine.time;
 }
 
+type orderer_metrics = {
+  stable_lag : Stats.Reservoir.t;
+  batch_sizes : Stats.Histogram.t;
+  depth_samples : Stats.Histogram.t;
+  mutable largest_batch : int;
+  mutable ordered_records : int;
+  mutable first_claim_at : Engine.time;
+  mutable last_stable_at : Engine.time;
+}
+
+let fresh_metrics () =
+  {
+    stable_lag = Stats.Reservoir.create ~name:"stable_lag" ();
+    batch_sizes = Stats.Histogram.create ~name:"batch_size" ();
+    depth_samples = Stats.Histogram.create ~name:"pipeline_depth" ();
+    largest_batch = 0;
+    ordered_records = 0;
+    first_claim_at = -1;
+    last_stable_at = -1;
+  }
+
 type t = {
   cfg : Config.t;
   mode : mode;
@@ -30,6 +51,11 @@ type t = {
   order_idle : Ll_sim.Waitq.t;
   mutable batches : int;
   mutable batched_entries : int;
+  mutable shard_index : Shard.t array;
+  mutable inflight_batches : int;
+  mutable cur_batch : int;
+  mutable order_resync : bool;
+  metrics : orderer_metrics;
 }
 
 let create ~cfg ~mode =
@@ -62,6 +88,14 @@ let create ~cfg ~mode =
       order_idle = Waitq.create ();
       batches = 0;
       batched_entries = 0;
+      shard_index = Array.of_list shards;
+      inflight_batches = 0;
+      cur_batch =
+        (if cfg.Config.adaptive_batch then
+           min cfg.Config.min_batch cfg.Config.max_batch
+         else cfg.Config.max_batch);
+      order_resync = false;
+      metrics = fresh_metrics ();
     }
   in
   List.iter
@@ -79,12 +113,20 @@ let leader t =
 
 let followers t = match t.replicas with [] -> [] | _ :: rest -> rest
 
+(* Shards indexed by id: O(1) lookup on the read and placement hot paths
+   (shard ids are dense, assigned in creation order). *)
+let shard_by_id t sid = t.shard_index.(sid)
+
 let shard_of_position t p =
-  List.nth t.shards (p mod List.length t.shards)
+  t.shard_index.(p mod Array.length t.shard_index)
 
 let add_shard t =
-  let s = Shard.create ~cfg:t.cfg ~fabric:t.fabric ~shard_id:(List.length t.shards) in
+  let s =
+    Shard.create ~cfg:t.cfg ~fabric:t.fabric
+      ~shard_id:(Array.length t.shard_index)
+  in
   t.shards <- t.shards @ [ s ];
+  t.shard_index <- Array.append t.shard_index [| s |];
   s
 
 let fresh_client_id t =
@@ -95,6 +137,13 @@ let fresh_client_id t =
 let avg_batch t =
   if t.batches = 0 then 0.0
   else float_of_int t.batched_entries /. float_of_int t.batches
+
+let ordering_throughput t =
+  let m = t.metrics in
+  if m.ordered_records = 0 || m.last_stable_at <= m.first_claim_at then 0.0
+  else
+    float_of_int m.ordered_records
+    /. Engine.to_sec (m.last_stable_at - m.first_claim_at)
 
 let new_endpoint t ~name =
   let node =

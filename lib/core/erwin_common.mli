@@ -21,6 +21,19 @@ type reconfig_timings = {
   total : Engine.time;
 }
 
+(** Background-ordering observability (fed by {!Orderer}): stable-gp lag
+    per batch (claim to stable, ns), batch-size and pipeline-depth
+    histograms, and the bounds needed to derive ordering throughput. *)
+type orderer_metrics = {
+  stable_lag : Stats.Reservoir.t;
+  batch_sizes : Stats.Histogram.t;
+  depth_samples : Stats.Histogram.t;
+  mutable largest_batch : int;
+  mutable ordered_records : int;
+  mutable first_claim_at : Engine.time;  (** -1 until the first claim *)
+  mutable last_stable_at : Engine.time;  (** -1 until the first stable *)
+}
+
 type t = {
   cfg : Config.t;
   mode : mode;
@@ -41,6 +54,13 @@ type t = {
   (* background-ordering batch statistics (figure 11's right axis) *)
   mutable batches : int;
   mutable batched_entries : int;
+  mutable shard_index : Shard.t array;  (** shards keyed by shard id *)
+  mutable inflight_batches : int;  (** ordering batches pushed, not stable *)
+  mutable cur_batch : int;  (** adaptive ordering batch size *)
+  mutable order_resync : bool;
+      (** set when an in-flight batch is discarded (seal/view change);
+          the orderer re-reads the leader's state once drained *)
+  metrics : orderer_metrics;
 }
 
 val create : cfg:Config.t -> mode:mode -> t
@@ -50,6 +70,9 @@ val create : cfg:Config.t -> mode:mode -> t
 
 val leader : t -> Seq_replica.t
 val followers : t -> Seq_replica.t list
+
+val shard_by_id : t -> int -> Shard.t
+(** O(1) shard lookup by id (ids are dense, creation-ordered). *)
 
 val shard_of_position : t -> int -> Shard.t
 (** Erwin-m's deterministic placement: position [p] lives on shard
@@ -63,6 +86,10 @@ val fresh_client_id : t -> int
 
 val avg_batch : t -> float
 (** Mean background-ordering batch size so far. *)
+
+val ordering_throughput : t -> float
+(** Records made stable per second of simulated time, measured from the
+    first batch claim to the latest stable broadcast (0 if none). *)
 
 val new_endpoint : t -> name:string -> (Proto.req, Proto.resp) Rpc.endpoint
 (** A fresh fabric node + endpoint (for clients and the controller). *)

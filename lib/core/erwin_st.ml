@@ -69,21 +69,30 @@ let client (cluster : Erwin_common.t) : Log_api.t =
     { Types.Rid.client = cid; seq = !seq }
   in
   let pick_shard () =
-    let shards = cluster.shards in
-    let s = List.nth shards (!rr mod List.length shards) in
+    let n = Array.length cluster.shard_index in
+    let s = shard_by_id cluster (!rr mod n) in
     incr rr;
     s
   in
-  let rec append_record ~track record =
-    let shard = pick_shard () in
+  (* A rid is pinned to its shard across [`Fail] retries: the ordered
+     metadata names that shard, so retrying elsewhere would let the
+     original shard no-op the binding while a duplicate-filtered meta ack
+     makes the retry look successful — losing an acked record. Only a
+     fresh rid (after [`Poisoned]) picks a new shard. *)
+  let rec append_attempt ~track record shard =
     match try_append_once cluster ep ~track record shard with
     | `Ok -> record.Types.rid
     | `Poisoned ->
       (* Never acked, so appending again under a fresh rid is safe. *)
-      append_record ~track { record with Types.rid = next_rid () }
+      append_attempt ~track
+        { record with Types.rid = next_rid () }
+        (pick_shard ())
     | `Fail view ->
       Client_core.await_view_after cluster view;
-      append_record ~track record
+      append_attempt ~track record shard
+  in
+  let append_record ~track record =
+    append_attempt ~track record (pick_shard ())
   in
   let append ~size ~data =
     let r = Types.record ~rid:(next_rid ()) ~size ~data () in
@@ -101,7 +110,12 @@ let client (cluster : Erwin_common.t) : Log_api.t =
     | None -> ()
     | Some missing ->
       let req =
-        Proto.Ssh_get_map { from = missing; count = map_fetch_chunk }
+        Proto.Ssh_get_map
+          {
+            from = missing;
+            count = map_fetch_chunk;
+            stable_hint = cluster.stable_gp;
+          }
       in
       let any_shard = List.hd cluster.shards in
       (match
@@ -114,10 +128,7 @@ let client (cluster : Erwin_common.t) : Log_api.t =
       | Some _ | None -> failwith "erwin-st: bad map response");
       ensure_mapped positions
   in
-  let shard_of p =
-    let sid = Hashtbl.find map_cache p in
-    List.find (fun s -> Shard.shard_id s = sid) cluster.shards
-  in
+  let shard_of p = shard_by_id cluster (Hashtbl.find map_cache p) in
   let read ~from ~len =
     let positions = List.init len (fun i -> from + i) in
     ensure_mapped positions;

@@ -2,78 +2,102 @@ open Ll_sim
 open Ll_net
 open Erwin_common
 
-let push_batch (cluster : t) ep ~truncate_from slots =
-  let shards = cluster.shards in
-  let n = List.length shards in
-  let targets =
-    match cluster.mode with
-    | M ->
-      (* Deterministic placement: position p -> shard (p mod n). *)
-      let groups = Array.make n [] in
-      List.iter
-        (fun (gp, entry) ->
-          match (entry : Types.entry) with
-          | Types.Data r -> groups.(gp mod n) <- (gp, r) :: groups.(gp mod n)
-          | Types.Meta _ -> assert false)
-        slots;
-      List.mapi
-        (fun i shard ->
-          let slots = List.rev groups.(i) in
-          (shard, Proto.Msh_push { truncate_from; slots }, slots <> []))
-        shards
-    | St ->
-      let map_chunk =
-        List.map
-          (fun (gp, entry) ->
-            match (entry : Types.entry) with
-            | Types.Meta m -> (gp, m.shard)
-            | Types.Data _ -> assert false)
-          slots
-      in
-      let groups = Array.make n [] in
-      List.iter
-        (fun (gp, entry) ->
-          match (entry : Types.entry) with
-          | Types.Meta m -> groups.(m.shard) <- (gp, Types.entry_rid entry) :: groups.(m.shard)
-          | Types.Data _ -> assert false)
-        slots;
-      (* Every shard stores the full position->shard map chunk, so any
-         shard server can answer Ssh_get_map (section 5.3). *)
-      List.mapi
-        (fun i shard ->
-          ( shard,
-            Proto.Ssh_order
-              { truncate_from; bindings = List.rev groups.(i); map_chunk },
-            map_chunk <> [] ))
-        shards
-  in
+(* ---------- batch -> per-shard request construction ----------
+
+   Array-based hot path: one reverse pass over the positioned slots builds
+   every shard's request payload and its wire size, with no List.mapi /
+   List.length re-walks. Payloads stay lists because that is the wire
+   format ([Proto]); they are built back-to-front so no reversal is
+   needed. *)
+
+let build_targets (cluster : t) ~truncate_from
+    (slots : (int * Types.entry) array) =
+  let shards = cluster.shard_index in
+  let n = Array.length shards in
+  match cluster.mode with
+  | M ->
+    (* Deterministic placement: position p -> shard (p mod n). *)
+    let groups = Array.make n [] in
+    let sizes = Array.make n 0 in
+    for i = Array.length slots - 1 downto 0 do
+      let gp, entry = slots.(i) in
+      match (entry : Types.entry) with
+      | Types.Data r ->
+        let s = gp mod n in
+        groups.(s) <- (gp, r) :: groups.(s);
+        sizes.(s) <- sizes.(s) + Proto.record_wire r
+      | Types.Meta _ -> assert false
+    done;
+    Array.init n (fun i ->
+        ( shards.(i),
+          Proto.Msh_push { truncate_from; slots = groups.(i) },
+          sizes.(i),
+          groups.(i) <> [] || truncate_from <> None ))
+  | St ->
+    let groups = Array.make n [] in
+    let counts = Array.make n 0 in
+    let map_chunk = ref [] in
+    for i = Array.length slots - 1 downto 0 do
+      let gp, entry = slots.(i) in
+      match (entry : Types.entry) with
+      | Types.Meta m ->
+        groups.(m.shard) <- (gp, Types.entry_rid entry) :: groups.(m.shard);
+        counts.(m.shard) <- counts.(m.shard) + 1;
+        map_chunk := (gp, m.shard) :: !map_chunk
+      | Types.Data _ -> assert false
+    done;
+    (* Every shard stores the full position->shard map chunk, so any
+       shard server can answer Ssh_get_map (section 5.3). *)
+    let map_chunk = !map_chunk in
+    let map_size = 12 * Array.length slots in
+    let any = map_chunk <> [] || truncate_from <> None in
+    Array.init n (fun i ->
+        ( shards.(i),
+          Proto.Ssh_order { truncate_from; bindings = groups.(i); map_chunk },
+          (24 * counts.(i)) + map_size,
+          any ))
+
+(* Fire one independent push fiber per involved shard; [on_done] runs once
+   every shard (replication included) has acknowledged. Pushes are retried
+   on loss: binding by explicit position and the primary's already-bound
+   filter make them idempotent. No cross-shard barrier here — a straggler
+   shard delays only its own batch's commit, never the next batch's
+   pushes. *)
+let spawn_pushes (cluster : t) ep ~truncate_from slots ~on_done =
+  let targets = build_targets cluster ~truncate_from slots in
   let involved =
-    List.filter (fun (_, _, nonempty) -> nonempty || truncate_from <> None) targets
+    Array.fold_left
+      (fun acc (_, _, _, send) -> if send then acc + 1 else acc)
+      0 targets
   in
-  (* Pushes are retried on loss: binding by explicit position and the
-     primary's already-bound filter make them idempotent. *)
-  let acks =
-    List.map
-      (fun (shard, req, _) ->
-        let iv = Ivar.create () in
-        Engine.spawn ~name:"orderer.push" (fun () ->
-            ignore
-              (Rpc.call_retry ep ~dst:(Shard.primary_id shard)
-                 ~size:(Proto.req_size req) ~timeout:(Engine.ms 20)
-                 ~max_tries:100 req);
-            Ivar.fill iv ());
-        iv)
-      involved
-  in
-  ignore (Ivar.join_all acks : unit list)
+  if involved = 0 then on_done ()
+  else begin
+    let remaining = ref involved in
+    Array.iter
+      (fun (shard, req, size, send) ->
+        if send then
+          Engine.spawn ~name:"orderer.push" (fun () ->
+              ignore
+                (Rpc.call_retry ep ~dst:(Shard.primary_id shard) ~size
+                   ~timeout:(Engine.ms 20) ~max_tries:100 req);
+              decr remaining;
+              if !remaining = 0 then on_done ()))
+      targets
+  end
+
+let push_batch (cluster : t) ep ~truncate_from slots =
+  let iv = Ivar.create () in
+  spawn_pushes cluster ep ~truncate_from (Array.of_list slots)
+    ~on_done:(fun () -> Ivar.fill iv ());
+  Ivar.read iv
 
 let broadcast_stable (cluster : t) ep gp =
   if gp > cluster.stable_gp then cluster.stable_gp <- gp;
-  List.iter
+  Array.iter
     (fun shard ->
       Rpc.send_oneway ep ~dst:(Shard.primary_id shard)
         (Proto.Sh_set_stable { gp }))
-    cluster.shards
+    cluster.shard_index
 
 (* Garbage-collect the ordered batch on one follower. The paper does this
    with RDMA writes that move the ring-buffer head pointers without
@@ -111,7 +135,50 @@ let rec gc_followers (cluster : t) ep ~view ~slots ~new_gp =
     | _ -> gc_followers cluster ep ~view ~slots ~new_gp
   end
 
-let pass (cluster : t) ep =
+(* ---------- adaptive batch sizing ---------- *)
+
+module Adaptive = struct
+  (* Multiplicative controller: double the batch while claims come out
+     full with a backlog left behind (the sequencing log is filling faster
+     than we drain it), halve it once a claim leaves the log empty without
+     even filling half a batch. Clamped to [min_batch, max_batch]. *)
+  let next (cfg : Config.t) ~cur ~claimed ~backlog =
+    if not cfg.Config.adaptive_batch then cfg.Config.max_batch
+    else begin
+      let lo = min cfg.Config.min_batch cfg.Config.max_batch in
+      let hi = cfg.Config.max_batch in
+      let cur = max lo (min cur hi) in
+      if claimed >= cur && backlog > 0 then min (cur * 2) hi
+      else if backlog = 0 && claimed <= cur / 2 then max (cur / 2) lo
+      else cur
+    end
+end
+
+(* ---------- metrics ---------- *)
+
+let note_claim (cluster : t) n =
+  let m = cluster.metrics in
+  if m.first_claim_at < 0 then m.first_claim_at <- Engine.now ();
+  Stats.Histogram.add m.batch_sizes n;
+  Stats.Histogram.add m.depth_samples (max 1 cluster.inflight_batches);
+  if n > m.largest_batch then m.largest_batch <- n
+
+let note_stable (cluster : t) ~size ~claimed_at =
+  cluster.batches <- cluster.batches + 1;
+  cluster.batched_entries <- cluster.batched_entries + size;
+  let m = cluster.metrics in
+  m.ordered_records <- m.ordered_records + size;
+  m.last_stable_at <- Engine.now ();
+  Stats.Reservoir.add m.stable_lag (Engine.now () - claimed_at)
+
+(* ---------- legacy serial orderer (pipeline_depth <= 1, fixed batch) ----
+
+   One strictly sequential push -> leader GC -> follower GC -> stable
+   round per interval; kept as the baseline the pipelined path is
+   benchmarked against (bench/micro.ml) and for configurations that want
+   the original behavior. *)
+
+let serial_pass (cluster : t) ep =
   let ldr = leader cluster in
   if
     (not cluster.reconfiguring)
@@ -122,9 +189,12 @@ let pass (cluster : t) ep =
     let slog = Seq_replica.log ldr in
     let entries = Seq_log.unordered slog ~max:cluster.cfg.Config.max_batch () in
     if entries <> [] then begin
+      let claimed_at = Engine.now () in
       let base = Seq_log.last_ordered_gp slog in
       let slots = List.mapi (fun i e -> (base + i, e)) entries in
+      let n = List.length entries in
       cluster.ordering_in_progress <- true;
+      note_claim cluster n;
       push_batch cluster ep ~truncate_from:None slots;
       (* The batch is on the shards. Collect it replica by replica; only
          when every replica has GC'd may stable-gp move (section 4.5). *)
@@ -134,13 +204,11 @@ let pass (cluster : t) ep =
         && Fabric.is_alive (Seq_replica.node ldr)
       then begin
         let gc_slots = List.map (fun (gp, e) -> (gp, Types.entry_rid e)) slots in
-        let new_gp = base + List.length entries in
+        let new_gp = base + n in
         Seq_replica.apply_gc ldr ~slots:gc_slots ~new_gp;
         if gc_followers cluster ep ~view ~slots:gc_slots ~new_gp then begin
           broadcast_stable cluster ep new_gp;
-          cluster.batches <- cluster.batches + 1;
-          cluster.batched_entries <-
-            cluster.batched_entries + List.length entries
+          note_stable cluster ~size:n ~claimed_at
         end
       end;
       cluster.ordering_in_progress <- false;
@@ -148,17 +216,167 @@ let pass (cluster : t) ep =
     end
   end
 
-let start (cluster : t) =
-  let ep = new_endpoint cluster ~name:"orderer" in
-  Engine.spawn ~name:"orderer" (fun () ->
+(* ---------- pipelined orderer ----------
+
+   Two fibers per cluster:
+
+   - the dispatcher claims a batch from the leader's log, assigns
+     positions from its own ordering frontier, and fires the per-shard
+     pushes — without waiting for them;
+   - the committer consumes batches strictly in dispatch order and, per
+     batch, waits for its pushes, GCs the leader, GCs every follower, and
+     only then advances stable-gp (the section 4.5 invariant, per batch).
+
+   So batch N+1's shard pushes overlap batch N's follower GC and stable
+   broadcast, while stable-gp still advances in batch order. In-flight
+   batches are bounded by [pipeline_depth]. A seal or view change between
+   a batch's push and its GC invalidates the batch: the committer drops it
+   without touching stable-gp, and the recovery flush re-binds its
+   positions idempotently (explicit-position binding). *)
+
+type batch = {
+  view : int;
+  ldr : Seq_replica.t;
+  gc_slots : (int * Types.Rid.t) list;
+  new_gp : int;
+  size : int;
+  pushed : unit Ivar.t;
+  claimed_at : Engine.time;
+}
+
+let batch_valid (cluster : t) (b : batch) =
+  cluster.view = b.view
+  && (not cluster.reconfiguring)
+  && Fabric.is_alive (Seq_replica.node b.ldr)
+  && not (Seq_replica.is_sealed b.ldr)
+
+let commit_batch (cluster : t) ep (b : batch) =
+  (* Pushes must land (or be abandoned by a view change's recovery flush,
+     which serializes behind us via wait_idle) before any replica GC. *)
+  Ivar.read b.pushed;
+  if batch_valid cluster b then begin
+    Seq_replica.apply_gc b.ldr ~slots:b.gc_slots ~new_gp:b.new_gp;
+    if
+      gc_followers cluster ep ~view:b.view ~slots:b.gc_slots ~new_gp:b.new_gp
+    then begin
+      broadcast_stable cluster ep b.new_gp;
+      note_stable cluster ~size:b.size ~claimed_at:b.claimed_at
+    end
+    else cluster.order_resync <- true
+  end
+  else
+    (* Overtaken between push and GC: drop the batch. Its entries are
+       still live in the surviving replicas' logs, so the view change's
+       recovery flush re-orders them; positions rebind idempotently. *)
+    cluster.order_resync <- true
+
+let pipelined_loop (cluster : t) ep =
+  let depth = max 1 cluster.cfg.Config.pipeline_depth in
+  let queue : batch Queue.t = Queue.create () in
+  let commit_wake = Waitq.create () in
+  Engine.spawn ~name:"orderer.commit" (fun () ->
       let rec loop () =
-        Engine.sleep cluster.cfg.Config.order_interval;
-        pass cluster ep;
+        Waitq.await commit_wake (fun () -> not (Queue.is_empty queue));
+        let b = Queue.pop queue in
+        commit_batch cluster ep b;
+        cluster.inflight_batches <- cluster.inflight_batches - 1;
+        Waitq.broadcast cluster.order_idle;
         loop ()
       in
-      loop ())
+      loop ());
+  let next_gp = ref 0 in
+  let pipe_view = ref (-1) in
+  let rec loop () =
+    Waitq.await cluster.order_idle (fun () ->
+        cluster.inflight_batches < depth);
+    (* With the pipeline empty the leader's last-ordered-gp is
+       authoritative again: resync the ordering frontier (and, after a
+       discarded batch, the claim cursor). *)
+    if cluster.inflight_batches = 0 then begin
+      (match cluster.replicas with
+      | r :: _ ->
+        if cluster.order_resync then begin
+          Seq_log.reset_claims (Seq_replica.log r);
+          cluster.order_resync <- false
+        end;
+        next_gp := Seq_log.last_ordered_gp (Seq_replica.log r)
+      | [] -> ());
+      pipe_view := cluster.view
+    end;
+    let claimed, backlog =
+      if
+        cluster.reconfiguring
+        || cluster.view <> !pipe_view
+        || cluster.replicas = []
+      then (0, 0)
+      else begin
+        let ldr = leader cluster in
+        if
+          (not (Fabric.is_alive (Seq_replica.node ldr)))
+          || Seq_replica.is_sealed ldr
+        then (0, 0)
+        else begin
+          let slog = Seq_replica.log ldr in
+          let entries = Seq_log.claim_unordered slog ~max:cluster.cur_batch in
+          let n = Array.length entries in
+          if n = 0 then (0, 0)
+          else begin
+            let base = !next_gp in
+            next_gp := base + n;
+            let slots = Array.mapi (fun i e -> (base + i, e)) entries in
+            let gc_slots = ref [] in
+            for i = n - 1 downto 0 do
+              let gp, e = slots.(i) in
+              gc_slots := (gp, Types.entry_rid e) :: !gc_slots
+            done;
+            cluster.inflight_batches <- cluster.inflight_batches + 1;
+            note_claim cluster n;
+            let pushed = Ivar.create () in
+            spawn_pushes cluster ep ~truncate_from:None slots
+              ~on_done:(fun () -> Ivar.fill pushed ());
+            Queue.push
+              {
+                view = !pipe_view;
+                ldr;
+                gc_slots = !gc_slots;
+                new_gp = base + n;
+                size = n;
+                pushed;
+                claimed_at = Engine.now ();
+              }
+              queue;
+            Waitq.broadcast commit_wake;
+            (n, Seq_log.unclaimed_count slog)
+          end
+        end
+      end
+    in
+    cluster.cur_batch <-
+      Adaptive.next cluster.cfg ~cur:cluster.cur_batch ~claimed ~backlog;
+    (* Pacing: with a backlog and pipeline slots free, cut the next batch
+       almost immediately; otherwise poll at the ordering interval. *)
+    if claimed > 0 && backlog > 0 then
+      Engine.sleep (max (Engine.ns 100) (cluster.cfg.Config.order_interval / 16))
+    else Engine.sleep cluster.cfg.Config.order_interval;
+    loop ()
+  in
+  loop ()
 
-let is_idle (cluster : t) = not cluster.ordering_in_progress
+let start (cluster : t) =
+  let ep = new_endpoint cluster ~name:"orderer" in
+  let cfg = cluster.cfg in
+  if cfg.Config.pipeline_depth <= 1 && not cfg.Config.adaptive_batch then
+    Engine.spawn ~name:"orderer" (fun () ->
+        let rec loop () =
+          Engine.sleep cfg.Config.order_interval;
+          serial_pass cluster ep;
+          loop ()
+        in
+        loop ())
+  else Engine.spawn ~name:"orderer" (fun () -> pipelined_loop cluster ep)
+
+let is_idle (cluster : t) =
+  (not cluster.ordering_in_progress) && cluster.inflight_batches = 0
 
 let wait_idle (cluster : t) =
-  Waitq.await cluster.order_idle (fun () -> not cluster.ordering_in_progress)
+  Waitq.await cluster.order_idle (fun () -> is_idle cluster)

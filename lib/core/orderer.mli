@@ -1,15 +1,25 @@
-(** Background ordering (section 4.3).
+(** Background ordering (section 4.3), pipelined.
 
-    A single fiber per cluster periodically takes the leader's unordered
-    entries, assigns them global positions starting at the leader's
-    last-ordered-gp, pushes them to the shards (whole records for Erwin-m,
-    metadata bindings plus the position-to-shard map for Erwin-st), garbage
-    collects the batch on every replica, and only then advances stable-gp —
-    the order the correctness argument of section 4.5 depends on.
+    The orderer takes the leader's unordered entries, assigns them global
+    positions starting at the leader's last-ordered-gp, pushes them to the
+    shards (whole records for Erwin-m, metadata bindings plus the
+    position-to-shard map for Erwin-st), garbage collects the batch on
+    every replica, and only then advances stable-gp — the order the
+    correctness argument of section 4.5 depends on.
 
-    The fiber reads the leader's log directly (the paper does this with
-    RDMA so the leader's CPU is not consumed) and quiesces while a view
-    change is running. *)
+    By default those stages are pipelined across batches: a dispatcher
+    fiber claims batch N+1 from the leader's log and fires its per-shard
+    pushes while batch N's follower GC and stable broadcast are still in
+    flight, and a committer fiber retires batches strictly in dispatch
+    order so stable-gp never advances out of order. In-flight batches are
+    bounded by [Config.pipeline_depth]; batch size adapts between
+    [Config.min_batch] and [Config.max_batch] ({!Adaptive}). Setting
+    [pipeline_depth = 1] with [adaptive_batch = false] selects the
+    original strictly serial single-fiber orderer.
+
+    The dispatcher reads the leader's log directly (the paper does this
+    with RDMA so the leader's CPU is not consumed) and quiesces while a
+    view change is running. *)
 
 open Ll_net
 
@@ -28,11 +38,23 @@ val broadcast_stable :
   Erwin_common.t -> (Proto.req, Proto.resp) Rpc.endpoint -> int -> unit
 (** Advances the cluster's stable-gp mirror and notifies every shard. *)
 
+(** Batch-size controller for the pipelined orderer: grows the batch while
+    claims come out full with backlog remaining, shrinks it once the
+    sequencing log drains. Exposed for unit testing. *)
+module Adaptive : sig
+  val next : Config.t -> cur:int -> claimed:int -> backlog:int -> int
+  (** [next cfg ~cur ~claimed ~backlog] is the batch size to use after a
+      claim that returned [claimed] entries and left [backlog] live
+      unclaimed entries behind. Clamped to
+      [[min min_batch max_batch, max_batch]]; with [adaptive_batch =
+      false] it is always [max_batch]. *)
+end
+
 val start : Erwin_common.t -> unit
-(** Spawns the background-ordering fiber. *)
+(** Spawns the background-ordering fiber(s). *)
 
 val is_idle : Erwin_common.t -> bool
 
 val wait_idle : Erwin_common.t -> unit
-(** Blocks until no ordering pass is in flight (reconfiguration uses this
+(** Blocks until no ordering batch is in flight (reconfiguration uses this
     to serialize the recovery flush against normal pushes). *)

@@ -29,8 +29,11 @@ type req =
       (** Blocks until the tracked rid is bound; responds with its position. *)
   (* --- Shards, common paths --- *)
   | Sh_set_stable of { gp : gp }  (** one-way: advance the readable prefix *)
-  | Sh_read of { positions : gp list }
-      (** Read records; waits until all positions are below stable-gp. *)
+  | Sh_read of { positions : gp list; stable_hint : gp }
+      (** Read records; waits until all positions are below stable-gp.
+          [stable_hint] piggybacks the stable-gp the client learned from
+          the sequencing layer, so a shard that lost a one-way
+          [Sh_set_stable] catches up instead of blocking the read. *)
   | Sh_trim of { upto : gp }
   (* --- Erwin-m shards: background pushes of full records --- *)
   | Msh_push of { truncate_from : gp option; slots : (gp * Types.record) list }
@@ -54,7 +57,7 @@ type req =
     }
   | Ssh_backfill of { slots : (gp * Types.record) list }
       (** Primary -> backup: records the backup was missing. *)
-  | Ssh_get_map of { from : gp; count : int }
+  | Ssh_get_map of { from : gp; count : int; stable_hint : gp }
 
 type resp =
   | R_ok
@@ -86,7 +89,7 @@ let req_size = function
     + (12 * List.length map_chunk)
     + (16 * List.length noops)
   | Ssh_backfill { slots } -> slots_wire slots
-  | Sh_read { positions } -> 8 * List.length positions
+  | Sh_read { positions; _ } -> (8 * List.length positions) + 8
   | Sr_check_tail _ | Sr_seal _ | Sr_get_state | Sr_wait_ordered _
   | Sh_set_stable _ | Sh_trim _ | Ssh_get_map _ ->
     32

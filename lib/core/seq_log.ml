@@ -9,6 +9,11 @@ type t = {
   mutable next : int;  (* next slot *)
   mutable live : int;
   mutable gp : int;
+  (* Pipelined ordering: slots below [claimed] belong to an in-flight
+     ordering batch and must not be claimed again; [claimed_live] counts
+     the live entries among them. *)
+  mutable claimed : int;
+  mutable claimed_live : int;
   space : Waitq.t;
 }
 
@@ -22,6 +27,8 @@ let create ~capacity =
     next = 0;
     live = 0;
     gp = 0;
+    claimed = 0;
+    claimed_live = 0;
     space = Waitq.create ();
   }
 
@@ -94,6 +101,39 @@ let unordered t ?max () =
 
 let live_count t = t.live
 
+let unclaimed_count t = t.live - t.claimed_live
+
+(* Claim up to [max] live entries for an in-flight ordering batch, in log
+   order, starting after the previous claim. Returns an array (the
+   orderer's hot path): one bounded scan, no list rebuild. Claimed entries
+   stay live (they still hold capacity and are returned by {!unordered}
+   for recovery flushes) but later claims skip them. *)
+let claim_unordered t ~max =
+  let start = if t.claimed < t.first then t.first else t.claimed in
+  let avail = t.live - t.claimed_live in
+  let want = if max < avail then max else avail in
+  if want <= 0 then [||]
+  else begin
+    let out = Array.make want (Types.Data Types.no_op) in
+    let taken = ref 0 in
+    let slot = ref start in
+    while !taken < want && !slot < t.next do
+      (match Hashtbl.find_opt t.entries !slot with
+      | Some e ->
+        out.(!taken) <- e;
+        incr taken
+      | None -> ());
+      incr slot
+    done;
+    t.claimed <- !slot;
+    t.claimed_live <- t.claimed_live + !taken;
+    if !taken = want then out else Array.sub out 0 !taken
+  end
+
+let reset_claims t =
+  t.claimed <- t.first;
+  t.claimed_live <- 0
+
 let note_ordered t (rid : Types.Rid.t) =
   if rid.client >= 0 then begin
     match Hashtbl.find_opt t.ordered_seq rid.client with
@@ -114,7 +154,8 @@ let remove_ordered t rids =
       | Some slot ->
         Hashtbl.remove t.entries slot;
         Hashtbl.remove t.by_rid rid;
-        t.live <- t.live - 1
+        t.live <- t.live - 1;
+        if slot < t.claimed then t.claimed_live <- t.claimed_live - 1
       | None -> ())
     rids;
   advance_first t;
@@ -127,6 +168,8 @@ let clear t =
   Hashtbl.reset t.by_rid;
   t.live <- 0;
   t.first <- t.next;
+  t.claimed <- t.next;
+  t.claimed_live <- 0;
   Waitq.broadcast t.space
 
 let last_ordered_gp t = t.gp

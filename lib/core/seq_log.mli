@@ -47,6 +47,21 @@ val unordered : t -> ?max:int -> unit -> Types.entry list
 
 val live_count : t -> int
 
+val unclaimed_count : t -> int
+(** Live entries not claimed by an in-flight ordering batch. *)
+
+val claim_unordered : t -> max:int -> Types.entry array
+(** [claim_unordered t ~max] takes up to [max] live entries in log order,
+    starting after the previous claim, and marks them claimed so
+    overlapping ordering batches never double-select. Claimed entries stay
+    live (capacity, duplicate filter, {!unordered} for recovery flushes)
+    until {!remove_ordered} drops them. Array-returning hot path for the
+    pipelined orderer. *)
+
+val reset_claims : t -> unit
+(** Forget claims (a discarded in-flight batch): claimed entries become
+    claimable again. Callers must ensure no ordering batch is in flight. *)
+
 val remove_ordered : t -> Types.Rid.t list -> unit
 (** Garbage collection: removes the given rids (those present) and records
     them as ordered in the duplicate filter. Frees capacity. *)

@@ -197,7 +197,13 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
         | _ -> ())
       t.backups resps;
     reply Proto.R_ok
-  | Sh_read { positions } ->
+  | Sh_read { positions; stable_hint } ->
+    (* The hint repairs a stable mirror that missed a (lossy, one-way)
+       Sh_set_stable: the client would not ask for unstable positions. *)
+    if stable_hint > t.stable then begin
+      t.stable <- stable_hint;
+      Waitq.broadcast t.stable_watch
+    end;
     let max_pos = List.fold_left max (-1) positions in
     Waitq.await t.stable_watch (fun () -> t.stable > max_pos);
     let records =
@@ -209,7 +215,11 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
         positions
     in
     reply (Proto.R_records { records })
-  | Ssh_get_map { from; count } ->
+  | Ssh_get_map { from; count; stable_hint } ->
+    if stable_hint > t.stable then begin
+      t.stable <- stable_hint;
+      Waitq.broadcast t.stable_watch
+    end;
     Waitq.await t.stable_watch (fun () -> t.stable > from);
     let upto = min t.stable (from + count) in
     let chunk = ref [] in

@@ -23,11 +23,17 @@ module Reservoir = struct
 
   let count t = t.size
 
+  (* Int.compare, not polymorphic compare: reservoirs hold millions of
+     samples after a bench run and the polymorphic path dominates
+     post-processing cost. *)
   let ensure_sorted t =
     if not t.sorted then begin
-      let sub = Array.sub t.data 0 t.size in
-      Array.sort compare sub;
-      Array.blit sub 0 t.data 0 t.size;
+      if t.size = Array.length t.data then Array.sort Int.compare t.data
+      else begin
+        let sub = Array.sub t.data 0 t.size in
+        Array.sort Int.compare sub;
+        Array.blit sub 0 t.data 0 t.size
+      end;
       t.sorted <- true
     end
 
@@ -48,12 +54,13 @@ module Reservoir = struct
       let rank = p /. 100.0 *. float_of_int (t.size - 1) in
       let lo = int_of_float rank in
       let hi = if lo + 1 < t.size then lo + 1 else lo in
-      let frac = rank -. float_of_int lo in
-      let v =
-        (float_of_int t.data.(lo) *. (1.0 -. frac))
-        +. (float_of_int t.data.(hi) *. frac)
-      in
-      v /. 1_000.
+      let a = t.data.(lo) and b = t.data.(hi) in
+      if a = b then float_of_int a /. 1_000.
+      else begin
+        let frac = rank -. float_of_int lo in
+        ((float_of_int a *. (1.0 -. frac)) +. (float_of_int b *. frac))
+        /. 1_000.
+      end
     end
 
   let min_us t = percentile_us t 0.0
@@ -119,7 +126,7 @@ module Timeline = struct
   let series t =
     let bins =
       Hashtbl.fold (fun b r acc -> (b, !r) :: acc) t.counts []
-      |> List.sort compare
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     in
     let bin_sec = Engine.to_sec t.bin in
     List.map
@@ -128,6 +135,63 @@ module Timeline = struct
       bins
 
   let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t.counts 0
+end
+
+module Histogram = struct
+  (* Power-of-two buckets: bucket b counts samples in [2^(b-1), 2^b - 1]
+     (bucket 0 counts v <= 0). Constant memory, O(1) add — suited to
+     per-batch series (batch sizes, pipeline depths) recorded on the
+     orderer's hot path. *)
+  type t = {
+    name : string;
+    counts : int array;
+    mutable total : int;
+    mutable max_sample : int;
+  }
+
+  let buckets_len = 63
+
+  let create ?(name = "hist") () =
+    { name; counts = Array.make buckets_len 0; total = 0; max_sample = 0 }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let b = ref 0 in
+      let v = ref v in
+      while !v <> 0 do
+        incr b;
+        v := !v lsr 1
+      done;
+      !b
+    end
+
+  let add t v =
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.total <- t.total + 1;
+    if v > t.max_sample then t.max_sample <- v
+
+  let total t = t.total
+  let max_sample t = t.max_sample
+
+  let buckets t =
+    let out = ref [] in
+    for b = buckets_len - 1 downto 0 do
+      if t.counts.(b) > 0 then begin
+        let lo = if b = 0 then 0 else 1 lsl (b - 1) in
+        let hi = if b = 0 then 0 else (1 lsl b) - 1 in
+        out := (lo, hi, t.counts.(b)) :: !out
+      end
+    done;
+    !out
+
+  let clear t =
+    Array.fill t.counts 0 buckets_len 0;
+    t.total <- 0;
+    t.max_sample <- 0
+
+  let name t = t.name
 end
 
 module Counter = struct

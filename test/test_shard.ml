@@ -40,7 +40,7 @@ let set_stable ep shard gp =
   | _ -> Alcotest.fail "set_stable failed"
 
 let read ep shard positions =
-  match call ep shard (Proto.Sh_read { positions }) with
+  match call ep shard (Proto.Sh_read { positions; stable_hint = 0 }) with
   | Proto.R_records { records } -> records
   | _ -> Alcotest.fail "read failed"
 
@@ -143,7 +143,7 @@ let test_get_map_waits_and_serves () =
                 bindings = [ (0, rid 1 1) ];
                 map_chunk = [ (0, 0); (1, 2); (2, 1) ] }));
       set_stable ep shard 3;
-      (match call ep shard (Proto.Ssh_get_map { from = 0; count = 10 }) with
+      (match call ep shard (Proto.Ssh_get_map { from = 0; count = 10; stable_hint = 0 }) with
       | Proto.R_map { chunk } ->
         Alcotest.(check (list (pair int int)))
           "full chunk, all shards' positions"
@@ -183,7 +183,7 @@ let test_backfill_to_backup () =
       ignore
         (Rpc.call ep ~dst:(Shard.primary_id shard) (Proto.Sh_set_stable { gp = 1 }));
       (match
-         Rpc.call ep ~dst:(Shard.primary_id shard) (Proto.Sh_read { positions = [ 0 ] })
+         Rpc.call ep ~dst:(Shard.primary_id shard) (Proto.Sh_read { positions = [ 0 ]; stable_hint = 0 })
        with
       | Proto.R_records { records = [ (0, r) ] } ->
         Alcotest.(check string) "bound" "solo" r.Types.data
