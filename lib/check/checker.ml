@@ -1,0 +1,216 @@
+open Ll_sim
+open Lazylog
+
+let default_horizon = Engine.ms 60
+let quick_horizon = Engine.ms 25
+
+(* The checker's base configuration: default calibration, but a short
+   append timeout so client retries (the interesting recovery paths) fire
+   within the short exploration horizon. *)
+let config_of (sc : Artifact.scenario) =
+  let cfg = Config.with_shards Config.default sc.shards in
+  let cfg = { cfg with Config.append_timeout = Engine.ms 2 } in
+  let cfg =
+    if sc.serial then
+      { cfg with Config.pipeline_depth = 1; adaptive_batch = false }
+    else cfg
+  in
+  match sc.bug with
+  | None -> cfg
+  | Some "no-pinning" -> { cfg with Config.debug_no_rid_pinning = true }
+  | Some b -> failwith ("lazylog_check: unknown bug gate " ^ b)
+
+(* The fault script is a pure function of (seed, horizon, topology): a
+   seed alone reproduces a generated run. Distinct salt from the engine's
+   rng streams. *)
+let gen_script ~seed ~horizon ~shards =
+  let rng = Random.State.make [| seed; 0xfa017 |] in
+  Fault_dsl.gen rng ~horizon
+    ~nreplicas:Config.default.Config.seq_replica_count ~nshards:shards
+
+let scenario ~system ~seed ?(shards = 2) ?(serial = false) ?bug
+    ?(horizon = default_horizon) () : Artifact.scenario =
+  {
+    Artifact.system;
+    seed;
+    shards;
+    serial;
+    bug;
+    horizon;
+    script = gen_script ~seed ~horizon ~shards;
+  }
+
+type outcome = {
+  scenario : Artifact.scenario;
+  violation : Monitors.violation option;
+  coverage : Monitors.coverage;
+  events : int;
+}
+
+let empty_coverage : Monitors.coverage =
+  {
+    Monitors.invoked = 0;
+    acked = 0;
+    reads = 0;
+    crashes = 0;
+    view_installs = 0;
+    stable = 0;
+  }
+
+let client_for (sc : Artifact.scenario) cluster =
+  match sc.system with
+  | "erwin-m" -> Erwin_m.client cluster
+  | "erwin-st" -> Erwin_st.client cluster
+  | s -> failwith ("lazylog_check: unknown system " ^ s)
+
+let create_cluster (sc : Artifact.scenario) cfg =
+  match sc.system with
+  | "erwin-m" -> Erwin_m.create ~cfg ()
+  | "erwin-st" -> Erwin_st.create ~cfg ()
+  | s -> failwith ("lazylog_check: unknown system " ^ s)
+
+let nwriters = 4
+
+let run_one (sc : Artifact.scenario) : outcome =
+  let cfg = config_of sc in
+  let monitor = ref None in
+  let run () =
+    Engine.run ~seed:sc.seed ~perturb:true
+      ~until:(sc.horizon + Engine.ms 10)
+      (fun () ->
+        Probe.reset ();
+        let cluster = create_cluster sc cfg in
+        let stopped = ref false in
+        let mon =
+          Monitors.install cluster ~on_violation:(fun _ ->
+              (* Stop at the first violation so its event counter marks
+                 the earliest detection point. *)
+              if not !stopped then begin
+                stopped := true;
+                Engine.stop ()
+              end)
+        in
+        monitor := Some mon;
+        Fault_dsl.apply cluster sc.script;
+        for c = 0 to nwriters - 1 do
+          let log = client_for sc cluster in
+          let rng =
+            Rng.create ~seed:(Random.State.bits (Engine.random_state ()))
+          in
+          Engine.spawn ~name:(Printf.sprintf "check.writer%d" c) (fun () ->
+              let i = ref 0 in
+              while Engine.now () < sc.horizon do
+                incr i;
+                ignore
+                  (log.Log_api.append
+                     ~size:(64 + Rng.int rng 192)
+                     ~data:(Printf.sprintf "w%d.%d" c !i)
+                    : bool);
+                Engine.sleep (Engine.us (30 + Rng.int rng 120))
+              done)
+        done;
+        let rlog = client_for sc cluster in
+        let rrng =
+          Rng.create ~seed:(Random.State.bits (Engine.random_state ()))
+        in
+        Engine.spawn ~name:"check.reader" (fun () ->
+            while Engine.now () < sc.horizon do
+              Engine.sleep (Engine.us (200 + Rng.int rrng 400));
+              let stable = cluster.Erwin_common.stable_gp in
+              if stable > 0 then begin
+                let len = min stable 8 in
+                let from = Rng.int rrng (stable - len + 1) in
+                ignore (rlog.Log_api.read ~from ~len : Types.record list)
+              end
+            done);
+        Engine.at (sc.horizon + Engine.ms 5) (fun () -> Engine.stop ()))
+  in
+  let exn_violation =
+    match run () with
+    | () -> None
+    | exception e ->
+      Some
+        {
+          Monitors.invariant = "exception";
+          detail = Printexc.to_string e;
+          at_time = 0;
+          at_event = Engine.events_executed ();
+        }
+  in
+  let violation, coverage =
+    match !monitor with
+    | Some mon -> (
+      ( (match Monitors.first mon with Some v -> Some v | None -> exn_violation),
+        Monitors.coverage mon ))
+    | None -> (exn_violation, empty_coverage)
+  in
+  { scenario = sc; violation; coverage; events = Engine.events_executed () }
+
+(* ---------- greedy fault-script shrinking ---------- *)
+
+let reproduces (sc : Artifact.scenario) invariant =
+  match (run_one sc).violation with
+  | Some v -> v.Monitors.invariant = invariant
+  | None -> false
+
+(* Repeatedly try dropping one step; keep any removal that preserves the
+   violation (same invariant). Terminates: every accepted step strictly
+   shrinks the script. *)
+let shrink (sc : Artifact.scenario) (v : Monitors.violation) =
+  let rec go script =
+    let n = List.length script in
+    let rec try_idx i =
+      if i >= n then script
+      else begin
+        let cand = List.filteri (fun j _ -> j <> i) script in
+        if reproduces { sc with Artifact.script = cand } v.Monitors.invariant
+        then go cand
+        else try_idx (i + 1)
+      end
+    in
+    try_idx 0
+  in
+  { sc with Artifact.script = go sc.Artifact.script }
+
+let artifact_of (o : outcome) : Artifact.t option =
+  match o.violation with
+  | None -> None
+  | Some v ->
+    Some
+      {
+        Artifact.scenario = o.scenario;
+        invariant = v.Monitors.invariant;
+        detail = v.Monitors.detail;
+        at_event = v.Monitors.at_event;
+        at_time = v.Monitors.at_time;
+      }
+
+(* ---------- parallel sweep ----------
+
+   Engine and probe state are domain-local, so scenarios parallelize over
+   OS domains with no shared simulator state: workers claim scenario
+   indices from an atomic counter and write into distinct result slots. *)
+
+let sweep ~jobs (scenarios : Artifact.scenario list) : outcome list =
+  let scens = Array.of_list scenarios in
+  let n = Array.length scens in
+  let results : outcome option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (run_one scens.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let jobs = max 1 (min jobs n) in
+  let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  Array.to_list results
+  |> List.map (function
+       | Some o -> o
+       | None -> failwith "lazylog_check: sweep lost a result")

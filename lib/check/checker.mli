@@ -1,0 +1,60 @@
+(** The exploration harness: run one seeded, fault-injected, monitored
+    simulation of an Erwin system; sweep many seeds in parallel; shrink a
+    failing fault script.
+
+    Each run is fully determined by its {!Artifact.scenario}: the master
+    seed drives the engine's schedule perturbation ([Engine.run
+    ~perturb:true]), the fabric's jitter/drop stream, and the workload
+    arrivals; the fault script is either generated from the same seed
+    ({!scenario}) or given explicitly (replay, shrinking). The workload
+    is a fixed shape — {!nwriters} open-loop writers plus one reader over
+    the stable prefix — so violations depend only on (scenario, seed).
+
+    The run stops at the first invariant violation (its event counter is
+    then the earliest detection point), or shortly after the horizon. *)
+
+open Ll_sim
+
+val default_horizon : Engine.time
+val quick_horizon : Engine.time
+
+val nwriters : int
+
+val scenario :
+  system:string ->
+  seed:int ->
+  ?shards:int ->
+  ?serial:bool ->
+  ?bug:string ->
+  ?horizon:Engine.time ->
+  unit ->
+  Artifact.scenario
+(** A scenario whose fault script is generated from [seed] (a pure
+    function of seed, horizon and topology). [system] is ["erwin-m"] or
+    ["erwin-st"]; [bug] enables a known-bad configuration (currently
+    ["no-pinning"]). *)
+
+type outcome = {
+  scenario : Artifact.scenario;
+  violation : Monitors.violation option;
+      (** the first violation; a run that died on an exception reports it
+          as invariant ["exception"] *)
+  coverage : Monitors.coverage;
+  events : int;  (** scheduler events executed *)
+}
+
+val run_one : Artifact.scenario -> outcome
+(** Execute one monitored run. Must NOT be called from inside
+    [Engine.run] (it runs its own simulation on the calling domain). *)
+
+val shrink : Artifact.scenario -> Monitors.violation -> Artifact.scenario
+(** Greedily minimize the fault script: drop any step whose removal
+    still reproduces a violation of the same invariant. Re-runs the
+    simulation per candidate. *)
+
+val artifact_of : outcome -> Artifact.t option
+
+val sweep : jobs:int -> Artifact.scenario list -> outcome list
+(** Run every scenario, up to [jobs] at a time on parallel domains
+    (engine and monitor state are domain-local). Results are in input
+    order. *)

@@ -1,0 +1,225 @@
+open Ll_sim
+open Ll_net
+open Lazylog
+
+type target = Replica of int | Shard_primary of int
+
+type step =
+  | Crash of { at : Engine.time; victim : int }
+  | Partition of {
+      at : Engine.time;
+      until : Engine.time;
+      a : target;
+      b : target;
+    }
+  | Loss of { at : Engine.time; until : Engine.time; p : float }
+  | Straggler of {
+      at : Engine.time;
+      until : Engine.time;
+      who : target;
+      delay : Engine.time;
+    }
+
+type script = step list
+
+let step_at = function
+  | Crash { at; _ } | Partition { at; _ } | Loss { at; _ }
+  | Straggler { at; _ } ->
+    at
+
+let sort script = List.stable_sort (fun a b -> compare (step_at a) (step_at b)) script
+
+(* ---------- printing / parsing (the artifact wire format) ---------- *)
+
+let pp_target fmt = function
+  | Replica i -> Format.fprintf fmt "r%d" i
+  | Shard_primary i -> Format.fprintf fmt "s%d" i
+
+let target_of_string s =
+  let n () = int_of_string (String.sub s 1 (String.length s - 1)) in
+  match s.[0] with
+  | 'r' -> Replica (n ())
+  | 's' -> Shard_primary (n ())
+  | _ -> failwith ("fault_dsl: bad target " ^ s)
+
+let pp_step fmt = function
+  | Crash { at; victim } -> Format.fprintf fmt "crash at=%d victim=%d" at victim
+  | Partition { at; until; a; b } ->
+    Format.fprintf fmt "partition at=%d until=%d a=%a b=%a" at until pp_target
+      a pp_target b
+  | Loss { at; until; p } ->
+    Format.fprintf fmt "loss at=%d until=%d p=%.3f" at until p
+  | Straggler { at; until; who; delay } ->
+    Format.fprintf fmt "straggler at=%d until=%d who=%a delay=%d" at until
+      pp_target who delay
+
+let step_to_string s = Format.asprintf "%a" pp_step s
+
+let field kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> v
+  | None -> failwith ("fault_dsl: missing field " ^ k)
+
+let step_of_string line =
+  match String.split_on_char ' ' (String.trim line) with
+  | kind :: rest ->
+    let kvs =
+      List.filter_map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some i ->
+            Some
+              ( String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+          | None -> None)
+        rest
+    in
+    let i k = int_of_string (field kvs k) in
+    (match kind with
+    | "crash" -> Crash { at = i "at"; victim = i "victim" }
+    | "partition" ->
+      Partition
+        {
+          at = i "at";
+          until = i "until";
+          a = target_of_string (field kvs "a");
+          b = target_of_string (field kvs "b");
+        }
+    | "loss" ->
+      Loss { at = i "at"; until = i "until"; p = float_of_string (field kvs "p") }
+    | "straggler" ->
+      Straggler
+        {
+          at = i "at";
+          until = i "until";
+          who = target_of_string (field kvs "who");
+          delay = i "delay";
+        }
+    | _ -> failwith ("fault_dsl: unknown step " ^ kind))
+  | [] -> failwith "fault_dsl: empty step"
+
+(* ---------- random generation ----------
+
+   A pure function of the given rng: the checker derives the rng from the
+   scenario seed, so the script never needs to be stored to reproduce a
+   run — only replayed artifacts carry explicit scripts (e.g. shrunk
+   ones).
+
+   Windows are kept short relative to the shard staging scrubber (100 ms):
+   a loss or partition window long enough to stall ordering past the
+   scrubber age would make the scrubber itself discard staged records, a
+   (modeled) design assumption of the system rather than a protocol bug. *)
+
+let gen rng ~horizon ~nreplicas ~nshards =
+  let ri = Random.State.int rng in
+  let rf = Random.State.float rng in
+  let nsteps = ri 5 in
+  let crash_used = ref false in
+  let gen_at () = Engine.ms 2 + ri (max 1 (horizon - Engine.ms 4)) in
+  let gen_window at = at + Engine.us 200 + ri (Engine.ms 5) in
+  let gen_target () =
+    if nshards > 0 && ri 2 = 0 then Shard_primary (ri nshards)
+    else Replica (ri (max 1 nreplicas))
+  in
+  let steps =
+    List.init nsteps (fun _ ->
+        let at = gen_at () in
+        match ri 100 with
+        | k when k < 40 ->
+          (* Loss windows are kept near the client append timeout (2 ms in
+             the checker config): a window that ends between a failed
+             attempt and its retry is the shape that exercises the
+             retry-vs-binding races; much longer windows only push clients
+             down the fresh-rid path. *)
+          Loss
+            {
+              at;
+              until = at + Engine.us 200 + ri (Engine.us 2_300);
+              p = 0.1 +. rf 0.4;
+            }
+        | k when k < 65 ->
+          Straggler
+            {
+              at;
+              until = gen_window at;
+              who = gen_target ();
+              delay = Engine.us (20 + ri 400);
+            }
+        | k when k < 85 || !crash_used ->
+          let a = gen_target () and b = gen_target () in
+          Partition { at; until = gen_window at; a; b }
+        | _ ->
+          crash_used := true;
+          Crash { at; victim = ri (max 1 nreplicas) })
+  in
+  (* Drop degenerate self-partitions. *)
+  let steps =
+    List.filter (function Partition { a; b; _ } -> a <> b | _ -> true) steps
+  in
+  sort steps
+
+(* ---------- application ---------- *)
+
+let resolve_node (cluster : Erwin_common.t) = function
+  | Replica i -> (
+    match cluster.replicas with
+    | [] -> None
+    | rs -> Some (Seq_replica.node (List.nth rs (i mod List.length rs))))
+  | Shard_primary i -> (
+    match Array.length cluster.shard_index with
+    | 0 -> None
+    | n ->
+      Some
+        (Fabric.node_by_id cluster.fabric
+           (Shard.primary_id cluster.shard_index.(i mod n))))
+
+(* Targets are resolved at fire time (not schedule time) against the
+   then-current membership, so a script stays meaningful across view
+   changes; [Replica 0] is "whoever leads when the fault fires". *)
+let apply (cluster : Erwin_common.t) script =
+  List.iter
+    (fun step ->
+      match step with
+      | Crash { at; victim } ->
+        Engine.at at (fun () ->
+            match cluster.replicas with
+            | [] -> ()
+            | rs ->
+              let r = List.nth rs (victim mod List.length rs) in
+              if Fabric.is_alive (Seq_replica.node r) then
+                Erwin_common.crash_replica cluster r)
+      | Partition { at; until; a; b } ->
+        Engine.at at (fun () ->
+            match (resolve_node cluster a, resolve_node cluster b) with
+            | Some na, Some nb when Fabric.id na <> Fabric.id nb ->
+              let ia = Fabric.id na and ib = Fabric.id nb in
+              Fabric.partition cluster.fabric ia ib;
+              Engine.at until (fun () -> Fabric.heal cluster.fabric ia ib)
+            | _ -> ())
+      | Loss { at; until; p } ->
+        Engine.at at (fun () ->
+            Fabric.set_drop_probability cluster.fabric p;
+            Engine.at until (fun () ->
+                Fabric.set_drop_probability cluster.fabric 0.0))
+      | Straggler { at; until; who; delay } ->
+        Engine.at at (fun () ->
+            match resolve_node cluster who with
+            | Some n ->
+              Fabric.set_extra_delay n delay;
+              Engine.at until (fun () -> Fabric.set_extra_delay n 0)
+            | None -> ()))
+    script
+
+let count_kind script =
+  let crashes = ref 0
+  and partitions = ref 0
+  and losses = ref 0
+  and stragglers = ref 0 in
+  List.iter
+    (function
+      | Crash _ -> incr crashes
+      | Partition _ -> incr partitions
+      | Loss _ -> incr losses
+      | Straggler _ -> incr stragglers)
+    script;
+  (!crashes, !partitions, !losses, !stragglers)

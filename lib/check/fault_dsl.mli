@@ -1,0 +1,61 @@
+(** Composable fault schedules for the checker.
+
+    A script is a timeline of fault steps applied to a running cluster on
+    top of the fabric's injection knobs: replica crashes, symmetric
+    partitions with a heal time, probabilistic loss windows, and straggler
+    delay windows. Scripts are either generated from a seed ({!gen}, a
+    pure function of the rng so a seed alone reproduces them) or parsed
+    from a repro artifact ({!step_of_string}).
+
+    Targets name roles, not fabric node ids, and are resolved when the
+    fault fires: [Replica 0] is whoever leads at that moment, [Replica i]
+    indexes the live membership mod its size, [Shard_primary i] likewise
+    over the shards. This keeps scripts meaningful across view changes
+    and across the shrinker's edits. *)
+
+open Ll_sim
+open Lazylog
+
+type target = Replica of int | Shard_primary of int
+
+type step =
+  | Crash of { at : Engine.time; victim : int }
+      (** Crash sequencing replica [victim] (mod live membership). *)
+  | Partition of {
+      at : Engine.time;
+      until : Engine.time;
+      a : target;
+      b : target;
+    }
+  | Loss of { at : Engine.time; until : Engine.time; p : float }
+      (** Uniform message loss with probability [p] during the window. *)
+  | Straggler of {
+      at : Engine.time;
+      until : Engine.time;
+      who : target;
+      delay : Engine.time;
+    }
+
+type script = step list
+
+val sort : script -> script
+(** Stable sort by fire time. *)
+
+val gen :
+  Random.State.t -> horizon:Engine.time -> nreplicas:int -> nshards:int ->
+  script
+(** Draw a random script (0–4 steps, at most one crash, windows kept
+    short relative to the staging scrubber). Pure in the rng. *)
+
+val apply : Erwin_common.t -> script -> unit
+(** Schedule every step against the cluster. Must run inside
+    [Engine.run], before or during the workload. *)
+
+val pp_step : Format.formatter -> step -> unit
+val step_to_string : step -> string
+
+val step_of_string : string -> step
+(** Inverse of {!step_to_string}; raises [Failure] on malformed input. *)
+
+val count_kind : script -> int * int * int * int
+(** (crashes, partitions, loss windows, stragglers). *)

@@ -1,0 +1,238 @@
+open Ll_sim
+open Ll_net
+open Lazylog
+
+type violation = {
+  invariant : string;
+  detail : string;
+  at_time : Engine.time;
+  at_event : int;
+}
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] %s (event #%d, t=%.3f ms)" v.invariant v.detail
+    v.at_event
+    (Engine.to_ms v.at_time)
+
+type t = {
+  cluster : Erwin_common.t;
+  on_violation : violation -> unit;
+  (* client-visible history *)
+  invoked : (Types.Rid.t, Engine.time) Hashtbl.t;
+  acked : (Types.Rid.t, Engine.time) Hashtbl.t;
+  (* shard-side state *)
+  stored_rids : (Types.Rid.t, unit) Hashtbl.t;
+  nooped : (Types.Rid.t, unit) Hashtbl.t;
+  bindings : (int, int * Types.Rid.t) Hashtbl.t;  (* pos -> (shard, rid) *)
+  installed_views : (int, int) Hashtbl.t;  (* replica node -> last view *)
+  mutable stable : int;
+  (* real-time order frontier: max invocation time among exposed records *)
+  mutable max_invoke_exposed : Engine.time;
+  mutable violations_rev : violation list;
+  (* coverage counters *)
+  mutable n_invoked : int;
+  mutable n_acked : int;
+  mutable n_reads : int;
+  mutable n_crashes : int;
+  mutable n_views : int;
+}
+
+let violate t invariant fmt =
+  Format.kasprintf
+    (fun detail ->
+      let v =
+        {
+          invariant;
+          detail;
+          at_time = Engine.now ();
+          at_event = Engine.events_executed ();
+        }
+      in
+      t.violations_rev <- v :: t.violations_rev;
+      t.on_violation v)
+    fmt
+
+let rid_pp = Types.Rid.pp
+
+(* Exposure: position [pos] joined the stable prefix. Incremental
+   real-time-order check — exposures arrive in ascending position order,
+   so it suffices to track the max invocation time among already-exposed
+   records: if a newly exposed record was acknowledged before that max,
+   some record invoked after this ack was ordered ahead of it. O(1) per
+   position. *)
+let expose t pos =
+  match Hashtbl.find_opt t.bindings pos with
+  | None ->
+    violate t "durability" "stable position %d was never bound on any shard"
+      pos
+  | Some (_, rid) ->
+    if rid.Types.Rid.client >= 0 then begin
+      (match Hashtbl.find_opt t.acked rid with
+      | Some ack_t when t.max_invoke_exposed > ack_t ->
+        violate t "real-time-order"
+          "record %a (acked at %.3f ms) exposed at position %d after a \
+           record invoked at %.3f ms"
+          rid_pp rid (Engine.to_ms ack_t) pos
+          (Engine.to_ms t.max_invoke_exposed)
+      | _ -> ());
+      match Hashtbl.find_opt t.invoked rid with
+      | Some inv_t when inv_t > t.max_invoke_exposed ->
+        t.max_invoke_exposed <- inv_t
+      | _ -> ()
+    end
+
+(* Crash-point durability audit: an acknowledged rid not yet stored on a
+   shard must still be known (live, or in the ordered-duplicate filter) by
+   every surviving sequencing replica — acks require all f+1 replicas, so
+   losing it from any survivor means the ack lied. *)
+let audit_crash t =
+  let survivors =
+    List.filter
+      (fun r -> Fabric.is_alive (Seq_replica.node r))
+      t.cluster.Erwin_common.replicas
+  in
+  if survivors <> [] then
+    Hashtbl.iter
+      (fun rid _ ->
+        if not (Hashtbl.mem t.stored_rids rid) then
+          List.iter
+            (fun r ->
+              if not (Seq_log.known (Seq_replica.log r) rid) then
+                violate t "durability"
+                  "acked record %a missing from surviving replica %s at \
+                   crash point"
+                  rid_pp rid (Seq_replica.name r))
+            survivors)
+      t.acked
+
+let handle t (ev : Probe.event) =
+  match ev with
+  | Append_invoked { rid } ->
+    if not (Hashtbl.mem t.invoked rid) then begin
+      Hashtbl.replace t.invoked rid (Engine.now ());
+      t.n_invoked <- t.n_invoked + 1
+    end
+  | Append_acked { rid } ->
+    if not (Hashtbl.mem t.acked rid) then begin
+      Hashtbl.replace t.acked rid (Engine.now ());
+      t.n_acked <- t.n_acked + 1;
+      if Hashtbl.mem t.nooped rid then
+        violate t "durability"
+          "record %a acknowledged after its binding was no-op'ed" rid_pp rid
+    end
+  | Replica_accepted _ | Replica_sealed _ -> ()
+  | View_installed { replica; view } ->
+    t.n_views <- t.n_views + 1;
+    (match Hashtbl.find_opt t.installed_views replica with
+    | Some prev when view <= prev ->
+      violate t "view-safety"
+        "replica node %d installed view %d after view %d" replica view prev
+    | _ -> ());
+    Hashtbl.replace t.installed_views replica view
+  | Stable_advanced { gp } ->
+    if gp <= t.stable then
+      violate t "view-safety" "stable prefix moved backwards: %d after %d" gp
+        t.stable
+    else begin
+      for pos = t.stable to gp - 1 do
+        expose t pos
+      done;
+      t.stable <- gp
+    end
+  | Shard_stored { shard; pos; rid } ->
+    if rid.Types.Rid.client >= 0 then Hashtbl.replace t.stored_rids rid ();
+    (match Hashtbl.find_opt t.bindings pos with
+    | Some (shard', rid')
+      when pos < t.stable
+           && (shard' <> shard || not (Types.Rid.equal rid' rid)) ->
+      violate t "stable-prefix"
+        "stable position %d rebound: was %a on shard %d, now %a on shard %d"
+        pos rid_pp rid' shard' rid_pp rid shard
+    | _ -> ());
+    Hashtbl.replace t.bindings pos (shard, rid)
+  | Shard_nooped { shard; pos; rid } ->
+    Hashtbl.replace t.nooped rid ();
+    if Hashtbl.mem t.acked rid then
+      violate t "durability"
+        "acked record %a no-op'ed at position %d on shard %d (lost)" rid_pp
+        rid pos shard
+  | Shard_truncated { shard; from } ->
+    if from < t.stable then
+      violate t "stable-prefix"
+        "shard %d truncated from position %d, below stable prefix %d" shard
+        from t.stable
+    else
+      Hashtbl.iter
+        (fun pos (sh, _) ->
+          if pos >= from && sh = shard then Hashtbl.remove t.bindings pos)
+        (Hashtbl.copy t.bindings)
+  | Read_served { shard; pos; rid } ->
+    t.n_reads <- t.n_reads + 1;
+    if pos >= t.stable then
+      violate t "read-stability"
+        "shard %d served position %d beyond the stable prefix %d" shard pos
+        t.stable
+    else begin
+      match Hashtbl.find_opt t.bindings pos with
+      | None ->
+        violate t "read-agreement"
+          "shard %d served position %d which was never bound" shard pos
+      | Some (shard', rid') ->
+        if shard' <> shard then
+          violate t "read-agreement"
+            "position %d served by shard %d but bound on shard %d" pos shard
+            shard'
+        else if not (Types.Rid.equal rid' rid) then
+          violate t "read-agreement"
+            "position %d read as %a but was bound to %a" pos rid_pp rid
+            rid_pp rid'
+    end
+  | Crashed _ ->
+    t.n_crashes <- t.n_crashes + 1;
+    audit_crash t
+
+let install ?(on_violation = fun _ -> ()) cluster =
+  let t =
+    {
+      cluster;
+      on_violation;
+      invoked = Hashtbl.create 4096;
+      acked = Hashtbl.create 4096;
+      stored_rids = Hashtbl.create 4096;
+      nooped = Hashtbl.create 64;
+      bindings = Hashtbl.create 4096;
+      installed_views = Hashtbl.create 8;
+      stable = 0;
+      max_invoke_exposed = -1;
+      violations_rev = [];
+      n_invoked = 0;
+      n_acked = 0;
+      n_reads = 0;
+      n_crashes = 0;
+      n_views = 0;
+    }
+  in
+  Probe.subscribe (handle t);
+  t
+
+let violations t = List.rev t.violations_rev
+let first t = match List.rev t.violations_rev with v :: _ -> Some v | [] -> None
+
+type coverage = {
+  invoked : int;
+  acked : int;
+  reads : int;
+  crashes : int;
+  view_installs : int;
+  stable : int;
+}
+
+let coverage t =
+  {
+    invoked = t.n_invoked;
+    acked = t.n_acked;
+    reads = t.n_reads;
+    crashes = t.n_crashes;
+    view_installs = t.n_views;
+    stable = t.stable;
+  }

@@ -1,0 +1,60 @@
+(** Always-on invariant monitors over the {!Lazylog.Probe} event stream.
+
+    One monitor instance observes one simulated cluster and incrementally
+    checks the DESIGN.md section 5 safety invariants {e during} the run:
+
+    - {b durability}: an acknowledged append is never lost — audited at
+      every crash point against the surviving sequencing replicas'
+      logs/duplicate filters, and continuously against Erwin-st no-op
+      resolutions (an acked rid must never be no-op'ed);
+    - {b real-time-order}: if append A was acknowledged before append B
+      was invoked, A's position precedes B's (O(1) per exposed position:
+      exposures arrive in position order, so a max-invocation-time
+      frontier suffices);
+    - {b stable-prefix}: positions below the stable frontier are never
+      rebound or truncated;
+    - {b read-agreement}: every read returns the record bound at that
+      position, from the owning shard, and only below the stable prefix
+      (sound because {!Lazylog.Probe.Stable_advanced} is emitted before
+      any shard learns the new bound);
+    - {b view-safety}: per-replica installed views are strictly
+      increasing and the stable prefix never regresses.
+
+    Handlers are synchronous and allocation-light; a monitored run is a
+    few percent slower than a bare one. *)
+
+open Lazylog
+
+type violation = {
+  invariant : string;  (** e.g. ["durability"], ["real-time-order"] *)
+  detail : string;
+  at_time : Ll_sim.Engine.time;
+  at_event : int;  (** {!Ll_sim.Engine.events_executed} at detection *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val install : ?on_violation:(violation -> unit) -> Erwin_common.t -> t
+(** Subscribe a fresh monitor to the domain's probe stream (the caller
+    decides when to [Probe.reset]). [on_violation] fires synchronously at
+    the detection point — the checker uses it to stop the run at the
+    first violation so [at_event] marks the earliest detection. *)
+
+val violations : t -> violation list
+(** In detection order. *)
+
+val first : t -> violation option
+
+(** What the run exercised — the sweep's coverage summary. *)
+type coverage = {
+  invoked : int;  (** distinct appends invoked *)
+  acked : int;  (** distinct appends acknowledged *)
+  reads : int;  (** records served to readers *)
+  crashes : int;
+  view_installs : int;
+  stable : int;  (** final stable prefix length *)
+}
+
+val coverage : t -> coverage

@@ -28,10 +28,14 @@ let await_view_after (cluster : t) view =
       : bool)
 
 let append_entry (cluster : t) ep ~track entry =
+  if Probe.active () then
+    Probe.emit (Probe.Append_invoked { rid = Types.entry_rid entry });
   let rec attempt () =
     let view = cluster.view in
     match try_append_seq cluster ep ~view ~track entry with
-    | `Ok -> ()
+    | `Ok ->
+      if Probe.active () then
+        Probe.emit (Probe.Append_acked { rid = Types.entry_rid entry })
     | `Fail ->
       await_view_after cluster view;
       attempt ()

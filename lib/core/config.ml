@@ -22,6 +22,12 @@ type t = {
   append_timeout : Engine.time;
   link : Fabric.link;
   rpc_overhead : Engine.time;
+  debug_no_rid_pinning : bool;
+      (** Intentional-bug gate for the checker: when true, Erwin-st clients
+          re-pick a shard on append retry instead of pinning the rid to one
+          shard. Loses acknowledged records under message loss — kept as a
+          known-bad configuration to validate that [lazylog_check] detects
+          it. Never enable outside the checker. *)
 }
 
 let default =
@@ -48,6 +54,7 @@ let default =
     append_timeout = Engine.ms 20;
     link = Fabric.default_link;
     rpc_overhead = Engine.ns 500;
+    debug_no_rid_pinning = false;
   }
 
 let with_shards ?backups t n =

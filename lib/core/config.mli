@@ -37,6 +37,11 @@ type t = {
   append_timeout : Engine.time;  (** client append retry timeout *)
   link : Fabric.link;
   rpc_overhead : Engine.time;  (** per-endpoint software overhead (eRPC) *)
+  debug_no_rid_pinning : bool;
+      (** Intentional-bug gate for the checker: Erwin-st clients re-pick a
+          shard on append retry instead of pinning the rid to one shard.
+          Loses acknowledged records under message loss. Only for
+          validating that [lazylog_check] detects the violation. *)
 }
 
 val default : t

@@ -154,4 +154,8 @@ let new_endpoint t ~name =
 
 let crash_replica t r =
   t.crash_time <- Some (Engine.now ());
-  Fabric.crash t.fabric (Seq_replica.node r)
+  Fabric.crash t.fabric (Seq_replica.node r);
+  (* After the fabric crash, so a probe handler inspecting the cluster
+     sees the post-crash survivor set. *)
+  if Probe.active () then
+    Probe.emit (Probe.Crashed { node = Fabric.id (Seq_replica.node r) })

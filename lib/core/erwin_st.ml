@@ -81,17 +81,29 @@ let client (cluster : Erwin_common.t) : Log_api.t =
      fresh rid (after [`Poisoned]) picks a new shard. *)
   let rec append_attempt ~track record shard =
     match try_append_once cluster ep ~track record shard with
-    | `Ok -> record.Types.rid
+    | `Ok ->
+      if Probe.active () then
+        Probe.emit (Probe.Append_acked { rid = record.Types.rid });
+      record.Types.rid
     | `Poisoned ->
       (* Never acked, so appending again under a fresh rid is safe. *)
-      append_attempt ~track
-        { record with Types.rid = next_rid () }
-        (pick_shard ())
+      let record = { record with Types.rid = next_rid () } in
+      if Probe.active () then
+        Probe.emit (Probe.Append_invoked { rid = record.Types.rid });
+      append_attempt ~track record (pick_shard ())
     | `Fail view ->
       Client_core.await_view_after cluster view;
+      (* debug_no_rid_pinning deliberately breaks the pinning above: the
+         checker's known-bad configuration. *)
+      let shard =
+        if cluster.cfg.Config.debug_no_rid_pinning then pick_shard ()
+        else shard
+      in
       append_attempt ~track record shard
   in
   let append_record ~track record =
+    if Probe.active () then
+      Probe.emit (Probe.Append_invoked { rid = record.Types.rid });
     append_attempt ~track record (pick_shard ())
   in
   let append ~size ~data =

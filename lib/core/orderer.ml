@@ -92,7 +92,12 @@ let push_batch (cluster : t) ep ~truncate_from slots =
   Ivar.read iv
 
 let broadcast_stable (cluster : t) ep gp =
-  if gp > cluster.stable_gp then cluster.stable_gp <- gp;
+  if gp > cluster.stable_gp then begin
+    cluster.stable_gp <- gp;
+    (* Emitted before any shard learns the new bound, so a monitor's
+       stable frontier is always >= every shard's. *)
+    if Probe.active () then Probe.emit (Probe.Stable_advanced { gp })
+  end;
   Array.iter
     (fun shard ->
       Rpc.send_oneway ep ~dst:(Shard.primary_id shard)

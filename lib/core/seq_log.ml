@@ -177,3 +177,5 @@ let last_ordered_gp t = t.gp
 let set_last_ordered_gp t gp = t.gp <- gp
 
 let mem t rid = Hashtbl.mem t.by_rid rid
+
+let known t rid = Hashtbl.mem t.by_rid rid || already_ordered t rid

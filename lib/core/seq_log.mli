@@ -81,3 +81,9 @@ val last_ordered_gp : t -> int
 val set_last_ordered_gp : t -> int -> unit
 
 val mem : t -> Types.Rid.t -> bool
+(** Is this rid live (not yet garbage-collected)? *)
+
+val known : t -> Types.Rid.t -> bool
+(** Is this rid live {e or} already ordered (per the duplicate filter)?
+    A replica that returns [false] for an acknowledged rid has lost it —
+    the durability invariant the checker audits at crash points. *)

@@ -50,7 +50,11 @@ let handle t ~src:_ (req : Proto.req) ~reply =
         Seq_log.append_or_wait t.slog entry ~cancel:(fun () ->
             t.sealed || view <> t.view)
       with
-      | Some (Seq_log.Appended | Seq_log.Duplicate) ->
+      | Some res ->
+        if res = Seq_log.Appended && Probe.active () then
+          Probe.emit
+            (Probe.Replica_accepted
+               { replica = Fabric.id t.node; rid = Types.entry_rid entry });
         reply (Proto.R_append { ok = true; view = t.view })
       | None -> reply (Proto.R_append { ok = false; view = t.view })
     end
@@ -75,7 +79,9 @@ let handle t ~src:_ (req : Proto.req) ~reply =
     (* Idempotent; sealing an already-newer view is a stale message. *)
     if view >= t.view then begin
       t.sealed <- true;
-      Seq_log.kick t.slog
+      Seq_log.kick t.slog;
+      if Probe.active () then
+        Probe.emit (Probe.Replica_sealed { replica = Fabric.id t.node; view })
     end;
     reply Proto.R_ok
   | Sr_get_state ->
@@ -93,6 +99,9 @@ let handle t ~src:_ (req : Proto.req) ~reply =
     t.view <- new_view;
     t.sealed <- false;
     Seq_log.kick t.slog;
+    if Probe.active () then
+      Probe.emit
+        (Probe.View_installed { replica = Fabric.id t.node; view = new_view });
     reply Proto.R_ok
   | Sr_wait_ordered { rid } ->
     Waitq.await t.bound_watch (fun () -> Hashtbl.mem t.bound_gp rid);

@@ -98,12 +98,29 @@ let resolve_binding cfg r rid =
     Hashtbl.replace r.nooped rid ();
     Types.no_op
 
+(* Probe points are primary-only: the primary's bindings are the
+   authoritative position -> record map the invariants talk about. *)
+let probe_truncate t = function
+  | Some from when Probe.active () ->
+    Probe.emit (Probe.Shard_truncated { shard = t.sid; from })
+  | _ -> ()
+
+let probe_stored t slots =
+  if Probe.active () then
+    List.iter
+      (fun (gp, (rec_ : Types.record)) ->
+        Probe.emit
+          (Probe.Shard_stored { shard = t.sid; pos = gp; rid = rec_.Types.rid }))
+      slots
+
 let handle_primary t ~src:_ (req : Proto.req) ~reply =
   let r = t.primary in
   match req with
   | Msh_push { truncate_from; slots } ->
     apply_truncate r truncate_from;
+    probe_truncate t truncate_from;
     store_slots r slots;
+    probe_stored t slots;
     (* Retried on loss; replication by explicit position is idempotent. *)
     let acks =
       List.map
@@ -137,6 +154,7 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
     end
   | Ssh_order { truncate_from; bindings; map_chunk } ->
     apply_truncate r truncate_from;
+    probe_truncate t truncate_from;
     (* Idempotency under retried pushes: a position already bound must
        not be resolved again (its record left staging on the first
        pass, and re-resolving would wrongly no-op it). *)
@@ -150,6 +168,13 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
     in
     let slots = List.map (fun (gp, _, rec_) -> (gp, rec_)) resolved in
     store_slots ~charged:false r slots;
+    probe_stored t slots;
+    if Probe.active () then
+      List.iter
+        (fun (gp, rid, rec_) ->
+          if Types.is_no_op rec_ then
+            Probe.emit (Probe.Shard_nooped { shard = t.sid; pos = gp; rid }))
+        resolved;
     record_map r map_chunk;
     let noops =
       List.filter_map
@@ -214,6 +239,13 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
           | None -> None)
         positions
     in
+    if Probe.active () then
+      List.iter
+        (fun (gp, (rec_ : Types.record)) ->
+          Probe.emit
+            (Probe.Read_served
+               { shard = t.sid; pos = gp; rid = rec_.Types.rid }))
+        records;
     reply (Proto.R_records { records })
   | Ssh_get_map { from; count; stable_hint } ->
     if stable_hint > t.stable then begin

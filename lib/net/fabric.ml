@@ -34,7 +34,15 @@ type 'm t = {
   mutable sent_bytes : int;
 }
 
-let create ?(link = default_link) ?(seed = 7) () =
+let create ?(link = default_link) ?seed () =
+  (* Without an explicit seed, derive one from the engine's master-seeded
+     stream so a single master seed reproduces the fabric's jitter and
+     drop decisions too. *)
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> Random.State.bits (Engine.random_state ())
+  in
   {
     link;
     rng = Rng.create ~seed;
@@ -65,6 +73,7 @@ let add_node t ~name ?(send_overhead = 500) ?(recv_overhead = 500) () =
 let id n = n.nid
 let name n = n.nname
 let node_by_id t i = t.nodes.(i)
+let node_count t = Array.length t.nodes
 
 let pair_key a b = if a < b then (a, b) else (b, a)
 
@@ -115,9 +124,19 @@ let recv_timeout n ~timeout = Mailbox.recv_timeout n.inbox ~timeout
 
 let inbox_length n = Mailbox.length n.inbox
 
-let crash _t n =
+let crash t n =
   n.alive <- false;
-  Mailbox.clear n.inbox
+  Mailbox.clear n.inbox;
+  (* Forget FIFO bookkeeping involving this node: everything in flight is
+     dropped, so a revived node's first message must not be artificially
+     delayed behind (or ordered after) pre-crash traffic. *)
+  let stale =
+    Hashtbl.fold
+      (fun ((src, dst) as key) _ acc ->
+        if src = n.nid || dst = n.nid then key :: acc else acc)
+      t.last_arrival []
+  in
+  List.iter (Hashtbl.remove t.last_arrival) stale
 
 let recover _t n = n.alive <- true
 

@@ -31,6 +31,9 @@ type 'm t
 type 'm node
 
 val create : ?link:link -> ?seed:int -> unit -> 'm t
+(** Without [seed], the fabric seeds its jitter/drop stream from the
+    engine's master-seeded random state ({!Ll_sim.Engine.random_state}),
+    so one master seed reproduces the whole run. *)
 
 val add_node :
   'm t ->
@@ -44,6 +47,9 @@ val add_node :
 val id : 'm node -> node_id
 val name : 'm node -> string
 val node_by_id : 'm t -> node_id -> 'm node
+
+val node_count : 'm t -> int
+(** Number of registered nodes (node ids are [0 .. node_count - 1]). *)
 
 val send : 'm t -> src:'m node -> dst:node_id -> size:int -> 'm -> unit
 (** Fire-and-forget message of [size] payload bytes. Dropped silently if
@@ -59,8 +65,10 @@ val inbox_length : 'm node -> int
 (** {1 Fault injection} *)
 
 val crash : 'm t -> 'm node -> unit
-(** Crash: pending and future messages are dropped, inbox is cleared.
-    Fibers blocked in {!recv} stay blocked. *)
+(** Crash: pending and future messages are dropped, inbox is cleared, and
+    per-pair FIFO bookkeeping involving the node is forgotten (a revived
+    node starts with fresh connections, not delayed behind pre-crash
+    traffic). Fibers blocked in {!recv} stay blocked. *)
 
 val recover : 'm t -> 'm node -> unit
 val is_alive : 'm node -> bool

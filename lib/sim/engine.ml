@@ -9,31 +9,71 @@ let to_us t = float_of_int t /. 1_000.
 let to_ms t = float_of_int t /. 1_000_000.
 let to_sec t = float_of_int t /. 1_000_000_000.
 
-type event = { at : time; seq : int; fn : unit -> unit }
+(* [tie] breaks ties among equal-time events. In the default schedule it is
+   0, so the [seq] FIFO order decides; under perturbation (ll_check) it is
+   drawn from a per-run seeded stream, so one workload explores many legal
+   interleavings while staying fully deterministic per seed. *)
+type event = { at : time; tie : int; seq : int; fn : unit -> unit }
 
 let event_cmp a b =
   let c = compare a.at b.at in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = compare a.tie b.tie in
+    if c <> 0 then c else compare a.seq b.seq
 
-(* Global scheduler state. The simulation is single-domain and runs are not
-   reentrant, so plain mutable globals are safe and fast. *)
-let queue : event Heap.t = Heap.create ~cmp:event_cmp
-let clock = ref 0
-let seqno = ref 0
-let running = ref false
-let stopping = ref false
-let fibers = ref 0
-let rng = ref (Random.State.make [| 0 |])
+(* Scheduler state is domain-local: each OS domain owns an independent
+   engine, so seed sweeps (bin/lazylog_check) parallelize across domains
+   with no shared state. Within a domain, runs are not reentrant and the
+   simulation is single-fiber-at-a-time, so plain mutable fields are safe
+   and fast. *)
+type state = {
+  queue : event Heap.t;
+  mutable clock : time;
+  mutable seqno : int;
+  mutable running : bool;
+  mutable stopping : bool;
+  mutable fibers : int;
+  mutable executed : int;
+  mutable seed : int;
+  mutable rng : Random.State.t;
+  mutable perturb_rng : Random.State.t option;
+}
+
+let fresh_state () =
+  {
+    queue = Heap.create ~cmp:event_cmp;
+    clock = 0;
+    seqno = 0;
+    running = false;
+    stopping = false;
+    fibers = 0;
+    executed = 0;
+    seed = 0;
+    rng = Random.State.make [| 0 |];
+    perturb_rng = None;
+  }
+
+let dls : state Domain.DLS.key = Domain.DLS.new_key fresh_state
+
+let state () = Domain.DLS.get dls
 
 exception Fiber_failure of string * exn
 
 let require_running what =
-  if not !running then failwith (what ^ ": not inside Engine.run")
+  if not (state ()).running then failwith (what ^ ": not inside Engine.run")
 
-let schedule at fn =
-  let at = if at < !clock then !clock else at in
-  incr seqno;
-  Heap.push queue { at; seq = !seqno; fn }
+let schedule_ev s at fn =
+  let at = if at < s.clock then s.clock else at in
+  s.seqno <- s.seqno + 1;
+  let tie =
+    match s.perturb_rng with
+    | None -> 0
+    | Some prng -> Random.State.bits prng
+  in
+  Heap.push s.queue { at; tie; seq = s.seqno; fn }
+
+let schedule at fn = schedule_ev (state ()) at fn
 
 type 'a waker = { mutable fired : bool; mutable resume : 'a -> unit }
 
@@ -44,7 +84,8 @@ let wake w v =
     (* Resume on a fresh event so wake never re-enters the waker's fiber
        from the middle of the caller's slice: determinism and no surprise
        reentrancy. *)
-    schedule !clock (fun () -> w.resume v);
+    let s = state () in
+    schedule_ev s s.clock (fun () -> w.resume v);
     true
   end
 
@@ -80,7 +121,8 @@ let suspend register =
 
 let rec exec name f =
   let open Effect.Deep in
-  incr fibers;
+  let s = state () in
+  s.fibers <- s.fibers + 1;
   match_with f ()
     {
       retc = (fun () -> ());
@@ -93,15 +135,18 @@ let rec exec name f =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
           | Now ->
-            Some (fun (k : (a, unit) continuation) -> continue k !clock)
+            Some
+              (fun (k : (a, unit) continuation) -> continue k (state ()).clock)
           | Sleep d ->
             Some
               (fun (k : (a, unit) continuation) ->
-                schedule (!clock + d) (fun () -> continue k ()))
+                let s = state () in
+                schedule_ev s (s.clock + d) (fun () -> continue k ()))
           | Spawn (child_name, g) ->
             Some
               (fun (k : (a, unit) continuation) ->
-                schedule !clock (fun () -> exec child_name g);
+                let s = state () in
+                schedule_ev s s.clock (fun () -> exec child_name g);
                 continue k ())
           | Suspend register ->
             Some
@@ -115,37 +160,53 @@ let at t fn =
   require_running "at";
   schedule t (fun () -> exec "at" fn)
 
-let after d fn = at (!clock + d) fn
+let after d fn = at ((state ()).clock + d) fn
 
-let random_state () = !rng
+let random_state () = (state ()).rng
 
-let stop () = stopping := true
+let master_seed () = (state ()).seed
 
-let fiber_count () = !fibers
+let events_executed () = (state ()).executed
 
-let run ?(seed = 42) ?until main =
-  if !running then failwith "Engine.run: runs must not nest";
-  running := true;
-  stopping := false;
-  clock := 0;
-  seqno := 0;
-  fibers := 0;
-  Heap.clear queue;
-  rng := Random.State.make [| seed; 0x1a2706 |];
+let stop () = (state ()).stopping <- true
+
+let fiber_count () = (state ()).fibers
+
+let run ?(seed = 42) ?(perturb = false) ?until main =
+  let s = state () in
+  if s.running then failwith "Engine.run: runs must not nest";
+  s.running <- true;
+  s.stopping <- false;
+  s.clock <- 0;
+  s.seqno <- 0;
+  s.fibers <- 0;
+  s.executed <- 0;
+  s.seed <- seed;
+  Heap.clear s.queue;
+  s.rng <- Random.State.make [| seed; 0x1a2706 |];
+  s.perturb_rng <-
+    (if perturb then Some (Random.State.make [| seed; 0x7e27b6 |]) else None);
   let finish () =
-    running := false;
-    Heap.clear queue
+    s.running <- false;
+    Heap.clear s.queue
   in
   Fun.protect ~finally:finish (fun () ->
-      schedule 0 (fun () -> exec "main" main);
-      let continue_loop = ref true in
-      while !continue_loop && not !stopping do
-        match Heap.pop queue with
-        | None -> continue_loop := false
-        | Some ev -> (
-          match until with
-          | Some u when ev.at > u -> continue_loop := false
-          | _ ->
-            clock := ev.at;
-            ev.fn ())
-      done)
+      try
+        schedule_ev s 0 (fun () -> exec "main" main);
+        let continue_loop = ref true in
+        while !continue_loop && not s.stopping do
+          match Heap.pop s.queue with
+          | None -> continue_loop := false
+          | Some ev -> (
+            match until with
+            | Some u when ev.at > u -> continue_loop := false
+            | _ ->
+              s.clock <- ev.at;
+              s.executed <- s.executed + 1;
+              ev.fn ())
+        done
+      with e ->
+        (* Every failure names the master seed so it can be replayed. *)
+        Printf.eprintf "Engine.run: aborting (master seed %d): %s\n%!" seed
+          (Printexc.to_string e);
+        raise e)

@@ -9,7 +9,14 @@
     Time is measured in integer nanoseconds of {e simulated} time. Runs are
     reproducible: given the same seed and the same program, every run
     produces the identical schedule. Events at equal timestamps fire in the
-    order they were scheduled. *)
+    order they were scheduled, unless {!run} is given [~perturb:true], in
+    which case ties are broken by a per-run seeded stream — one workload
+    then explores many legal interleavings, one per seed, still fully
+    deterministically (the ll_check simulation checker's schedule hook).
+
+    All scheduler state is domain-local: each OS domain owns an independent
+    engine, so independent simulations (e.g. a seed sweep) can run in
+    parallel domains with no shared state. *)
 
 type time = int
 (** Simulated time in nanoseconds since the start of the run. *)
@@ -80,15 +87,26 @@ val after : time -> (unit -> unit) -> unit
 (** {1 Randomness} *)
 
 val random_state : unit -> Random.State.t
-(** The engine's deterministic random state (seeded by {!run}). *)
+(** The engine's deterministic random state (seeded by {!run}). Every
+    stochastic default in the simulator (fabric jitter seeds, workload
+    arrival seeds) should derive from this stream so one master seed
+    reproduces the whole run. *)
+
+val master_seed : unit -> int
+(** The seed the current (or most recent) {!run} was started with. *)
 
 (** {1 Running} *)
 
-val run : ?seed:int -> ?until:time -> (unit -> unit) -> unit
+val run : ?seed:int -> ?perturb:bool -> ?until:time -> (unit -> unit) -> unit
 (** [run main] resets the clock to 0 and executes [main] plus everything it
     spawns until no scheduled events remain, or until simulated time
     exceeds [until] if given. Exceptions escaping any fiber abort the run
-    and are re-raised. Runs must not nest. *)
+    (printing the master seed for replay) and are re-raised. Runs must not
+    nest within a domain; independent domains may run concurrently.
+
+    [perturb] (default false) randomizes tie-breaking among equal-time
+    events from a stream derived from [seed], so distinct seeds explore
+    distinct legal interleavings of the same program. *)
 
 val stop : unit -> unit
 (** Request the current run to stop; remaining events are discarded once the
@@ -96,3 +114,7 @@ val stop : unit -> unit
 
 val fiber_count : unit -> int
 (** Number of fiber starts so far in this run (diagnostic). *)
+
+val events_executed : unit -> int
+(** Number of scheduler events executed so far in this run — a stable
+    logical clock for repro artifacts (survives until the next {!run}). *)

@@ -8,8 +8,14 @@ let gap rng arrivals ~rate =
   | Poisson -> Engine.us_f (Rng.exponential rng ~mean:mean_us)
   | Uniform -> Engine.us_f mean_us
 
-let open_loop ?(arrivals = Poisson) ?(seed = 1) ~rate ~until op =
-  let rng = Rng.create ~seed in
+(* Without an explicit seed, derive one from the engine's master-seeded
+   stream so workload arrivals reproduce from the single master seed. *)
+let derive_seed = function
+  | Some s -> s
+  | None -> Random.State.bits (Engine.random_state ())
+
+let open_loop ?(arrivals = Poisson) ?seed ~rate ~until op =
+  let rng = Rng.create ~seed:(derive_seed seed) in
   Engine.spawn ~name:"open-loop" (fun () ->
       let rec loop i =
         if Engine.now () < until then begin
@@ -32,8 +38,8 @@ let closed_loop ~clients ~until op =
         loop 0)
   done
 
-let at_rate_blocking ?(arrivals = Poisson) ?(seed = 1) ~rate ~n op =
-  let rng = Rng.create ~seed in
+let at_rate_blocking ?(arrivals = Poisson) ?seed ~rate ~n op =
+  let rng = Rng.create ~seed:(derive_seed seed) in
   for i = 0 to n - 1 do
     Engine.spawn ~name:"op" (fun () -> op i);
     Engine.sleep (gap rng arrivals ~rate)

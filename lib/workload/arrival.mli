@@ -19,7 +19,8 @@ val open_loop :
   unit
 (** [open_loop ~rate ~until op] spawns [op i] at approximately [rate]
     per second of simulated time until the absolute time [until]. Returns
-    immediately (the generator runs on its own fiber). *)
+    immediately (the generator runs on its own fiber). Without [seed], the
+    arrival stream derives from the engine's master seed. *)
 
 val closed_loop :
   clients:int -> until:Engine.time -> (client:int -> int -> unit) -> unit

@@ -17,7 +17,12 @@ type append_run = {
 }
 
 let append_workload ?(clients = 8) ?(warmup = Engine.ms 20) ?(size = 4096)
-    ?(seed = 17) ~log_factory ~rate ~duration () =
+    ?seed ~log_factory ~rate ~duration () =
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> Random.State.bits (Engine.random_state ())
+  in
   let handles = Array.init clients (fun _ -> log_factory ()) in
   let latency = Stats.Reservoir.create ~name:"append" () in
   let measured = ref 0 in

@@ -73,6 +73,29 @@ let test_crash_in_flight () =
       Fabric.recover fab b;
       checki "lost" 0 (Fabric.inbox_length b))
 
+let test_crash_resets_fifo_bookkeeping () =
+  (* FIFO ordering is per (src, dst) pair, tracked by last-arrival time.
+     A crash wipes the pair's in-flight traffic, so it must also wipe the
+     bookkeeping: post-recovery messages start a fresh FIFO stream rather
+     than queueing behind arrival times of messages that were lost. *)
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      (* Push b's last-arrival mark far into the future... *)
+      Fabric.set_extra_delay b (Engine.ms 50);
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "slow";
+      Fabric.set_extra_delay b 0;
+      (* ...then lose that message to a crash. *)
+      Fabric.crash fab b;
+      Fabric.recover fab b;
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "fresh";
+      Engine.sleep (Engine.ms 1);
+      checki "fresh message not stuck behind lost traffic" 1
+        (Fabric.inbox_length b);
+      let _, m = Fabric.recv b in
+      Alcotest.(check string) "payload" "fresh" m)
+
 let test_partition () =
   Engine.run (fun () ->
       let fab = Fabric.create () in
@@ -199,6 +222,8 @@ let () =
           Alcotest.test_case "crash drops traffic" `Quick test_crash_drops;
           Alcotest.test_case "crash loses in-flight" `Quick
             test_crash_in_flight;
+          Alcotest.test_case "crash resets FIFO bookkeeping" `Quick
+            test_crash_resets_fifo_bookkeeping;
           Alcotest.test_case "partition/heal" `Quick test_partition;
           Alcotest.test_case "drop probability" `Quick test_drop_probability;
         ] );

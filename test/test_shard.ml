@@ -151,6 +151,49 @@ let test_get_map_waits_and_serves () =
           chunk
       | _ -> Alcotest.fail "bad map response"))
 
+let test_read_repair_via_stable_hint () =
+  (* A shard that missed the final Sh_set_stable (it is a lossy one-way
+     broadcast) must still serve reads carrying the client's stable hint:
+     the hint repairs the local stable mirror and unblocks any reads
+     already parked on it. *)
+  with_shard (fun shard ep ->
+      push ep shard [ (0, record 1 1 "a"); (1, record 1 2 "b") ];
+      (* The covering Sh_set_stable is never delivered. A hint-less read
+         parks... *)
+      let parked = ref None in
+      Engine.spawn (fun () -> parked := Some (read ep shard [ 0 ]));
+      Engine.sleep (Engine.ms 1);
+      checkb "hint-less read parked" true (!parked = None);
+      (* ...while a hinted read both answers and repairs the mirror. *)
+      (match
+         call ep shard (Proto.Sh_read { positions = [ 0; 1 ]; stable_hint = 2 })
+       with
+      | Proto.R_records { records } -> checki "served" 2 (List.length records)
+      | _ -> Alcotest.fail "hinted read failed");
+      Engine.sleep (Engine.ms 1);
+      (match !parked with
+      | Some [ (0, r) ] ->
+        Alcotest.(check string) "parked read repaired too" "a" r.Types.data
+      | _ -> Alcotest.fail "parked read still blocked after repair"))
+
+let test_get_map_stable_hint () =
+  (* Same repair path for Erwin-st map chunks. *)
+  with_shard (fun shard ep ->
+      ignore (call ep shard (Proto.Ssh_data_write { record = record 1 1 "x" }));
+      ignore
+        (call ep shard
+           (Proto.Ssh_order
+              { truncate_from = None;
+                bindings = [ (0, rid 1 1) ];
+                map_chunk = [ (0, 0) ] }));
+      (* No Sh_set_stable: the request's hint stands in for it. *)
+      (match
+         call ep shard (Proto.Ssh_get_map { from = 0; count = 4; stable_hint = 1 })
+       with
+      | Proto.R_map { chunk } ->
+        Alcotest.(check (list (pair int int))) "chunk served" [ (0, 0) ] chunk
+      | _ -> Alcotest.fail "bad map response"))
+
 let test_backfill_to_backup () =
   (* A backup missing a staged record asks for backfill during order
      replication; afterwards both replicas hold the bound record. *)
@@ -293,6 +336,13 @@ let () =
           Alcotest.test_case "backup backfill" `Quick test_backfill_to_backup;
           Alcotest.test_case "journal retry dedup" `Quick
             test_journal_retry_dedup;
+        ] );
+      ( "stable-hint read repair",
+        [
+          Alcotest.test_case "read repairs dropped set_stable" `Quick
+            test_read_repair_via_stable_hint;
+          Alcotest.test_case "get_map honors hint" `Quick
+            test_get_map_stable_hint;
         ] );
       ( "replica replacement (s5.4)",
         [

@@ -78,6 +78,68 @@ let test_determinism () =
   in
   Alcotest.(check bool) "identical traces" true (run () = run ())
 
+(* One workload with a 6-way tie at a single instant: the order in which
+   the tied fibers run is the schedule under test. *)
+let tie_trace ?(perturb = false) seed =
+  let trace = ref [] in
+  Engine.run ~seed ~perturb (fun () ->
+      for i = 1 to 6 do
+        Engine.spawn (fun () ->
+            Engine.sleep (Engine.us 10);
+            trace := i :: !trace)
+      done);
+  List.rev !trace
+
+let test_perturb_deterministic () =
+  (* Same seed -> same tie-breaking; unperturbed -> spawn (FIFO) order. *)
+  Alcotest.(check (list int))
+    "unperturbed is FIFO" [ 1; 2; 3; 4; 5; 6 ] (tie_trace 1);
+  for seed = 1 to 5 do
+    Alcotest.(check (list int))
+      "perturbed run reproduces"
+      (tie_trace ~perturb:true seed)
+      (tie_trace ~perturb:true seed)
+  done
+
+let test_perturb_explores () =
+  (* Across a handful of seeds, at least one must deviate from FIFO and
+     two seeds must disagree — otherwise the perturbation is a no-op. *)
+  let traces = List.init 8 (fun s -> tie_trace ~perturb:true (s + 1)) in
+  checkb "some schedule differs from FIFO" true
+    (List.exists (fun t -> t <> [ 1; 2; 3; 4; 5; 6 ]) traces);
+  checkb "seeds explore distinct schedules" true
+    (List.exists (fun t -> t <> List.hd traces) traces);
+  List.iter
+    (fun t ->
+      Alcotest.(check (list int))
+        "every schedule is a permutation" [ 1; 2; 3; 4; 5; 6 ]
+        (List.sort compare t))
+    traces
+
+let test_parallel_domains () =
+  (* Engine state is domain-local: independent simulations may run
+     concurrently on separate domains, each fully deterministic. *)
+  let sim seed =
+    let acc = ref 0 in
+    Engine.run ~seed ~perturb:true (fun () ->
+        for i = 1 to 50 do
+          Engine.spawn (fun () ->
+              Engine.sleep (Engine.us (Random.State.int (Engine.random_state ()) 100));
+              acc := !acc + i)
+        done);
+    (!acc, Engine.events_executed (), Engine.master_seed ())
+  in
+  let expected = List.init 4 (fun i -> sim (i + 1)) in
+  let domains = List.init 4 (fun i -> Domain.spawn (fun () -> sim (i + 1))) in
+  let got = List.map Domain.join domains in
+  List.iteri
+    (fun i ((a, e, s), (a', e', s')) ->
+      check "sum matches" a a';
+      check "event count matches" e e';
+      check "seed recorded" (i + 1) s;
+      check "seed recorded in domain" (i + 1) s')
+    (List.combine expected got)
+
 let test_until () =
   let reached = ref false in
   Engine.run ~until:(Engine.ms 1) (fun () ->
@@ -357,6 +419,12 @@ let () =
           Alcotest.test_case "clock advances" `Quick test_clock_advances;
           Alcotest.test_case "spawn order" `Quick test_spawn_ordering;
           Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "perturbation deterministic per seed" `Quick
+            test_perturb_deterministic;
+          Alcotest.test_case "perturbation explores schedules" `Quick
+            test_perturb_explores;
+          Alcotest.test_case "parallel domain engines" `Quick
+            test_parallel_domains;
           Alcotest.test_case "until bounds run" `Quick test_until;
           Alcotest.test_case "exceptions propagate" `Quick
             test_exception_propagates;
