@@ -27,6 +27,40 @@ let csv_line cells =
     output_char oc '\n'
   | None -> ()
 
+(* Optional machine-readable JSON output: one BENCH_<name>.json file per
+   benchmark under [!json_dir], each an array of
+   {series, throughput, p50_us, p99_us} objects (CI consumes these). *)
+let json_dir : string option ref = ref None
+
+type json_series = {
+  js_series : string;
+  js_throughput : float;  (** records per second *)
+  js_p50_us : float;
+  js_p99_us : float;
+}
+
+let write_json ~name (series : json_series list) =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    (try if not (Sys.is_directory dir) then failwith "not a dir"
+     with Sys_error _ | Failure _ -> (
+       try Sys.mkdir dir 0o755 with Sys_error _ -> ()));
+    let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+    let oc = open_out path in
+    output_string oc "[\n";
+    List.iteri
+      (fun i s ->
+        Printf.fprintf oc
+          "  {\"series\": %S, \"throughput\": %.1f, \"p50_us\": %.2f, \
+           \"p99_us\": %.2f}%s\n"
+          s.js_series s.js_throughput s.js_p50_us s.js_p99_us
+          (if i = List.length series - 1 then "" else ","))
+      series;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.printf "  [json: %s]\n%!" path
+
 let section fmt =
   Printf.ksprintf
     (fun s ->

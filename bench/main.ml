@@ -3,27 +3,29 @@
    with `--fig 6 --fig 17`; use `--full` for longer measurement windows;
    `--micro` adds the bechamel microbenchmarks. *)
 
-let figures : (int * string * (unit -> unit)) list =
+let figures : (string * string * (unit -> unit)) list =
   [
-    (6, "append latency vs Corfu", Fig6.run);
-    (7, "append latency vs Scalog", Fig7.run);
-    (8, "reads lagging appends", Fig8.run);
-    (9, "no lag appends/reads", Fig9.run);
-    (10, "periodic reads", Fig10.run);
-    (11, "append rate vs read latency", Fig11.run);
-    (12, "record size vs Erwin-m throughput", Fig12.run);
-    (13, "Erwin-st scalability", Fig13.run);
-    (14, "Erwin-st reads", Fig14.run);
-    (15, "total order over Kafka shards", Fig15.run);
-    (16, "seamless shard addition", Fig16.run);
-    (17, "sequencing-layer reconfiguration", Fig17.run);
-    (18, "end applications", Fig18.run);
+    ("6", "append latency vs Corfu", Fig6.run);
+    ("7", "append latency vs Scalog", Fig7.run);
+    ("8", "reads lagging appends", Fig8.run);
+    ("9", "no lag appends/reads", Fig9.run);
+    ("10", "periodic reads", Fig10.run);
+    ("11", "append rate vs read latency", Fig11.run);
+    ("12", "record size vs Erwin-m throughput", Fig12.run);
+    ("13", "Erwin-st scalability", Fig13.run);
+    ("14", "Erwin-st reads", Fig14.run);
+    ("15", "total order over Kafka shards", Fig15.run);
+    ("16", "seamless shard addition", Fig16.run);
+    ("17", "sequencing-layer reconfiguration", Fig17.run);
+    ("18", "end applications", Fig18.run);
+    ("batch", "append-path group commit sweep", Fig_batch.run);
   ]
 
-let run_selection figs full micro ablations csv =
+let run_selection figs full micro ablations csv json_dir =
   (match csv with
   | Some path -> Harness.csv_out := Some (open_out path)
   | None -> ());
+  Harness.json_dir := json_dir;
   Harness.quick := not full;
   Printf.printf
     "LazyLog benchmark suite — reproducing the paper's figures (%s mode)\n"
@@ -39,7 +41,7 @@ let run_selection figs full micro ablations csv =
     (fun (n, what, f) ->
       let t0 = Unix.gettimeofday () in
       f ();
-      Printf.printf "  [figure %d: %s — %.1fs wall]\n%!" n what
+      Printf.printf "  [figure %s: %s — %.1fs wall]\n%!" n what
         (Unix.gettimeofday () -. t0))
     selected;
   if ablations then Ablation.run ();
@@ -54,8 +56,11 @@ let run_selection figs full micro ablations csv =
 open Cmdliner
 
 let figs =
-  let doc = "Figure number to run (repeatable; default: all)." in
-  Arg.(value & opt_all int [] & info [ "fig"; "f" ] ~docv:"N" ~doc)
+  let doc =
+    "Figure to run: a paper figure number (6..18) or a named sweep \
+     (batch). Repeatable; default: all."
+  in
+  Arg.(value & opt_all string [] & info [ "fig"; "f" ] ~docv:"N" ~doc)
 
 let full =
   let doc = "Longer measurement windows (closer to the paper's durations)." in
@@ -73,9 +78,19 @@ let csv =
   let doc = "Also mirror every table row into $(docv) as CSV." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let json_dir =
+  let doc =
+    "Also write machine-readable BENCH_<name>.json files (throughput and \
+     p50/p99 per series) into $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "json-dir" ] ~docv:"DIR" ~doc)
+
 let cmd =
   let doc = "Reproduce the LazyLog paper's evaluation figures" in
   let info = Cmd.info "lazylog-bench" ~doc in
-  Cmd.v info Term.(const run_selection $ figs $ full $ micro $ ablations $ csv)
+  Cmd.v info
+    Term.(
+      const run_selection $ figs $ full $ micro $ ablations $ csv $ json_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -190,13 +190,49 @@ let ring_test =
 let heap_test =
   Test.make ~name:"heap push/pop x256"
     (Staged.stage (fun () ->
-         let h = Ll_sim.Heap.create ~cmp:compare in
+         let h = Ll_sim.Heap.create ~cmp:Int.compare in
          for i = 0 to 255 do
            Ll_sim.Heap.push h ((i * 7919) mod 257)
          done;
          while not (Ll_sim.Heap.is_empty h) do
            ignore (Ll_sim.Heap.pop h)
          done))
+
+(* Before/after for the event-comparator change: the same event-shaped
+   records through the scheduler's heap, compared field-wise with
+   polymorphic [compare] (the seed's comparator) vs [Int.compare]. *)
+type ev = { at : int; tie : int; seq : int }
+
+let ev_cmp_poly a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = compare a.tie b.tie in
+    if c <> 0 then c else compare a.seq b.seq
+
+let ev_cmp_int a b =
+  let c = Int.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.tie b.tie in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let event_heap_test ~name ~cmp =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let h = Ll_sim.Heap.create ~cmp in
+         for i = 0 to 255 do
+           Ll_sim.Heap.push h { at = (i * 7919) mod 1024; tie = 0; seq = i }
+         done;
+         while not (Ll_sim.Heap.is_empty h) do
+           ignore (Ll_sim.Heap.pop h)
+         done))
+
+let event_cmp_poly_test =
+  event_heap_test ~name:"event heap (poly compare) x256" ~cmp:ev_cmp_poly
+
+let event_cmp_int_test =
+  event_heap_test ~name:"event heap (Int.compare) x256" ~cmp:ev_cmp_int
 
 let zipf_test =
   let rng = Ll_sim.Rng.create ~seed:1 in
@@ -230,12 +266,48 @@ let reservoir_test =
          done;
          ignore (Ll_sim.Stats.Reservoir.percentile_us r 99.0)))
 
+(* End-to-end scheduler rate in real wall-clock time: timer-driven fibers
+   pushed through {!Ll_sim.Engine}'s event heap. This is where the
+   monomorphic event comparator pays off across the whole simulator. *)
+let run_engine_rate () =
+  Harness.section "Engine event throughput (real time)";
+  let n = if !Harness.quick then 300_000 else 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  Ll_sim.Engine.run (fun () ->
+      let open Ll_sim in
+      let fibers = 64 in
+      let per = n / fibers in
+      for f = 0 to fibers - 1 do
+        Engine.spawn ~name:"bench.tick" (fun () ->
+            for i = 1 to per do
+              Engine.sleep ((((f * 31) + i) mod 97) + 1)
+            done)
+      done);
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Ll_sim.Engine.events_executed () in
+  Harness.table_header [ "metric"; "events"; "wall_ms"; "Mevents/s" ];
+  Harness.row "engine (Int.compare cmp)"
+    [
+      string_of_int events;
+      Harness.f1 (wall *. 1000.);
+      Printf.sprintf "%.2f" (float_of_int events /. wall /. 1e6);
+    ]
+
 let run () =
   run_saturation ();
+  run_engine_rate ();
   Harness.section "Microbenchmarks (bechamel, real time)";
   let tests =
     Test.make_grouped ~name:"micro" ~fmt:"%s %s"
-      [ ring_test; heap_test; zipf_test; seq_log_test; reservoir_test ]
+      [
+        ring_test;
+        heap_test;
+        event_cmp_poly_test;
+        event_cmp_int_test;
+        zipf_test;
+        seq_log_test;
+        reservoir_test;
+      ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =

@@ -78,7 +78,7 @@ let write_artifact dir (o : Checker.outcome) =
     Artifact.save ~path a;
     Some path
 
-let run_sweep systems seeds seed_base shards jobs quick serial bug
+let run_sweep systems seeds seed_base shards jobs quick serial batching bug
     artifact_dir =
   let horizon =
     if quick then Checker.quick_horizon else Checker.default_horizon
@@ -88,17 +88,18 @@ let run_sweep systems seeds seed_base shards jobs quick serial bug
       (fun system ->
         List.init seeds (fun i ->
             Checker.scenario ~system ~seed:(seed_base + i) ~shards ~serial
-              ?bug ~horizon ()))
+              ~batching ?bug ~horizon ()))
       systems
   in
   Printf.printf
-    "lazylog-check: %d runs (%s; seeds %d..%d; %d shards%s%s; %d jobs)\n%!"
+    "lazylog-check: %d runs (%s; seeds %d..%d; %d shards%s%s%s; %d jobs)\n%!"
     (List.length scenarios)
     (String.concat "," systems)
     seed_base
     (seed_base + seeds - 1)
     shards
     (if serial then "; serial orderer" else "")
+    (if batching then "; append batching" else "")
     (match bug with Some b -> "; BUG GATE " ^ b | None -> "")
     jobs;
   let outcomes = Checker.sweep ~jobs scenarios in
@@ -167,12 +168,12 @@ let run_replay path =
     print_endline "replay completed with NO violation (artifact stale?)";
     0
 
-let main systems seeds seed_base shards jobs quick serial bug artifact_dir
-    replay =
+let main systems seeds seed_base shards jobs quick serial batching bug
+    artifact_dir replay =
   match replay with
   | Some path -> run_replay path
   | None ->
-    run_sweep systems seeds seed_base shards jobs quick serial bug
+    run_sweep systems seeds seed_base shards jobs quick serial batching bug
       artifact_dir
 
 open Cmdliner
@@ -214,6 +215,15 @@ let serial =
           "Check the serial-orderer baseline (pipeline_depth=1, fixed \
            batch) instead of the pipelined orderer.")
 
+let batching =
+  Arg.(
+    value & flag
+    & info [ "batching" ]
+        ~doc:
+          "Run the clients with append group commit enabled (client-side \
+           linger batcher + batched replica ingress): a batch straddling a \
+           crash or seal must fail atomically per record, never half-ack.")
+
 let bug =
   Arg.(
     value
@@ -245,6 +255,6 @@ let cmd =
     (Cmd.info "lazylog-check" ~doc)
     Term.(
       const main $ systems $ seeds $ seed_base $ shards $ jobs $ quick
-      $ serial $ bug $ artifact_dir $ replay)
+      $ serial $ batching $ bug $ artifact_dir $ replay)
 
 let () = exit (Cmd.eval' cmd)

@@ -36,17 +36,29 @@ let system_conv =
           | Kafka -> "kafka"
           | Erwin_kafka -> "erwin-kafka") )
 
-let build_factory system ~shards ~nvme =
+let build_factory system ~shards ~nvme ~batching ~linger_us =
   let disk = if nvme then Config.Nvme else Config.Sata in
+  let erwin_cfg cfg =
+    if batching then
+      {
+        cfg with
+        Config.append_batching = true;
+        linger = Engine.us linger_us;
+      }
+    else cfg
+  in
   match system with
   | Erwin_m ->
-    let cfg = { Config.default with nshards = shards; shard_disk = disk } in
+    let cfg =
+      erwin_cfg { Config.default with nshards = shards; shard_disk = disk }
+    in
     let cluster = Erwin_m.create ~cfg () in
     ((fun () -> Erwin_m.client cluster), fun () -> Some cluster.stable_gp)
   | Erwin_st ->
     let cfg =
-      { Config.default with nshards = shards; shard_disk = disk;
-        shard_backup_count = 1 }
+      erwin_cfg
+        { Config.default with nshards = shards; shard_disk = disk;
+          shard_backup_count = 1 }
     in
     let cluster = Erwin_st.create ~cfg () in
     ((fun () -> Erwin_st.client cluster), fun () -> Some cluster.stable_gp)
@@ -75,11 +87,14 @@ let build_factory system ~shards ~nvme =
     let sys = Ll_kafka.Kafka_erwin.create ~kafka_config () in
     ((fun () -> Ll_kafka.Kafka_erwin.client sys), fun () -> None)
 
-let run system shards rate size seconds read_lag_ms nvme seed =
+let run system shards rate size seconds read_lag_ms nvme batching linger_us
+    seed =
   let duration = Engine.us_f (seconds *. 1e6) in
   let app_lat, read_lat, achieved, stable =
     Runner.in_sim ~seed (fun () ->
-        let factory, stable = build_factory system ~shards ~nvme in
+        let factory, stable =
+          build_factory system ~shards ~nvme ~batching ~linger_us
+        in
         let clients = Array.init 16 (fun _ -> factory ()) in
         let app_lat = Stats.Reservoir.create () in
         let read_lat = Stats.Reservoir.create () in
@@ -125,13 +140,15 @@ let run system shards rate size seconds read_lag_ms nvme seed =
           Stats.throughput_per_sec ~count:!completed ~dur:duration,
           stable () ))
   in
-  Printf.printf "system      : %s (%d shard%s%s)\n"
+  Printf.printf "system      : %s (%d shard%s%s%s)\n"
     (match system with
     | Erwin_m -> "erwin-m" | Erwin_st -> "erwin-st" | Corfu -> "corfu"
     | Scalog -> "scalog" | Kafka -> "kafka" | Erwin_kafka -> "erwin-m over kafka")
     shards
     (if shards = 1 then "" else "s")
-    (if nvme then ", NVMe" else ", SATA");
+    (if nvme then ", NVMe" else ", SATA")
+    (if batching then Printf.sprintf ", batching linger=%dus" linger_us
+     else "");
   Printf.printf "offered     : %.0f appends/s x %d B for %.3f s (simulated)\n"
     rate size seconds;
   Printf.printf "achieved    : %.0f appends/s\n" achieved;
@@ -184,6 +201,21 @@ let read_lag =
 let nvme =
   Arg.(value & flag & info [ "nvme" ] ~doc:"NVMe-class shard disks.")
 
+let batching =
+  Arg.(
+    value & flag
+    & info [ "batching" ]
+        ~doc:
+          "Enable append-path group commit (Erwin systems only): the \
+           client-side linger batcher coalesces concurrent appends into \
+           one wire batch.")
+
+let linger_us =
+  Arg.(
+    value & opt int 20
+    & info [ "linger-us" ]
+        ~doc:"Linger window for $(b,--batching), in microseconds.")
+
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
 
 let cmd =
@@ -192,6 +224,6 @@ let cmd =
     (Cmd.info "lazylog-sim" ~doc)
     Term.(
       const run $ system $ shards $ rate $ size $ seconds $ read_lag $ nvme
-      $ seed)
+      $ batching $ linger_us $ seed)
 
 let () = exit (Cmd.eval cmd)

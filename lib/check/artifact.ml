@@ -5,6 +5,7 @@ type scenario = {
   seed : int;
   shards : int;
   serial : bool;
+  batching : bool;  (* run clients with append group commit enabled *)
   bug : string option;
   horizon : Engine.time;
   script : Fault_dsl.script;
@@ -28,6 +29,7 @@ let to_string a =
   line "seed %d" a.scenario.seed;
   line "shards %d" a.scenario.shards;
   line "serial %b" a.scenario.serial;
+  line "batching %b" a.scenario.batching;
   (match a.scenario.bug with Some b -> line "bug %s" b | None -> ());
   line "horizon %d" a.scenario.horizon;
   line "invariant %s" a.invariant;
@@ -76,6 +78,11 @@ let of_string s =
           seed = geti "seed";
           shards = geti "shards";
           serial = bool_of_string (get "serial");
+          (* Absent in pre-batching artifacts: default off. *)
+          batching =
+            (match Hashtbl.find_opt fields "batching" with
+            | Some b -> bool_of_string b
+            | None -> false);
           bug = Hashtbl.find_opt fields "bug";
           horizon = geti "horizon";
           script = Fault_dsl.sort (List.rev !script);

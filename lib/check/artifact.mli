@@ -19,6 +19,7 @@ type scenario = {
   seed : int;  (** master seed: engine rng, perturbation, workload *)
   shards : int;
   serial : bool;  (** serial-orderer baseline ([pipeline_depth = 1]) *)
+  batching : bool;  (** clients run with append group commit enabled *)
   bug : string option;  (** intentional bug gate, e.g. ["no-pinning"] *)
   horizon : Engine.time;
   script : Fault_dsl.script;

@@ -15,6 +15,11 @@ let config_of (sc : Artifact.scenario) =
       { cfg with Config.pipeline_depth = 1; adaptive_batch = false }
     else cfg
   in
+  (* Default linger (20 us) sits well under the checker's 2 ms append
+     timeout, so batched appends still retry within the horizon. *)
+  let cfg =
+    if sc.batching then { cfg with Config.append_batching = true } else cfg
+  in
   match sc.bug with
   | None -> cfg
   | Some "no-pinning" -> { cfg with Config.debug_no_rid_pinning = true }
@@ -28,13 +33,15 @@ let gen_script ~seed ~horizon ~shards =
   Fault_dsl.gen rng ~horizon
     ~nreplicas:Config.default.Config.seq_replica_count ~nshards:shards
 
-let scenario ~system ~seed ?(shards = 2) ?(serial = false) ?bug
-    ?(horizon = default_horizon) () : Artifact.scenario =
+let scenario ~system ~seed ?(shards = 2) ?(serial = false)
+    ?(batching = false) ?bug ?(horizon = default_horizon) () :
+    Artifact.scenario =
   {
     Artifact.system;
     seed;
     shards;
     serial;
+    batching;
     bug;
     horizon;
     script = gen_script ~seed ~horizon ~shards;

@@ -25,13 +25,16 @@ val scenario :
   seed:int ->
   ?shards:int ->
   ?serial:bool ->
+  ?batching:bool ->
   ?bug:string ->
   ?horizon:Engine.time ->
   unit ->
   Artifact.scenario
 (** A scenario whose fault script is generated from [seed] (a pure
     function of seed, horizon and topology). [system] is ["erwin-m"] or
-    ["erwin-st"]; [bug] enables a known-bad configuration (currently
+    ["erwin-st"]; [batching] runs the clients with append group commit
+    enabled (a batch straddling a crash or seal must fail atomically per
+    record); [bug] enables a known-bad configuration (currently
     ["no-pinning"]). *)
 
 type outcome = {

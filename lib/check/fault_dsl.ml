@@ -27,7 +27,8 @@ let step_at = function
   | Straggler { at; _ } ->
     at
 
-let sort script = List.stable_sort (fun a b -> compare (step_at a) (step_at b)) script
+let sort script =
+  List.stable_sort (fun a b -> Int.compare (step_at a) (step_at b)) script
 
 (* ---------- printing / parsing (the artifact wire format) ---------- *)
 

@@ -1,0 +1,118 @@
+open Ll_sim
+
+(* The client-side linger batcher (group commit).
+
+   One batcher per cluster process, shared by every client handle of that
+   process, so concurrent appends from different client fibers coalesce
+   into a single [Sr_append_batch] fan-out to all f+1 sequencing replicas.
+   A batch flushes on whichever trigger fires first: the [linger] deadline
+   armed when the batch opens, [max_batch_records], or [max_batch_bytes].
+   Every caller of the batch gets its answer from the one fan-out ack.
+
+   [submit] does not retry: a failed batch fails every caller, and each
+   caller's own retry loop re-submits — so retried entries re-coalesce
+   into fresh batches (and Erwin-st can re-send its shard data writes in
+   lockstep with the metadata retry). Replicas that already accepted an
+   entry filter the retry as a duplicate and still ack it. *)
+
+type pending = {
+  entry : Types.entry;
+  track : bool;
+  done_ : [ `Ok | `Fail of int ] Ivar.t;
+}
+
+type t = {
+  cluster : Erwin_common.t;
+  ep : (Proto.req, Proto.resp) Ll_net.Rpc.endpoint;
+  mutable buf : pending list;  (* open batch, newest first *)
+  mutable count : int;
+  mutable bytes : int;
+  mutable gen : int;  (* bumped per flush; stale linger timers no-op *)
+  mutable flushes : int;
+  mutable flushed_records : int;
+}
+
+let flush t =
+  if t.count > 0 then begin
+    let pendings = List.rev t.buf in
+    let n = t.count in
+    t.buf <- [];
+    t.count <- 0;
+    t.bytes <- 0;
+    t.gen <- t.gen + 1;
+    t.flushes <- t.flushes + 1;
+    t.flushed_records <- t.flushed_records + n;
+    let cluster = t.cluster in
+    Engine.spawn ~name:"append.batcher" (fun () ->
+        let view = cluster.Erwin_common.view in
+        let req =
+          Proto.Sr_append_batch
+            { view; batch = List.map (fun p -> (p.entry, p.track)) pendings }
+        in
+        let size = Proto.req_size req in
+        let ivs =
+          List.map
+            (fun r ->
+              Ll_net.Rpc.call_async t.ep ~dst:(Seq_replica.node_id r) ~size req)
+            cluster.Erwin_common.replicas
+        in
+        let ok =
+          match
+            Ivar.join_all_timeout ivs
+              ~timeout:cluster.Erwin_common.cfg.Config.append_timeout
+          with
+          | Some resps ->
+            List.for_all
+              (function Proto.R_append_batch { ok; _ } -> ok | _ -> false)
+              resps
+          | None -> false
+        in
+        let result = if ok then `Ok else `Fail view in
+        List.iter (fun p -> Ivar.fill p.done_ result) pendings)
+  end
+
+let submit t ~track entry =
+  let cfg = t.cluster.Erwin_common.cfg in
+  let p = { entry; track; done_ = Ivar.create () } in
+  t.buf <- p :: t.buf;
+  t.count <- t.count + 1;
+  t.bytes <- t.bytes + Types.entry_wire_size entry;
+  if
+    t.count >= cfg.Config.max_batch_records
+    || t.bytes >= cfg.Config.max_batch_bytes
+  then flush t
+  else if t.count = 1 then begin
+    (* First record of a batch arms the linger deadline. [linger = 0]
+       still coalesces: the timer fires after every currently-runnable
+       fiber has had the chance to enqueue its append. *)
+    let gen = t.gen in
+    Engine.after cfg.Config.linger (fun () -> if t.gen = gen then flush t)
+  end;
+  Ivar.read p.done_
+
+let make cluster =
+  let ep = Erwin_common.new_endpoint cluster ~name:"append.batcher" in
+  let t =
+    {
+      cluster;
+      ep;
+      buf = [];
+      count = 0;
+      bytes = 0;
+      gen = 0;
+      flushes = 0;
+      flushed_records = 0;
+    }
+  in
+  {
+    Erwin_common.submit_entry = (fun ~track entry -> submit t ~track entry);
+    batch_stats = (fun () -> (t.flushes, t.flushed_records));
+  }
+
+let get (cluster : Erwin_common.t) =
+  match cluster.append_batcher with
+  | Some b -> b
+  | None ->
+    let b = make cluster in
+    cluster.append_batcher <- Some b;
+    b

@@ -1,0 +1,15 @@
+(** Client-side linger batcher — the group-commit front of the append path.
+
+    One batcher per cluster process, shared across all of its client
+    handles: concurrent [append]/[appendSync] calls coalesce into a single
+    {!Proto.Sr_append_batch} fan-out to all f+1 sequencing replicas, and
+    each caller's ivar completes from that one ack. A batch flushes on the
+    first of: the [linger] deadline, [max_batch_records], or
+    [max_batch_bytes] (see {!Config}).
+
+    The batcher never retries; callers keep their own retry loops (and so
+    re-coalesce after a view change). Only used when
+    [cfg.append_batching = true]. *)
+
+val get : Erwin_common.t -> Erwin_common.batch_submit
+(** The cluster's shared batcher, lazily created on first use. *)

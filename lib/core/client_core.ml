@@ -30,17 +30,34 @@ let await_view_after (cluster : t) view =
 let append_entry (cluster : t) ep ~track entry =
   if Probe.active () then
     Probe.emit (Probe.Append_invoked { rid = Types.entry_rid entry });
-  let rec attempt () =
-    let view = cluster.view in
-    match try_append_seq cluster ep ~view ~track entry with
-    | `Ok ->
-      if Probe.active () then
-        Probe.emit (Probe.Append_acked { rid = Types.entry_rid entry })
-    | `Fail ->
-      await_view_after cluster view;
-      attempt ()
-  in
-  attempt ()
+  if cluster.cfg.Config.append_batching then begin
+    (* Group commit: hand the entry to the shared linger batcher and wait
+       for its batch's fan-out ack. Retries re-coalesce into new batches;
+       replicas that already hold the rid filter it as a duplicate. *)
+    let b = Batcher.get cluster in
+    let rec attempt () =
+      match b.submit_entry ~track entry with
+      | `Ok ->
+        if Probe.active () then
+          Probe.emit (Probe.Append_acked { rid = Types.entry_rid entry })
+      | `Fail view ->
+        await_view_after cluster view;
+        attempt ()
+    in
+    attempt ()
+  end
+  else
+    let rec attempt () =
+      let view = cluster.view in
+      match try_append_seq cluster ep ~view ~track entry with
+      | `Ok ->
+        if Probe.active () then
+          Probe.emit (Probe.Append_acked { rid = Types.entry_rid entry })
+      | `Fail ->
+        await_view_after cluster view;
+        attempt ()
+    in
+    attempt ()
 
 let check_tail (cluster : t) ep =
   let rec go () =
@@ -77,35 +94,53 @@ let wait_ordered (cluster : t) ep rid =
   go ()
 
 let read_grouped (cluster : t) ep ~shard_of positions =
-  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  (* Batched shard read: shard ids are dense, so group positions with two
+     array passes (count, then fill into a pre-sized buffer per shard)
+     instead of hashing into list refs — one allocation per involved
+     shard, no per-position consing. *)
+  let nshards = Array.length cluster.shard_index in
+  let counts = Array.make nshards 0 in
   List.iter
     (fun p ->
       let sid = Shard.shard_id (shard_of p) in
-      match Hashtbl.find_opt groups sid with
-      | Some l -> l := p :: !l
-      | None -> Hashtbl.add groups sid (ref [ p ]))
+      counts.(sid) <- counts.(sid) + 1)
     positions;
-  let calls =
-    Hashtbl.fold
-      (fun sid ps acc ->
+  let bufs =
+    Array.init nshards (fun sid ->
+        if counts.(sid) = 0 then [||] else Array.make counts.(sid) 0)
+  in
+  let fill = Array.make nshards 0 in
+  List.iter
+    (fun p ->
+      let sid = Shard.shard_id (shard_of p) in
+      bufs.(sid).(fill.(sid)) <- p;
+      fill.(sid) <- fill.(sid) + 1)
+    positions;
+  let calls = ref [] in
+  Array.iteri
+    (fun sid buf ->
+      if Array.length buf > 0 then begin
         let shard = shard_by_id cluster sid in
         let req =
           Proto.Sh_read
-            { positions = List.rev !ps; stable_hint = cluster.stable_gp }
+            {
+              positions = Array.to_list buf;
+              stable_hint = cluster.stable_gp;
+            }
         in
         let iv = Ivar.create () in
         Engine.spawn ~name:"client.read" (fun () ->
             match
               Rpc.call_retry ep ~dst:(Shard.primary_id shard)
                 ~size:(Proto.req_size req) ~timeout:(Engine.ms 50)
-                ~max_tries:100 req
+                ~max_tries:100 ~backoff:(Engine.us 50) req
             with
             | Some resp -> Ivar.fill iv resp
             | None -> Ivar.fill iv (Proto.R_records { records = [] }));
-        iv :: acc)
-      groups []
-  in
-  let resps = Ivar.join_all calls in
+        calls := iv :: !calls
+      end)
+    bufs;
+  let resps = Ivar.join_all !calls in
   let records =
     List.concat_map
       (function
@@ -113,7 +148,7 @@ let read_grouped (cluster : t) ep ~shard_of positions =
         | _ -> failwith "read_grouped: bad response")
       resps
   in
-  List.sort (fun (a, _) (b, _) -> compare a b) records
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) records
 
 let trim_all (cluster : t) ep ~upto =
   let acks =

@@ -20,6 +20,10 @@ type t = {
   dirty_limit_bytes : int;
   data_wait_timeout : Engine.time;
   append_timeout : Engine.time;
+  append_batching : bool;
+  linger : Engine.time;
+  max_batch_records : int;
+  max_batch_bytes : int;
   link : Fabric.link;
   rpc_overhead : Engine.time;
   debug_no_rid_pinning : bool;
@@ -52,6 +56,12 @@ let default =
     dirty_limit_bytes = 8 * 1024 * 1024;
     data_wait_timeout = Engine.ms 5;
     append_timeout = Engine.ms 20;
+    (* Group commit defaults off: the paper-fidelity benches (figs 6-18)
+       measure the per-record 1-RTT path byte-for-byte unchanged. *)
+    append_batching = false;
+    linger = Engine.us 20;
+    max_batch_records = 128;
+    max_batch_bytes = 64 * 1024;
     link = Fabric.default_link;
     rpc_overhead = Engine.ns 500;
     debug_no_rid_pinning = false;

@@ -35,6 +35,16 @@ type t = {
       (** Erwin-st: how long a shard waits for a missing record before
           writing a no-op (section 5.4) *)
   append_timeout : Engine.time;  (** client append retry timeout *)
+  append_batching : bool;
+      (** opt-in group commit: coalesce concurrent appends of one client
+          process into a single [Sr_append_batch] fan-out. Off by default
+          so the paper-fidelity figures measure the per-record path. *)
+  linger : Engine.time;
+      (** group commit: how long an open batch waits for more records
+          before flushing (flushes earlier on {!field-max_batch_records}
+          or {!field-max_batch_bytes}) *)
+  max_batch_records : int;  (** group commit: record-count flush trigger *)
+  max_batch_bytes : int;  (** group commit: payload-bytes flush trigger *)
   link : Fabric.link;
   rpc_overhead : Engine.time;  (** per-endpoint software overhead (eRPC) *)
   debug_no_rid_pinning : bool;

@@ -33,6 +33,17 @@ let fresh_metrics () =
     last_stable_at = -1;
   }
 
+(* The per-process append batcher, as closures so [Batcher] can live in a
+   module that depends on this one (no cycle). *)
+type batch_submit = {
+  submit_entry : track:bool -> Types.entry -> [ `Ok | `Fail of int ];
+      (** Enqueue one append into the open linger batch and block until its
+          batch's fan-out resolves. [`Fail view] reports the view the batch
+          was attempted in, for the caller's view-change wait. *)
+  batch_stats : unit -> int * int;
+      (** (flushes so far, records batched so far). *)
+}
+
 type t = {
   cfg : Config.t;
   mode : mode;
@@ -56,6 +67,7 @@ type t = {
   mutable cur_batch : int;
   mutable order_resync : bool;
   metrics : orderer_metrics;
+  mutable append_batcher : batch_submit option;
 }
 
 let create ~cfg ~mode =
@@ -96,6 +108,7 @@ let create ~cfg ~mode =
          else cfg.Config.max_batch);
       order_resync = false;
       metrics = fresh_metrics ();
+      append_batcher = None;
     }
   in
   List.iter

@@ -34,6 +34,16 @@ type orderer_metrics = {
   mutable last_stable_at : Engine.time;  (** -1 until the first stable *)
 }
 
+(** The per-process append batcher (group commit), held as closures so the
+    implementing module ({!Batcher}) can depend on this one. *)
+type batch_submit = {
+  submit_entry : track:bool -> Types.entry -> [ `Ok | `Fail of int ];
+      (** Enqueue one append into the open linger batch and block until the
+          batch's fan-out resolves. [`Fail view] carries the view the batch
+          was attempted in so the caller can wait out the view change. *)
+  batch_stats : unit -> int * int;  (** (flushes, records batched) so far *)
+}
+
 type t = {
   cfg : Config.t;
   mode : mode;
@@ -61,6 +71,8 @@ type t = {
       (** set when an in-flight batch is discarded (seal/view change);
           the orderer re-reads the leader's state once drained *)
   metrics : orderer_metrics;
+  mutable append_batcher : batch_submit option;
+      (** lazily created by {!Batcher.get} when [cfg.append_batching] *)
 }
 
 val create : cfg:Config.t -> mode:mode -> t

@@ -30,33 +30,69 @@ let try_append_once (cluster : Erwin_common.t) ep ~track record shard =
       { rid = record.Types.rid; shard = Shard.shard_id shard;
         size = record.Types.size }
   in
-  let meta_req = Proto.Sr_append { view; entry = meta; track } in
-  let meta_ivs =
-    List.map
-      (fun r ->
-        Rpc.call_async ep ~dst:(Seq_replica.node_id r)
-          ~size:(Proto.req_size meta_req) meta_req)
-      cluster.replicas
-  in
-  match
-    Ivar.join_all_timeout (data_ivs @ meta_ivs)
-      ~timeout:cluster.cfg.Config.append_timeout
-  with
-  | Some resps ->
-    let ok =
-      List.for_all
-        (function Proto.R_append { ok; _ } -> ok | _ -> false)
-        resps
+  if cluster.cfg.Config.append_batching then begin
+    (* Group commit: the metadata entry rides the shared linger batch while
+       the shard data writes are already in flight; both legs still overlap
+       (the data RTT runs under the batch's linger + fan-out). A failed
+       batch fails this attempt, and the retry re-sends data and metadata
+       in lockstep — the shard stages the duplicate write idempotently. *)
+    let meta_res = (Batcher.get cluster).submit_entry ~track meta in
+    let data_resps =
+      Ivar.join_all_timeout data_ivs
+        ~timeout:cluster.cfg.Config.append_timeout
     in
-    if ok then `Ok
-    else if
-      (* A data write refused because the rid was no-op'ed is permanent. *)
-      List.exists
-        (function Proto.R_append { ok = false; view = 0 } -> true | _ -> false)
-        (List.filteri (fun i _ -> i < List.length data_ivs) resps)
-    then `Poisoned
-    else `Fail view
-  | None -> `Fail view
+    let fail () =
+      match meta_res with `Fail v -> `Fail v | `Ok -> `Fail view
+    in
+    match data_resps with
+    | Some resps ->
+      let data_ok =
+        List.for_all
+          (function Proto.R_append { ok; _ } -> ok | _ -> false)
+          resps
+      in
+      if data_ok && meta_res = `Ok then `Ok
+      else if
+        (* A data write refused because the rid was no-op'ed is permanent. *)
+        List.exists
+          (function
+            | Proto.R_append { ok = false; view = 0 } -> true
+            | _ -> false)
+          resps
+      then `Poisoned
+      else fail ()
+    | None -> fail ()
+  end
+  else
+    let meta_req = Proto.Sr_append { view; entry = meta; track } in
+    let meta_ivs =
+      List.map
+        (fun r ->
+          Rpc.call_async ep ~dst:(Seq_replica.node_id r)
+            ~size:(Proto.req_size meta_req) meta_req)
+        cluster.replicas
+    in
+    match
+      Ivar.join_all_timeout (data_ivs @ meta_ivs)
+        ~timeout:cluster.cfg.Config.append_timeout
+    with
+    | Some resps ->
+      let ok =
+        List.for_all
+          (function Proto.R_append { ok; _ } -> ok | _ -> false)
+          resps
+      in
+      if ok then `Ok
+      else if
+        (* A data write refused because the rid was no-op'ed is permanent. *)
+        List.exists
+          (function
+            | Proto.R_append { ok = false; view = 0 } -> true
+            | _ -> false)
+          (List.filteri (fun i _ -> i < List.length data_ivs) resps)
+      then `Poisoned
+      else `Fail view
+    | None -> `Fail view
 
 let client (cluster : Erwin_common.t) : Log_api.t =
   let cid = fresh_client_id cluster in
@@ -133,7 +169,7 @@ let client (cluster : Erwin_common.t) : Log_api.t =
       (match
          Rpc.call_retry ep ~dst:(Shard.primary_id any_shard)
            ~size:(Proto.req_size req) ~timeout:(Engine.ms 50) ~max_tries:100
-           req
+           ~backoff:(Engine.us 50) req
        with
       | Some (Proto.R_map { chunk }) ->
         List.iter (fun (gp, sid) -> Hashtbl.replace map_cache gp sid) chunk

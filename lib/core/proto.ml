@@ -13,6 +13,12 @@ type req =
   | Sr_append of { view : int; entry : Types.entry; track : bool }
       (** Client append; [track] asks the leader to remember the assigned
           position for a later [Sr_wait_ordered] (appendSync support). *)
+  | Sr_append_batch of { view : int; batch : (Types.entry * bool) list }
+      (** Group commit: a linger batch of appends (entry, track), ingested
+          under one view check and one duplicate-filter pass. The batch
+          either fully acks or fully fails in this view — never half —
+          with per-rid results distinguishing fresh appends from
+          duplicate-filtered (already durable) entries. *)
   | Sr_check_tail of { view : int }
   | Sr_gc of { view : int; slots : (gp * Types.Rid.t) list; new_gp : gp }
       (** Leader -> follower: the listed rids were bound; drop them and
@@ -62,6 +68,12 @@ type req =
 type resp =
   | R_ok
   | R_append of { ok : bool; view : int }
+  | R_append_batch of { ok : bool; view : int; appended : bool list }
+      (** [ok = true]: every entry of the batch is durable in [view];
+          [appended] tells, per rid, whether the entry was freshly appended
+          ([true]) or filtered as an already-known duplicate ([false]).
+          [ok = false]: no entry of the batch was appended (wrong view,
+          sealed, or sealed while waiting for capacity). *)
   | R_tail of { ok : bool; tail : int }
   | R_state of { gp : gp; entries : Types.entry list }
   | R_gp of { gp : gp }
@@ -78,6 +90,12 @@ let slots_wire slots =
 
 let req_size = function
   | Sr_append { entry; _ } -> Types.entry_wire_size entry + 16
+  | Sr_append_batch { batch; _ } ->
+    (* Group commit amortizes the per-request header: one 16-byte header
+       for the whole batch, 4 bytes of framing per entry. *)
+    List.fold_left
+      (fun acc (e, _) -> acc + Types.entry_wire_size e + 4)
+      16 batch
   | Sr_gc { slots; _ } -> (24 * List.length slots) + 16
   | Sr_install_view { flushed; _ } -> (24 * List.length flushed) + 32
   | Msh_push { slots; _ } | Msh_replicate { slots; _ } -> slots_wire slots
@@ -100,4 +118,5 @@ let resp_size = function
     List.fold_left (fun acc e -> acc + Types.entry_wire_size e) 16 entries
   | R_map { chunk } -> 12 * List.length chunk
   | R_missing { rids } -> 16 * List.length rids
+  | R_append_batch { appended; _ } -> 16 + List.length appended
   | R_ok | R_append _ | R_tail _ | R_gp _ -> 16

@@ -82,6 +82,36 @@ let append_or_wait t e ~cancel =
     Some Appended
   end
 
+(* Group-commit ingress: the whole batch is admitted atomically. We wait
+   until the log has room for every non-duplicate entry of the batch (so a
+   batch never half-appends under backpressure), then run one
+   duplicate-filter pass that appends the fresh entries back-to-back.
+   Cancellation (seal / view change) while waiting fails the batch as a
+   unit: no entry is appended. Assumes the batch is far smaller than
+   [capacity] (flush triggers bound it). *)
+let append_batch_or_wait t entries ~cancel =
+  let fresh_needed () =
+    List.fold_left
+      (fun acc e ->
+        if is_duplicate t (Types.entry_rid e) then acc else acc + 1)
+      0 entries
+  in
+  Waitq.await t.space (fun () ->
+      cancel () || t.live + fresh_needed () <= t.capacity);
+  if cancel () then None
+  else
+    (* One pass: a rid appearing twice inside the batch registers on the
+       first occurrence and filters the second. *)
+    Some
+      (List.map
+         (fun e ->
+           if is_duplicate t (Types.entry_rid e) then Duplicate
+           else begin
+             do_append t e;
+             Appended
+           end)
+         entries)
+
 let kick t = Waitq.broadcast t.space
 
 let unordered t ?max () =

@@ -39,6 +39,15 @@ val append_or_wait :
     replica gets sealed. Callers flipping the cancel condition must call
     {!kick}. *)
 
+val append_batch_or_wait :
+  t -> Types.entry list -> cancel:(unit -> bool) ->
+  append_result list option
+(** Atomic group-commit ingress: waits until the log can hold every
+    non-duplicate entry of the batch, then appends them in one
+    duplicate-filter pass (per-entry results, in batch order). Returns
+    [None] — with {e no} entry appended — once [cancel ()] holds while
+    waiting. A batch never half-appends. *)
+
 val kick : t -> unit
 (** Wake fibers blocked in {!append_or_wait} so they re-check [cancel]. *)
 

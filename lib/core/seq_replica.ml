@@ -58,6 +58,42 @@ let handle t ~src:_ (req : Proto.req) ~reply =
         reply (Proto.R_append { ok = true; view = t.view })
       | None -> reply (Proto.R_append { ok = false; view = t.view })
     end
+  | Sr_append_batch { view; batch } ->
+    (* Group commit: one view/seal check and one duplicate-filter pass for
+       the whole batch. All-or-nothing in this view: a seal or view change
+       while the batch waits for capacity fails every entry (the client
+       retries the batch; already-accepted replicas filter duplicates). *)
+    if view <> t.view || t.sealed then
+      reply (Proto.R_append_batch { ok = false; view = t.view; appended = [] })
+    else begin
+      List.iter
+        (fun (e, track) ->
+          if track then Hashtbl.replace t.tracked (Types.entry_rid e) ())
+        batch;
+      match
+        Seq_log.append_batch_or_wait t.slog (List.map fst batch)
+          ~cancel:(fun () -> t.sealed || view <> t.view)
+      with
+      | Some results ->
+        if Probe.active () then
+          List.iter2
+            (fun (e, _) res ->
+              if res = Seq_log.Appended then
+                Probe.emit
+                  (Probe.Replica_accepted
+                     { replica = Fabric.id t.node; rid = Types.entry_rid e }))
+            batch results;
+        reply
+          (Proto.R_append_batch
+             {
+               ok = true;
+               view = t.view;
+               appended = List.map (fun r -> r = Seq_log.Appended) results;
+             })
+      | None ->
+        reply
+          (Proto.R_append_batch { ok = false; view = t.view; appended = [] })
+    end
   | Sr_check_tail { view } ->
     if view <> t.view || t.sealed then
       reply (Proto.R_tail { ok = false; tail = 0 })
@@ -118,6 +154,18 @@ let service_time cfg (req : Proto.req) =
     + int_of_float
         (cfg.Config.seq_per_byte_ns
         *. float_of_int (Types.entry_wire_size entry))
+  | Sr_append_batch { batch; _ } ->
+    (* Group commit amortizes the per-request base cost: one base charge
+       for the batch, then per-byte work plus a small per-entry cost for
+       the duplicate-filter/append bookkeeping (same rate as Sr_gc). *)
+    let bytes =
+      List.fold_left
+        (fun acc (e, _) -> acc + Types.entry_wire_size e)
+        0 batch
+    in
+    cfg.Config.seq_base_ns
+    + (50 * List.length batch)
+    + int_of_float (cfg.Config.seq_per_byte_ns *. float_of_int bytes)
   | Sr_gc { slots; _ } ->
     cfg.Config.seq_base_ns + (50 * List.length slots)
   | _ -> cfg.Config.seq_base_ns

@@ -2,8 +2,8 @@ module Rid = struct
   type t = { client : int; seq : int }
 
   let compare a b =
-    let c = compare a.client b.client in
-    if c <> 0 then c else compare a.seq b.seq
+    let c = Int.compare a.client b.client in
+    if c <> 0 then c else Int.compare a.seq b.seq
 
   let equal a b = a.client = b.client && a.seq = b.seq
 

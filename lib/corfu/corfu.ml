@@ -286,7 +286,7 @@ let client t : Lazylog.Log_api.t =
     |> List.concat_map (function
          | R_records records -> records
          | _ -> failwith "corfu: bad read response")
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     |> List.map snd
   in
   let check_tail () =

@@ -319,7 +319,7 @@ let client_log t : Lazylog.Log_api.t =
               | None -> ())
             offsets)
       groups;
-    List.sort compare !out |> List.map snd
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) !out |> List.map snd
   in
   let check_tail () =
     Array.fold_left

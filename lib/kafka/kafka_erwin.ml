@@ -116,7 +116,7 @@ let client ((cluster, kafka) : Erwin_common.t * Kafka.t) : Log_api.t =
             | None -> ())
           offsets
     done;
-    List.sort compare !out |> List.map snd
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) !out |> List.map snd
   in
   {
     Log_api.name = "erwin-m/kafka";

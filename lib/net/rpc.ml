@@ -89,15 +89,27 @@ let call_timeout t ~dst ?size ~timeout req =
   let iv = call_async t ~dst ?size req in
   Ivar.read_timeout iv ~timeout
 
-let call_retry t ~dst ?size ?(timeout = Engine.ms 1) ?(max_tries = 3) req =
-  let rec go tries =
-    if tries = 0 then None
+let call_retry t ~dst ?size ?(timeout = Engine.ms 1) ?(max_tries = 3)
+    ?(backoff = 0) req =
+  (* Exponential backoff with jitter between retries: attempt [n] sleeps
+     [backoff * 2^min(n,6) / 2 + jitter], jitter uniform in the same
+     range. Drawn from the engine's RNG, so deterministic per seed. *)
+  let rec go attempt =
+    if attempt >= max_tries then None
     else
       match call_timeout t ~dst ?size ~timeout req with
       | Some r -> Some r
-      | None -> go (tries - 1)
+      | None ->
+        if backoff > 0 && attempt < max_tries - 1 then begin
+          let base = backoff * (1 lsl min attempt 6) in
+          let jitter =
+            Random.State.int (Engine.random_state ()) (max 1 base)
+          in
+          Engine.sleep ((base / 2) + jitter)
+        end;
+        go (attempt + 1)
   in
-  go max_tries
+  go 0
 
 let send_oneway t ~dst ?(size = 64) req =
   Fabric.send t.fabric ~src:t.node ~dst ~size (Oneway req)

@@ -55,11 +55,16 @@ val call_retry :
   ?size:int ->
   ?timeout:Engine.time ->
   ?max_tries:int ->
+  ?backoff:Engine.time ->
   'req ->
   'resp option
 (** Retries a timed-out call up to [max_tries] times (default 3 tries with
     1 ms timeouts). The callee must therefore treat the request as
-    idempotent or deduplicate. *)
+    idempotent or deduplicate. A non-zero [backoff] (default 0: retry
+    immediately, the historical behaviour) sleeps between attempts with
+    exponential growth and seeded jitter — attempt [n] waits roughly
+    [backoff * 2^n], capped at [2^6], randomized ±50% from the engine's
+    RNG so sweeps stay deterministic per seed. *)
 
 val call_async : ('req, 'resp) endpoint -> dst:node_id -> ?size:int -> 'req
   -> 'resp Ivar.t

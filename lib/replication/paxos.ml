@@ -118,7 +118,7 @@ and become_leader t =
         promises;
       let slots =
         Hashtbl.fold (fun slot (_, c) acc -> (slot, c) :: acc) best []
-        |> List.sort compare
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
       in
       List.iter (fun (slot, c) -> accept_slot t slot c) slots;
       List.iter
@@ -138,7 +138,7 @@ let propose t cmd =
 
 let committed t =
   Hashtbl.fold (fun slot cmd acc -> (slot, cmd) :: acc) t.log []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let chosen t slot = Hashtbl.find_opt t.log slot
 

@@ -226,7 +226,8 @@ let resolve t from len =
           out := (gp, sid, lsn0 + i) :: !out
       done)
     t.segments;
-  List.sort compare !out
+  (* Positions are unique across segments, so first-component order. *)
+  List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !out
 
 let create ?(config = default_config) () =
   let fabric = Fabric.create ~link:config.link () in
@@ -349,7 +350,8 @@ let client t : Lazylog.Log_api.t =
             pairs
         | _ -> failwith "scalog: bad read response")
       calls
-    |> List.sort compare |> List.map snd
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map snd
   in
   let check_tail () =
     match Rpc.call ep ~dst:(Fabric.id t.ordering) Tail with

@@ -15,12 +15,14 @@ let to_sec t = float_of_int t /. 1_000_000_000.
    interleavings while staying fully deterministic per seed. *)
 type event = { at : time; tie : int; seq : int; fn : unit -> unit }
 
+(* Int.compare, not polymorphic compare: this runs on every heap sift of
+   every scheduled event — the hottest comparison in the simulator. *)
 let event_cmp a b =
-  let c = compare a.at b.at in
+  let c = Int.compare a.at b.at in
   if c <> 0 then c
   else
-    let c = compare a.tie b.tie in
-    if c <> 0 then c else compare a.seq b.seq
+    let c = Int.compare a.tie b.tie in
+    if c <> 0 then c else Int.compare a.seq b.seq
 
 (* Scheduler state is domain-local: each OS domain owns an independent
    engine, so seed sweeps (bin/lazylog_check) parallelize across domains

@@ -99,6 +99,35 @@ let read t ~pos =
     end;
     Some v
 
+(* Batched read fast path: one pass collects the hits and the distinct
+   cold segments they touch, then the cold segments pay a single device
+   read for their combined bytes — the device base cost amortizes across
+   the group, mirroring what the flusher does on the write side. *)
+let read_many t positions =
+  let cold : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let cold_bytes = ref 0 in
+  let hits =
+    List.filter_map
+      (fun pos ->
+        match Mem_log.get t.log pos with
+        | None -> None
+        | Some (v, _) ->
+          let seg = segment t pos in
+          if not (Hashtbl.mem t.cached seg || Hashtbl.mem cold seg) then begin
+            Hashtbl.add cold seg ();
+            match Hashtbl.find_opt t.seg_bytes seg with
+            | Some r -> cold_bytes := !cold_bytes + !r
+            | None -> ()
+          end;
+          Some (pos, v))
+      positions
+  in
+  if Hashtbl.length cold > 0 then begin
+    Disk.read t.disk ~bytes:!cold_bytes;
+    Hashtbl.iter (fun seg () -> Hashtbl.replace t.cached seg ()) cold
+  end;
+  hits
+
 let mem_read t ~pos =
   match Mem_log.get t.log pos with Some (v, _) -> Some v | None -> None
 

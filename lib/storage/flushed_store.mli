@@ -35,6 +35,12 @@ val read : 'a t -> pos:int -> 'a option
 (** Serves from memory (dirty data or cached segments); cold segments pay a
     device read. *)
 
+val read_many : 'a t -> int list -> (int * 'a) list
+(** Batched {!read}: present positions in input order, with all cold
+    segments fetched by a {e single} device read of their combined bytes
+    (one base-latency charge for the group instead of one per position).
+    Missing positions are skipped. *)
+
 val mem_read : 'a t -> pos:int -> 'a option
 (** Pure lookup with no device charge (predicates and checkers). *)
 

@@ -59,6 +59,33 @@ let read t ~pos =
     end;
     Some v
 
+(* Batched read: distinct cold segments pay one combined device read
+   (see {!Flushed_store.read_many} — same amortization). *)
+let read_many t positions =
+  let cold : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let cold_bytes = ref 0 in
+  let hits =
+    List.filter_map
+      (fun pos ->
+        match Mem_log.get t.log pos with
+        | None -> None
+        | Some (v, _) ->
+          let seg = segment t pos in
+          if not (Hashtbl.mem t.cached seg || Hashtbl.mem cold seg) then begin
+            Hashtbl.add cold seg ();
+            match Hashtbl.find_opt t.seg_bytes seg with
+            | Some r -> cold_bytes := !cold_bytes + !r
+            | None -> ()
+          end;
+          Some (pos, v))
+      positions
+  in
+  if Hashtbl.length cold > 0 then begin
+    Disk.read t.disk ~bytes:!cold_bytes;
+    Hashtbl.iter (fun seg () -> Hashtbl.replace t.cached seg ()) cold
+  end;
+  hits
+
 let mem_read t ~pos =
   match Mem_log.get t.log pos with None -> None | Some (v, _) -> Some v
 

@@ -27,6 +27,10 @@ val write_batch : 'a t -> (int * int * 'a) list -> unit
 val read : 'a t -> pos:int -> 'a option
 (** Returns the entry, charging a device read if its segment is cold. *)
 
+val read_many : 'a t -> int list -> (int * 'a) list
+(** Batched {!read}: present positions in input order; all cold segments
+    are fetched with a single combined device read. *)
+
 val mem_read : 'a t -> pos:int -> 'a option
 (** Pure lookup with no device charge (for assertions and checkers). *)
 

@@ -71,19 +71,40 @@ let test_healthy_sweep_clean () =
   in
   checkb "workload made progress" true (acked > 100)
 
+let test_healthy_sweep_clean_batched () =
+  (* Same shape as the sweep above, but the clients run with append group
+     commit on: batches that straddle injected jitter must still never
+     half-ack, and the monitors must stay silent. *)
+  let scenarios =
+    List.concat_map
+      (fun system ->
+        List.init 3 (fun i ->
+            Checker.scenario ~system ~seed:(i + 11) ~batching:true
+              ~horizon:Checker.quick_horizon ()))
+      [ "erwin-m"; "erwin-st" ]
+  in
+  let outcomes = Checker.sweep ~jobs:2 scenarios in
+  checki "all scenarios ran" (List.length scenarios) (List.length outcomes);
+  List.iter assert_clean outcomes;
+  let acked =
+    List.fold_left
+      (fun a (o : Checker.outcome) -> a + o.Checker.coverage.Monitors.acked)
+      0 outcomes
+  in
+  checkb "workload made progress" true (acked > 100)
+
 (* The crash-sweep property from the linearizability suite, re-expressed
    on the checker's monitors: for ANY crash time in the first 4 ms and
    any victim, no invariant fires — durability of acked records, order,
    and stable-prefix immutability hold through the reconfiguration. *)
-let prop_monitors_clean_any_crash_time =
-  QCheck.Test.make ~name:"erwin-m monitors clean for any crash point"
-    ~count:15
+let crash_prop ~name ~batching =
+  QCheck.Test.make ~name ~count:15
     QCheck.(pair (int_bound 4_000) (int_bound 2))
     (fun (crash_us, victim) ->
       let sc =
         Checker.scenario ~system:"erwin-m"
           ~seed:(crash_us + (victim * 7919))
-          ~horizon:Checker.quick_horizon ()
+          ~batching ~horizon:Checker.quick_horizon ()
       in
       let sc =
         {
@@ -93,6 +114,18 @@ let prop_monitors_clean_any_crash_time =
         }
       in
       (Checker.run_one sc).Checker.violation = None)
+
+let prop_monitors_clean_any_crash_time =
+  crash_prop ~name:"erwin-m monitors clean for any crash point"
+    ~batching:false
+
+(* With the linger batcher on, a batch in flight (or still lingering)
+   when the replica crashes must fail atomically per record — a half-ack
+   would trip the durability monitor after reconfiguration. *)
+let prop_monitors_clean_any_crash_time_batched =
+  crash_prop
+    ~name:"erwin-m batched monitors clean for any crash point"
+    ~batching:true
 
 (* --- the checker catches a real (planted) bug --- *)
 
@@ -174,10 +207,16 @@ let () =
         [
           Alcotest.test_case "sweep stays clean" `Quick
             test_healthy_sweep_clean;
+          Alcotest.test_case "sweep stays clean with batching" `Quick
+            test_healthy_sweep_clean_batched;
           Alcotest.test_case "erwin-st clean on bug-sweep seeds" `Quick
             test_same_seeds_clean_without_bug;
         ]
-        @ qc [ prop_monitors_clean_any_crash_time ] );
+        @ qc
+            [
+              prop_monitors_clean_any_crash_time;
+              prop_monitors_clean_any_crash_time_batched;
+            ] );
       ( "planted bug",
         [
           Alcotest.test_case "catch, shrink, replay" `Quick

@@ -38,6 +38,43 @@ let backends =
       has_trim = true;
       settle = Engine.ms 5;
     };
+    (* The same two systems with the client-side group-commit batcher on:
+       the full Log_api contract must hold when every append rides a
+       coalesced Sr_append_batch. *)
+    {
+      bname = "erwin-m batched";
+      make =
+        (fun () ->
+          let cfg =
+            {
+              Config.default with
+              nshards = 2;
+              append_batching = true;
+              linger = Engine.us 5;
+            }
+          in
+          let c = Erwin_m.create ~cfg () in
+          fun () -> Erwin_m.client c);
+      has_trim = true;
+      settle = Engine.ms 5;
+    };
+    {
+      bname = "erwin-st batched";
+      make =
+        (fun () ->
+          let cfg =
+            {
+              Config.default with
+              nshards = 2;
+              append_batching = true;
+              linger = Engine.us 5;
+            }
+          in
+          let c = Erwin_st.create ~cfg () in
+          fun () -> Erwin_st.client c);
+      has_trim = true;
+      settle = Engine.ms 5;
+    };
     {
       bname = "corfu";
       make =
