@@ -1,0 +1,225 @@
+(* `--fig read`: the demand-driven read path (not a paper figure).
+
+   (a) Tail-read latency vs distance from the tail, Erwin-st at the
+   figure-13 operating point (5 NVMe shards, 1 backup, 4KB records).
+   A read at distance d asks for position (acked - d): for small d that
+   position is appended but not yet bound, so the lazy-cadence baseline
+   waits out the background ordering interval while demand binding
+   ([read_demand]) asks the sequencing layer to bind it now. Both the
+   default 20us cadence and a genuinely lazy 250us cadence are shown —
+   the lazier the cadence, the more a tail read gains.
+
+   (b) Aggregate read throughput vs replicas per shard, Erwin-m over a
+   pre-populated stable log with [replica_reads] on: closed-loop readers
+   round-robin over the shard's replicas, so throughput scales with the
+   replica count instead of pinning every read to the primary. *)
+
+open Ll_sim
+open Lazylog
+open Harness
+open Ll_workload
+
+(* --- (a) tail-read latency vs distance from the tail --- *)
+
+let fig13_cfg ~order_interval ~read_demand =
+  Lazylog.Config.scaled_cluster
+    {
+      Lazylog.Config.default with
+      nshards = 5;
+      shard_backup_count = 1;
+      order_interval;
+      read_demand;
+    }
+
+let tail_latency ~cfg ~rate ~duration ~distance =
+  Runner.in_sim (fun () ->
+      let cluster = Lazylog.Erwin_st.create ~cfg () in
+      let clients = Array.init 8 (fun _ -> Lazylog.Erwin_st.client cluster) in
+      let reader = Lazylog.Erwin_st.client cluster in
+      let lat = Stats.Reservoir.create ~name:"tail_read" () in
+      (* Acked appends: every acked record sits in the sequencing logs, so
+         position (acked - d) exists even if not yet bound. *)
+      let acked = ref 0 in
+      let t_measure = Engine.now () + Engine.ms 5 in
+      let t_end = t_measure + duration in
+      Arrival.open_loop ~rate ~until:t_end (fun i ->
+          if
+            clients.(i mod 8).Log_api.append ~size:4096
+              ~data:(string_of_int i)
+          then incr acked);
+      Engine.spawn ~name:"bench.tail_reader" (fun () ->
+          let rec loop () =
+            if Engine.now () < t_end then begin
+              (if !acked > distance then begin
+                 let pos = !acked - distance in
+                 let t0 = Engine.now () in
+                 ignore
+                   (reader.Log_api.read ~from:pos ~len:1
+                     : Lazylog.Types.record list);
+                 if t0 >= t_measure then
+                   Stats.Reservoir.add lat (Engine.now () - t0)
+               end);
+              Engine.sleep (Engine.us 30);
+              loop ()
+            end
+          in
+          loop ());
+      Engine.sleep_until (t_end + Engine.ms 5);
+      lat)
+
+(* --- (b) read throughput vs replicas per shard --- *)
+
+let read_throughput ~backups ~duration =
+  Runner.in_sim (fun () ->
+      let cfg =
+        {
+          Lazylog.Config.default with
+          nshards = 1;
+          shard_backup_count = backups;
+          replica_reads = true;
+        }
+      in
+      let cluster = Lazylog.Erwin_m.create ~cfg () in
+      let nrecords = 2048 in
+      let writer = Lazylog.Erwin_m.client cluster in
+      for i = 0 to nrecords - 1 do
+        ignore (writer.Log_api.append ~size:4096 ~data:(string_of_int i) : bool)
+      done;
+      (* Everything bound and readable before the read storm starts. *)
+      while cluster.Lazylog.Erwin_common.stable_gp < nrecords do
+        Engine.sleep (Engine.us 100)
+      done;
+      let chunk = 8 in
+      let nreaders = 24 in
+      let readers =
+        Array.init nreaders (fun _ -> Lazylog.Erwin_m.client cluster)
+      in
+      let t_measure = Engine.now () + Engine.ms 2 in
+      let t_end = t_measure + duration in
+      let served = ref 0 in
+      Array.iteri
+        (fun k r ->
+          Engine.spawn ~name:(Printf.sprintf "bench.reader%d" k) (fun () ->
+              let rng = Rng.create ~seed:(1000 + k) in
+              let rec loop () =
+                if Engine.now () < t_end then begin
+                  let from = Rng.int rng (nrecords - chunk) in
+                  let got =
+                    r.Log_api.read ~from ~len:chunk
+                      |> List.length
+                  in
+                  if Engine.now () >= t_measure && Engine.now () <= t_end then
+                    served := !served + got;
+                  loop ()
+                end
+              in
+              loop ()))
+        readers;
+      Engine.sleep_until (t_end + Engine.ms 2);
+      Stats.throughput_per_sec ~count:!served ~dur:duration)
+
+let run () =
+  section
+    "Read path (a): Tail-Read Latency vs Distance (Erwin-st, fig-13 point, \
+     150K appends/s)";
+  let duration = dur 40 150 in
+  let rate = 150_000. in
+  let distances = [ 1; 4; 8; 64; 512 ] in
+  let measure ~order_interval ~read_demand =
+    List.map
+      (fun d ->
+        let r =
+          tail_latency
+            ~cfg:(fig13_cfg ~order_interval ~read_demand)
+            ~rate ~duration ~distance:d
+        in
+        (d, r))
+      distances
+  in
+  (* The headline comparison: a genuinely lazy 250us ordering cadence
+     (ordering deferred until something needs it — the regime the paper's
+     lazy-ordering argument targets), baseline vs demand binding. *)
+  let lazy250 = measure ~order_interval:(Engine.us 250) ~read_demand:false in
+  let demand250 = measure ~order_interval:(Engine.us 250) ~read_demand:true in
+  (* Context: the default 20us cadence, where the background orderer is
+     already nearly eager. *)
+  let lazy20 = measure ~order_interval:(Engine.us 20) ~read_demand:false in
+  let demand20 = measure ~order_interval:(Engine.us 20) ~read_demand:true in
+  table_header
+    [
+      "distance";
+      "lazy250_p50";
+      "lazy250_p99";
+      "demand_p50";
+      "demand_p99";
+      "lazy20_p99";
+      "demand20_p99";
+    ];
+  List.iter
+    (fun d ->
+      let p r = List.assoc d r in
+      row (string_of_int d)
+        [
+          f1 (Stats.Reservoir.percentile_us (p lazy250) 50.0);
+          f1 (Stats.Reservoir.percentile_us (p lazy250) 99.0);
+          f1 (Stats.Reservoir.percentile_us (p demand250) 50.0);
+          f1 (Stats.Reservoir.percentile_us (p demand250) 99.0);
+          f1 (Stats.Reservoir.percentile_us (p lazy20) 99.0);
+          f1 (Stats.Reservoir.percentile_us (p demand20) 99.0);
+        ])
+    distances;
+  let p99 series d = Stats.Reservoir.percentile_us (List.assoc d series) 99.0 in
+  List.iter
+    (fun d ->
+      note "d=%d: demand binding improves p99 %.1fx (lazy 250us cadence)" d
+        (p99 lazy250 d /. p99 demand250 d))
+    [ 1; 4; 8 ];
+  note
+    "far from the tail (d=512) both are fast-path reads and identical; the \
+     gain is the cadence the read no longer waits out";
+
+  section
+    "Read path (b): Read Throughput vs Replicas per Shard (Erwin-m, 4KB, \
+     replica_reads on)";
+  let rduration = dur 30 120 in
+  let per_replicas =
+    List.map
+      (fun backups ->
+        (backups + 1, read_throughput ~backups ~duration:rduration))
+      [ 0; 1; 2 ]
+  in
+  table_header [ "replicas/shard"; "reads/s" ];
+  List.iter
+    (fun (n, thr) -> row (string_of_int n) [ kops thr ])
+    per_replicas;
+  let thr n = List.assoc n per_replicas in
+  note "1 -> 3 replicas scales aggregate read throughput %.2fx" (thr 3 /. thr 1);
+
+  write_json ~name:"read"
+    (List.concat_map
+       (fun d ->
+         [
+           {
+             js_series = Printf.sprintf "tail d=%d lazy-cadence" d;
+             js_throughput = 0.;
+             js_p50_us = Stats.Reservoir.percentile_us (List.assoc d lazy250) 50.0;
+             js_p99_us = p99 lazy250 d;
+           };
+           {
+             js_series = Printf.sprintf "tail d=%d demand" d;
+             js_throughput = 0.;
+             js_p50_us =
+               Stats.Reservoir.percentile_us (List.assoc d demand250) 50.0;
+             js_p99_us = p99 demand250 d;
+           };
+         ])
+       distances
+    @ List.map
+        (fun (n, thr) ->
+          {
+            js_series = Printf.sprintf "read-throughput replicas=%d" n;
+            js_throughput = thr;
+            js_p50_us = 0.;
+            js_p99_us = 0.;
+          })
+        per_replicas)

@@ -19,6 +19,7 @@ let figures : (string * string * (unit -> unit)) list =
     ("17", "sequencing-layer reconfiguration", Fig17.run);
     ("18", "end applications", Fig18.run);
     ("batch", "append-path group commit sweep", Fig_batch.run);
+    ("read", "demand-driven tail reads", Fig_read.run);
   ]
 
 let run_selection figs full micro ablations csv json_dir =

@@ -78,8 +78,8 @@ let write_artifact dir (o : Checker.outcome) =
     Artifact.save ~path a;
     Some path
 
-let run_sweep systems seeds seed_base shards jobs quick serial batching bug
-    artifact_dir =
+let run_sweep systems seeds seed_base shards jobs quick serial batching
+    replica_reads bug artifact_dir =
   let horizon =
     if quick then Checker.quick_horizon else Checker.default_horizon
   in
@@ -88,7 +88,7 @@ let run_sweep systems seeds seed_base shards jobs quick serial batching bug
       (fun system ->
         List.init seeds (fun i ->
             Checker.scenario ~system ~seed:(seed_base + i) ~shards ~serial
-              ~batching ?bug ~horizon ()))
+              ~batching ~replica_reads ?bug ~horizon ()))
       systems
   in
   Printf.printf
@@ -99,7 +99,8 @@ let run_sweep systems seeds seed_base shards jobs quick serial batching bug
     (seed_base + seeds - 1)
     shards
     (if serial then "; serial orderer" else "")
-    (if batching then "; append batching" else "")
+    ((if batching then "; append batching" else "")
+    ^ if replica_reads then "; replica reads" else "")
     (match bug with Some b -> "; BUG GATE " ^ b | None -> "")
     jobs;
   let outcomes = Checker.sweep ~jobs scenarios in
@@ -168,13 +169,13 @@ let run_replay path =
     print_endline "replay completed with NO violation (artifact stale?)";
     0
 
-let main systems seeds seed_base shards jobs quick serial batching bug
-    artifact_dir replay =
+let main systems seeds seed_base shards jobs quick serial batching
+    replica_reads bug artifact_dir replay =
   match replay with
   | Some path -> run_replay path
   | None ->
-    run_sweep systems seeds seed_base shards jobs quick serial batching bug
-      artifact_dir
+    run_sweep systems seeds seed_base shards jobs quick serial batching
+      replica_reads bug artifact_dir
 
 open Cmdliner
 
@@ -224,6 +225,17 @@ let batching =
            linger batcher + batched replica ingress): a batch straddling a \
            crash or seal must fail atomically per record, never half-ack.")
 
+let replica_reads =
+  Arg.(
+    value & flag
+    & info [ "replica-reads" ]
+        ~doc:
+          "Run the demand-driven read path (reads round-robin over shard \
+           replicas, read-triggered eager binding, scan readahead) with \
+           the reader probing at the stable tail, so backup serving, \
+           primary forwarding and demand binding are all exercised under \
+           faults.")
+
 let bug =
   Arg.(
     value
@@ -255,6 +267,6 @@ let cmd =
     (Cmd.info "lazylog-check" ~doc)
     Term.(
       const main $ systems $ seeds $ seed_base $ shards $ jobs $ quick
-      $ serial $ batching $ bug $ artifact_dir $ replay)
+      $ serial $ batching $ replica_reads $ bug $ artifact_dir $ replay)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,9 @@ type scenario = {
   shards : int;
   serial : bool;
   batching : bool;  (* run clients with append group commit enabled *)
+  replica_reads : bool;
+      (* run the demand-driven read path: replica reads + read-triggered
+         eager binding + readahead, with readers probing at the tail *)
   bug : string option;
   horizon : Engine.time;
   script : Fault_dsl.script;
@@ -30,6 +33,7 @@ let to_string a =
   line "shards %d" a.scenario.shards;
   line "serial %b" a.scenario.serial;
   line "batching %b" a.scenario.batching;
+  line "replica_reads %b" a.scenario.replica_reads;
   (match a.scenario.bug with Some b -> line "bug %s" b | None -> ());
   line "horizon %d" a.scenario.horizon;
   line "invariant %s" a.invariant;
@@ -81,6 +85,11 @@ let of_string s =
           (* Absent in pre-batching artifacts: default off. *)
           batching =
             (match Hashtbl.find_opt fields "batching" with
+            | Some b -> bool_of_string b
+            | None -> false);
+          (* Absent in pre-replica-reads artifacts: default off. *)
+          replica_reads =
+            (match Hashtbl.find_opt fields "replica_reads" with
             | Some b -> bool_of_string b
             | None -> false);
           bug = Hashtbl.find_opt fields "bug";

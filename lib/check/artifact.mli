@@ -20,6 +20,9 @@ type scenario = {
   shards : int;
   serial : bool;  (** serial-orderer baseline ([pipeline_depth = 1]) *)
   batching : bool;  (** clients run with append group commit enabled *)
+  replica_reads : bool;
+      (** demand-driven read path on (replica reads, eager binding,
+          readahead) with readers probing at the stable tail *)
   bug : string option;  (** intentional bug gate, e.g. ["no-pinning"] *)
   horizon : Engine.time;
   script : Fault_dsl.script;

@@ -20,6 +20,11 @@ let config_of (sc : Artifact.scenario) =
   let cfg =
     if sc.batching then { cfg with Config.append_batching = true } else cfg
   in
+  let cfg =
+    if sc.replica_reads then
+      { cfg with Config.replica_reads = true; read_demand = true; readahead = 8 }
+    else cfg
+  in
   match sc.bug with
   | None -> cfg
   | Some "no-pinning" -> { cfg with Config.debug_no_rid_pinning = true }
@@ -34,14 +39,15 @@ let gen_script ~seed ~horizon ~shards =
     ~nreplicas:Config.default.Config.seq_replica_count ~nshards:shards
 
 let scenario ~system ~seed ?(shards = 2) ?(serial = false)
-    ?(batching = false) ?bug ?(horizon = default_horizon) () :
-    Artifact.scenario =
+    ?(batching = false) ?(replica_reads = false) ?bug
+    ?(horizon = default_horizon) () : Artifact.scenario =
   {
     Artifact.system;
     seed;
     shards;
     serial;
     batching;
+    replica_reads;
     bug;
     horizon;
     script = gen_script ~seed ~horizon ~shards;
@@ -126,7 +132,15 @@ let run_one (sc : Artifact.scenario) : outcome =
               let stable = cluster.Erwin_common.stable_gp in
               if stable > 0 then begin
                 let len = min stable 8 in
-                let from = Rng.int rrng (stable - len + 1) in
+                let from =
+                  if sc.replica_reads then
+                    (* Reads-at-tail workload: straddle the stable frontier
+                       so demand binding, backup serving and forwarding all
+                       fire (writers keep appending, so the beyond-stable
+                       half binds within the horizon). *)
+                    max 0 (stable - (len / 2))
+                  else Rng.int rrng (stable - len + 1)
+                in
                 ignore (rlog.Log_api.read ~from ~len : Types.record list)
               end
             done);

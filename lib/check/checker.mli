@@ -26,6 +26,7 @@ val scenario :
   ?shards:int ->
   ?serial:bool ->
   ?batching:bool ->
+  ?replica_reads:bool ->
   ?bug:string ->
   ?horizon:Engine.time ->
   unit ->
@@ -34,8 +35,10 @@ val scenario :
     function of seed, horizon and topology). [system] is ["erwin-m"] or
     ["erwin-st"]; [batching] runs the clients with append group commit
     enabled (a batch straddling a crash or seal must fail atomically per
-    record); [bug] enables a known-bad configuration (currently
-    ["no-pinning"]). *)
+    record); [replica_reads] turns on the demand-driven read path
+    (replica reads, read-triggered eager binding, readahead) and points
+    the reader at the stable tail; [bug] enables a known-bad
+    configuration (currently ["no-pinning"]). *)
 
 type outcome = {
   scenario : Artifact.scenario;

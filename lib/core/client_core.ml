@@ -93,7 +93,33 @@ let wait_ordered (cluster : t) ep rid =
   in
   go ()
 
-let read_grouped (cluster : t) ep ~shard_of positions =
+(* One (destination, tries) plan per shard read. With [replica_reads]
+   the plan rotates over every replica of the shard ([rr] staggers the
+   starting replica across calls, so concurrent readers spread load);
+   otherwise it is the primary with the legacy retry budget, with the
+   backups as a last-resort fallback once the primary is exhausted. *)
+let read_plan (cluster : t) ?rr shard =
+  if cluster.cfg.Config.replica_reads then begin
+    let ids = Array.of_list (Shard.replica_ids shard) in
+    let n = Array.length ids in
+    let start =
+      match rr with
+      | Some r ->
+        let s = !r mod n in
+        incr r;
+        s
+      | None -> 0
+    in
+    List.init n (fun i -> (ids.((start + i) mod n), if n = 1 then 100 else 25))
+  end
+  else
+    (Shard.primary_id shard, 100)
+    :: List.map (fun b -> (b, 3)) (Shard.backup_ids shard)
+
+let note_piggyback (cluster : t) stable =
+  if stable > cluster.stable_gp then cluster.stable_gp <- stable
+
+let read_grouped ?rr (cluster : t) ep ~shard_of positions =
   (* Batched shard read: shard ids are dense, so group positions with two
      array passes (count, then fill into a pre-sized buffer per shard)
      instead of hashing into list refs — one allocation per involved
@@ -121,6 +147,7 @@ let read_grouped (cluster : t) ep ~shard_of positions =
     (fun sid buf ->
       if Array.length buf > 0 then begin
         let shard = shard_by_id cluster sid in
+        let plan = read_plan cluster ?rr shard in
         let req =
           Proto.Sh_read
             {
@@ -130,13 +157,23 @@ let read_grouped (cluster : t) ep ~shard_of positions =
         in
         let iv = Ivar.create () in
         Engine.spawn ~name:"client.read" (fun () ->
-            match
-              Rpc.call_retry ep ~dst:(Shard.primary_id shard)
-                ~size:(Proto.req_size req) ~timeout:(Engine.ms 50)
-                ~max_tries:100 ~backoff:(Engine.us 50) req
-            with
-            | Some resp -> Ivar.fill iv resp
-            | None -> Ivar.fill iv (Proto.R_records { records = [] }));
+            (* [R_missing] from a backup means "could not serve, could not
+               forward" — treat it like a timeout and move to the next
+               replica. Exhausting the whole plan fills a failure marker
+               so the caller raises instead of mistaking a dropped read
+               for an empty log. *)
+            let rec go = function
+              | [] -> Ivar.fill iv (Proto.R_missing { rids = [] })
+              | (dst, tries) :: rest -> (
+                match
+                  Rpc.call_retry ep ~dst ~size:(Proto.req_size req)
+                    ~timeout:(Engine.ms 50) ~max_tries:tries
+                    ~backoff:(Engine.us 50) req
+                with
+                | Some (Proto.R_records _ as resp) -> Ivar.fill iv resp
+                | Some _ | None -> go rest)
+            in
+            go plan);
         calls := iv :: !calls
       end)
     bufs;
@@ -144,11 +181,91 @@ let read_grouped (cluster : t) ep ~shard_of positions =
   let records =
     List.concat_map
       (function
-        | Proto.R_records { records } -> records
-        | _ -> failwith "read_grouped: bad response")
+        | Proto.R_records { records; stable } ->
+          note_piggyback cluster stable;
+          records
+        | _ -> failwith "read_grouped: read failed on every replica of a shard")
       resps
   in
   List.sort (fun (a, _) (b, _) -> Int.compare a b) records
+
+(* ---------- scan readahead ----------
+
+   A per-client prefetcher for [Log_api.read]: replay workloads (SMR, kv
+   catch-up, wordcount) scan the log sequentially, so once the access
+   pattern looks sequential the next [cfg.readahead] positions are
+   fetched in the background while the consumer processes the current
+   window. [fetch] is the system-specific blocking read (shard reads,
+   plus map resolution for Erwin-st) — the prefetch fiber runs the whole
+   thing, so Erwin-st's map fetches are issued ahead of the consumer
+   too. With [readahead = 0] (the default) every call degenerates to one
+   synchronous [fetch] — the pre-readahead behavior, event for event. *)
+
+type prefetcher = {
+  pf_cache : (int, Types.record) Hashtbl.t;  (* prefetched, not yet consumed *)
+  mutable pf_inflight : (int * int * unit Ivar.t) option;  (* window [lo, hi) *)
+  mutable pf_next : int;  (* the [from] a sequential reader would ask next *)
+  mutable pf_frontier : int;  (* first position no fetch has covered yet *)
+}
+
+let prefetcher () =
+  {
+    pf_cache = Hashtbl.create 256;
+    pf_inflight = None;
+    pf_next = 0;
+    pf_frontier = 0;
+  }
+
+let prefetched_read (cluster : t) pf ~fetch ~from ~len =
+  let ra = cluster.cfg.Config.readahead in
+  let sequential = from = pf.pf_next in
+  pf.pf_next <- from + len;
+  (* If an in-flight prefetch window overlaps this request, wait for it
+     rather than racing a duplicate fetch for the same positions. *)
+  (match pf.pf_inflight with
+  | Some (lo, hi, iv) when from < hi && from + len > lo -> Ivar.read iv
+  | _ -> ());
+  let positions = List.init len (fun i -> from + i) in
+  let missing =
+    List.filter (fun p -> not (Hashtbl.mem pf.pf_cache p)) positions
+  in
+  if missing <> [] then
+    List.iter
+      (fun (gp, r) -> Hashtbl.replace pf.pf_cache gp r)
+      (fetch missing);
+  let out =
+    List.filter_map
+      (fun p ->
+        match Hashtbl.find_opt pf.pf_cache p with
+        | Some r ->
+          Hashtbl.remove pf.pf_cache p;
+          Some (p, r)
+        | None -> None)
+      positions
+  in
+  (* Keep the pipeline primed: on a sequential pattern, fetch the next
+     window in the background. One window in flight at a time — the
+     consumer's next call waits on it if it outruns the prefetcher. *)
+  (if ra > 0 && sequential && pf.pf_inflight = None then
+     let lo = max (from + len) pf.pf_frontier in
+     let hi = from + len + ra in
+     if hi > lo then begin
+       let iv = Ivar.create () in
+       pf.pf_inflight <- Some (lo, hi, iv);
+       pf.pf_frontier <- hi;
+       Engine.spawn ~name:"client.readahead" (fun () ->
+           (try
+              List.iter
+                (fun (gp, r) -> Hashtbl.replace pf.pf_cache gp r)
+                (fetch (List.init (hi - lo) (fun i -> lo + i)))
+            with _ ->
+              (* A failed prefetch is not a failed read: the consumer
+                 refetches the window itself and surfaces the error. *)
+              ());
+           pf.pf_inflight <- None;
+           Ivar.fill iv ())
+     end);
+  out
 
 let trim_all (cluster : t) ep ~upto =
   let acks =

@@ -28,10 +28,42 @@ val wait_ordered : Erwin_common.t -> ep -> Types.Rid.t -> int
 (** Blocks until a tracked rid is bound; returns its global position. *)
 
 val read_grouped :
+  ?rr:int ref ->
   Erwin_common.t -> ep -> shard_of:(int -> Shard.t) -> int list ->
   (int * Types.record) list
 (** Reads the given positions, grouping them into one [Sh_read] per shard
     issued in parallel; result is sorted by position. Blocks until every
-    position is stable (fast or slow path, section 4.4). *)
+    position is stable (fast or slow path, section 4.4).
+
+    With [cfg.replica_reads] each shard's read goes to one of its replicas,
+    rotating through [rr] (so concurrent readers spread over the replica
+    set) and failing over to the remaining replicas; otherwise it goes to
+    the primary, with the backups only as a last-resort fallback. Raises
+    if no replica of some shard answers — a dropped read is an error, not
+    an empty log. Responses' piggybacked stable is max-merged into the
+    cluster's stable mirror. *)
+
+val note_piggyback : Erwin_common.t -> int -> unit
+(** Max-merge a stable value piggybacked on a read response into the
+    cluster's stable mirror. *)
+
+type prefetcher
+(** Per-client scan-readahead state for {!prefetched_read}. *)
+
+val prefetcher : unit -> prefetcher
+
+val prefetched_read :
+  Erwin_common.t ->
+  prefetcher ->
+  fetch:(int list -> (int * Types.record) list) ->
+  from:int ->
+  len:int ->
+  (int * Types.record) list
+(** [Log_api.read] through a sequential-scan prefetcher: when the access
+    pattern is sequential and [cfg.readahead > 0], the next [readahead]
+    positions are fetched in the background (via [fetch], the
+    system-specific blocking read) while the consumer processes the
+    current window. With [readahead = 0] this is exactly one synchronous
+    [fetch]. *)
 
 val trim_all : Erwin_common.t -> ep -> upto:int -> bool

@@ -24,6 +24,10 @@ type t = {
   linger : Engine.time;
   max_batch_records : int;
   max_batch_bytes : int;
+  read_demand : bool;
+  replica_reads : bool;
+  readahead : int;
+  map_fetch_chunk : int;
   link : Fabric.link;
   rpc_overhead : Engine.time;
   debug_no_rid_pinning : bool;
@@ -62,6 +66,12 @@ let default =
     linger = Engine.us 20;
     max_batch_records = 128;
     max_batch_bytes = 64 * 1024;
+    (* Demand-driven read path defaults off: the paper-fidelity benches
+       measure the purely lazy cadence byte-for-byte unchanged. *)
+    read_demand = false;
+    replica_reads = false;
+    readahead = 0;
+    map_fetch_chunk = 1024;
     link = Fabric.default_link;
     rpc_overhead = Engine.ns 500;
     debug_no_rid_pinning = false;

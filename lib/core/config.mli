@@ -45,6 +45,30 @@ type t = {
           or {!field-max_batch_bytes}) *)
   max_batch_records : int;  (** group commit: record-count flush trigger *)
   max_batch_bytes : int;  (** group commit: payload-bytes flush trigger *)
+  read_demand : bool;
+      (** opt-in read-triggered eager binding: a shard read (or Erwin-st
+          map fetch) of a position beyond stable-gp sends
+          [Sr_order_demand] to the sequencing layer, and the orderer cuts
+          a batch immediately instead of waiting out its lazy cadence —
+          a tail read costs one extra hop, not an ordering interval.
+          Off by default so the paper-fidelity figures measure the purely
+          lazy path. *)
+  replica_reads : bool;
+      (** opt-in read scale-out: clients round-robin [Sh_read] (and
+          Erwin-st [Ssh_get_map]) across every replica of a shard instead
+          of pinning all read traffic to the primary. Backups serve
+          positions below their own stable mirror from their own store and
+          forward the rest to the primary; every read response piggybacks
+          the responder's stable so read traffic repairs mirrors that
+          missed a lossy one-way [Sh_set_stable]. *)
+  readahead : int;
+      (** client-side scan readahead window (records); [0] disables. On a
+          sequential access pattern the client prefetches the next
+          [readahead] positions (shard reads, and map fetches for
+          Erwin-st) ahead of the consumer. *)
+  map_fetch_chunk : int;
+      (** Erwin-st: positions fetched per [Ssh_get_map] when filling the
+          client's position-to-shard map cache *)
   link : Fabric.link;
   rpc_overhead : Engine.time;  (** per-endpoint software overhead (eRPC) *)
   debug_no_rid_pinning : bool;

@@ -68,6 +68,9 @@ type t = {
   mutable order_resync : bool;
   metrics : orderer_metrics;
   mutable append_batcher : batch_submit option;
+  mutable demand_upto : int;
+  order_wake : Waitq.t;
+  mutable orderer_node : Fabric.node_id option;
 }
 
 let create ~cfg ~mode =
@@ -109,6 +112,9 @@ let create ~cfg ~mode =
       order_resync = false;
       metrics = fresh_metrics ();
       append_batcher = None;
+      demand_upto = 0;
+      order_wake = Waitq.create ();
+      orderer_node = None;
     }
   in
   List.iter
@@ -140,6 +146,10 @@ let add_shard t =
   in
   t.shards <- t.shards @ [ s ];
   t.shard_index <- Array.append t.shard_index [| s |];
+  (if t.cfg.Config.read_demand then
+     match t.orderer_node with
+     | Some n -> Shard.set_demand_target s (Some n)
+     | None -> ());
   s
 
 let fresh_client_id t =

@@ -73,6 +73,16 @@ type t = {
   metrics : orderer_metrics;
   mutable append_batcher : batch_submit option;
       (** lazily created by {!Batcher.get} when [cfg.append_batching] *)
+  mutable demand_upto : int;
+      (** read-demand cursor: shards asked for binding up to this position
+          (exclusive); max-merged by [Sr_order_demand], consumed by the
+          orderer when [cfg.read_demand] *)
+  order_wake : Waitq.t;
+      (** broadcast when a new demand arrives so the orderer cuts its idle
+          sleep short instead of waiting out the lazy cadence *)
+  mutable orderer_node : Fabric.node_id option;
+      (** the background orderer's fabric node, once started — the target
+          shards send [Sr_order_demand] to *)
 }
 
 val create : cfg:Config.t -> mode:mode -> t

@@ -25,12 +25,17 @@ let client (cluster : Erwin_common.t) : Log_api.t =
     Client_core.append_entry cluster ep ~track:true (Types.Data r);
     Client_core.wait_ordered cluster ep rid
   in
-  let read ~from ~len =
-    let positions = List.init len (fun i -> from + i) in
-    Client_core.read_grouped cluster ep
+  (* Stagger the replica rotation by client id so concurrent readers
+     start on different replicas of a shard. *)
+  let read_rr = ref cid in
+  let pf = Client_core.prefetcher () in
+  let fetch positions =
+    Client_core.read_grouped ~rr:read_rr cluster ep
       ~shard_of:(shard_of_position cluster)
       positions
-    |> List.map snd
+  in
+  let read ~from ~len =
+    Client_core.prefetched_read cluster pf ~fetch ~from ~len |> List.map snd
   in
   {
     Log_api.name = "erwin-m";

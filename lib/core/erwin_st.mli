@@ -16,8 +16,6 @@ val create : ?cfg:Config.t -> unit -> Erwin_common.t
 
 val client : Erwin_common.t -> Log_api.t
 (** Fresh client handle. Reads consult a local position-to-shard cache,
-    fetching map chunks in bulk on misses. Returned records include
-    no-ops (filter with {!Types.is_no_op}) so positions stay aligned. *)
-
-val map_fetch_chunk : int
-(** Positions fetched per map-cache miss (amortization, section 5.3). *)
+    fetching [cfg.map_fetch_chunk] positions in bulk on misses
+    (amortization, section 5.3). Returned records include no-ops (filter
+    with {!Types.is_no_op}) so positions stay aligned. *)

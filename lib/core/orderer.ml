@@ -159,6 +159,42 @@ module Adaptive = struct
     end
 end
 
+(* ---------- read-triggered eager binding ---------- *)
+
+(* True when a parked read demands positions the leader could bind right
+   now: the orderer's idle wait is cut short and the next batch claimed
+   immediately, instead of waiting out the lazy cadence. Once the ordering
+   frontier passes the demand cursor (or the unordered log drains) the
+   cursor is inert and the orderer falls back to its normal pacing. *)
+let demand_pending (cluster : t) ~frontier =
+  cluster.cfg.Config.read_demand
+  && cluster.demand_upto > frontier
+  && (not cluster.reconfiguring)
+  && (match cluster.replicas with
+     | ldr :: _ ->
+       Fabric.is_alive (Seq_replica.node ldr)
+       && (not (Seq_replica.is_sealed ldr))
+       && Seq_log.unclaimed_count (Seq_replica.log ldr) > 0
+     | [] -> false)
+
+let serial_frontier (cluster : t) =
+  match cluster.replicas with
+  | r :: _ -> Seq_log.last_ordered_gp (Seq_replica.log r)
+  | [] -> max_int
+
+(* The idle sleep between ordering passes. Gated on [read_demand] because
+   an interruptible wait schedules different engine events than a plain
+   sleep — with the knob off the event sequence (and so every jitter draw)
+   must stay byte-identical to the lazy baseline. *)
+let idle_wait (cluster : t) ~frontier =
+  if cluster.cfg.Config.read_demand then
+    ignore
+      (Waitq.await_timeout cluster.order_wake
+         ~timeout:cluster.cfg.Config.order_interval
+         (fun () -> demand_pending cluster ~frontier:(frontier ()))
+        : bool)
+  else Engine.sleep cluster.cfg.Config.order_interval
+
 (* ---------- metrics ---------- *)
 
 let note_claim (cluster : t) n =
@@ -362,7 +398,7 @@ let pipelined_loop (cluster : t) ep =
        almost immediately; otherwise poll at the ordering interval. *)
     if claimed > 0 && backlog > 0 then
       Engine.sleep (max (Engine.ns 100) (cluster.cfg.Config.order_interval / 16))
-    else Engine.sleep cluster.cfg.Config.order_interval;
+    else idle_wait cluster ~frontier:(fun () -> !next_gp);
     loop ()
   in
   loop ()
@@ -370,10 +406,27 @@ let pipelined_loop (cluster : t) ep =
 let start (cluster : t) =
   let ep = new_endpoint cluster ~name:"orderer" in
   let cfg = cluster.cfg in
+  (* The orderer's endpoint doubles as the demand sink: shards with a
+     parked tail read send Sr_order_demand here. Max-merge into the
+     cursor and wake the ordering loop. *)
+  Rpc.set_handler ep (fun ~src:_ req ~reply ->
+      match req with
+      | Proto.Sr_order_demand { upto } ->
+        if upto > cluster.demand_upto then begin
+          cluster.demand_upto <- upto;
+          Waitq.broadcast cluster.order_wake
+        end;
+        reply ~size:(Proto.resp_size Proto.R_ok) Proto.R_ok
+      | _ -> failwith "orderer: unexpected request");
+  cluster.orderer_node <- Some (Rpc.endpoint_id ep);
+  if cfg.Config.read_demand then
+    List.iter
+      (fun s -> Shard.set_demand_target s (Some (Rpc.endpoint_id ep)))
+      cluster.shards;
   if cfg.Config.pipeline_depth <= 1 && not cfg.Config.adaptive_batch then
     Engine.spawn ~name:"orderer" (fun () ->
         let rec loop () =
-          Engine.sleep cfg.Config.order_interval;
+          idle_wait cluster ~frontier:(fun () -> serial_frontier cluster);
           serial_pass cluster ep;
           loop ()
         in

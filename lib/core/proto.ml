@@ -33,6 +33,11 @@ type req =
     }
   | Sr_wait_ordered of { rid : Types.Rid.t }
       (** Blocks until the tracked rid is bound; responds with its position. *)
+  | Sr_order_demand of { upto : gp }
+      (** Shard -> orderer: a read is parked on a position below [upto];
+          bind eagerly up to it (overriding the lazy cadence) and push
+          stable-gp. Idempotent — the orderer keeps only the max demanded
+          position — and cheap to retry. *)
   (* --- Shards, common paths --- *)
   | Sh_set_stable of { gp : gp }  (** one-way: advance the readable prefix *)
   | Sh_read of { positions : gp list; stable_hint : gp }
@@ -77,8 +82,12 @@ type resp =
   | R_tail of { ok : bool; tail : int }
   | R_state of { gp : gp; entries : Types.entry list }
   | R_gp of { gp : gp }
-  | R_records of { records : (gp * Types.record) list }
-  | R_map of { chunk : (gp * int) list }
+  | R_records of { records : (gp * Types.record) list; stable : gp }
+      (** [stable] piggybacks the responder's stable mirror: read traffic
+          repairs replicas (and clients) that missed a lossy one-way
+          [Sh_set_stable] without waiting for the next broadcast. It rides
+          in the per-record header slack already counted by [resp_size]. *)
+  | R_map of { chunk : (gp * int) list; stable : gp }
   | R_missing of { rids : Types.Rid.t list }
 
 (** Approximate wire sizes, for the fabric's per-byte costs. *)
@@ -109,14 +118,14 @@ let req_size = function
   | Ssh_backfill { slots } -> slots_wire slots
   | Sh_read { positions; _ } -> (8 * List.length positions) + 8
   | Sr_check_tail _ | Sr_seal _ | Sr_get_state | Sr_wait_ordered _
-  | Sh_set_stable _ | Sh_trim _ | Ssh_get_map _ ->
+  | Sr_order_demand _ | Sh_set_stable _ | Sh_trim _ | Ssh_get_map _ ->
     32
 
 let resp_size = function
-  | R_records { records } -> slots_wire records
+  | R_records { records; _ } -> slots_wire records
   | R_state { entries; _ } ->
     List.fold_left (fun acc e -> acc + Types.entry_wire_size e) 16 entries
-  | R_map { chunk } -> 12 * List.length chunk
+  | R_map { chunk; _ } -> 12 * List.length chunk
   | R_missing { rids } -> 16 * List.length rids
   | R_append_batch { appended; _ } -> 16 + List.length appended
   | R_ok | R_append _ | R_tail _ | R_gp _ -> 16

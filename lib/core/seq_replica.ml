@@ -142,9 +142,9 @@ let handle t ~src:_ (req : Proto.req) ~reply =
   | Sr_wait_ordered { rid } ->
     Waitq.await t.bound_watch (fun () -> Hashtbl.mem t.bound_gp rid);
     reply (Proto.R_gp { gp = Hashtbl.find t.bound_gp rid })
-  | Sh_set_stable _ | Sh_read _ | Sh_trim _ | Msh_push _ | Msh_replicate _
-  | Ssh_data_write _ | Ssh_order _ | Ssh_replicate_order _ | Ssh_backfill _
-  | Ssh_get_map _ ->
+  | Sr_order_demand _ | Sh_set_stable _ | Sh_read _ | Sh_trim _ | Msh_push _
+  | Msh_replicate _ | Ssh_data_write _ | Ssh_order _ | Ssh_replicate_order _
+  | Ssh_backfill _ | Ssh_get_map _ ->
     failwith (t.rname ^ ": shard request sent to a sequencing replica")
 
 let service_time cfg (req : Proto.req) =

@@ -16,6 +16,12 @@ type replica = {
   nooped : (Types.Rid.t, unit) Hashtbl.t;
   staging_watch : Waitq.t;
   map_log : (int, int) Hashtbl.t;  (* position -> shard id *)
+  (* Per-replica stable-gp mirror: the primary's is authoritative for the
+     shard; backups keep their own (fed by the primary's relay, by client
+     stable hints, and by the stable piggybacked on forwarded reads) so
+     they can serve bound positions without consulting the primary. *)
+  mutable stable : int;
+  stable_watch : Waitq.t;
 }
 
 type t = {
@@ -24,14 +30,16 @@ type t = {
   sid : int;
   primary : replica;
   mutable backups : replica list;
-  mutable stable : int;
-  stable_watch : Waitq.t;
+  mutable demand_target : Fabric.node_id option;
+      (* where Sr_order_demand goes (the background orderer's endpoint),
+         when [cfg.read_demand] *)
 }
 
 let shard_id t = t.sid
 let primary_id t = Fabric.id t.primary.node
 let replica_ids t = List.map (fun r -> Fabric.id r.node) (t.primary :: t.backups)
-let stable_gp t = t.stable
+let stable_gp t = t.primary.stable
+let set_demand_target t dst = t.demand_target <- dst
 let read_local t pos = Flushed_store.read t.primary.store ~pos
 let bound_positions t = Flushed_store.entries t.primary.store
 let staged_count t = Hashtbl.length t.primary.staging
@@ -112,6 +120,42 @@ let probe_stored t slots =
         Probe.emit
           (Probe.Shard_stored { shard = t.sid; pos = gp; rid = rec_.Types.rid }))
       slots
+
+(* Read_served is emitted by whichever replica answers (primary or
+   backup) — the read-agreement monitor checks every served record
+   against the primary's bindings, which is exactly the cross-replica
+   divergence backup reads could introduce. *)
+let probe_read_served t records =
+  if Probe.active () then
+    List.iter
+      (fun (gp, (rec_ : Types.record)) ->
+        Probe.emit
+          (Probe.Read_served { shard = t.sid; pos = gp; rid = rec_.Types.rid }))
+      records
+
+let note_stable r gp =
+  if gp > r.stable then begin
+    r.stable <- gp;
+    Waitq.broadcast r.stable_watch
+  end
+
+(* Read-triggered eager binding (the lazy-ordering contract of sections
+   4.2/5.2): a read parked beyond stable asks the sequencing layer to bind
+   up to it now instead of waiting out the background cadence. Fire and
+   forget from a fresh fiber — the reader itself keeps waiting on the
+   stable watch and is woken by the resulting stable push. *)
+let demand_bind t ~upto =
+  match t.demand_target with
+  | Some dst when t.cfg.Config.read_demand && upto > t.primary.stable ->
+    let r = t.primary in
+    Engine.spawn ~name:(Printf.sprintf "shard%d.demand" t.sid) (fun () ->
+        ignore
+          (Rpc.call_retry r.ep ~dst
+             ~size:(Proto.req_size (Proto.Sr_order_demand { upto }))
+             ~timeout:(Engine.ms 5) ~max_tries:10
+             (Proto.Sr_order_demand { upto })
+            : Proto.resp option))
+  | _ -> ()
 
 let handle_primary t ~src:_ (req : Proto.req) ~reply =
   let r = t.primary in
@@ -225,43 +269,39 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
   | Sh_read { positions; stable_hint } ->
     (* The hint repairs a stable mirror that missed a (lossy, one-way)
        Sh_set_stable: the client would not ask for unstable positions. *)
-    if stable_hint > t.stable then begin
-      t.stable <- stable_hint;
-      Waitq.broadcast t.stable_watch
-    end;
+    note_stable r stable_hint;
     let max_pos = List.fold_left max (-1) positions in
-    Waitq.await t.stable_watch (fun () -> t.stable > max_pos);
+    if r.stable <= max_pos then demand_bind t ~upto:(max_pos + 1);
+    Waitq.await r.stable_watch (fun () -> r.stable > max_pos);
     (* Batched store read: the whole group is served in one segment-cache
        pass, cold segments paying a single combined device fetch instead
        of one base-latency charge per position. *)
     let records = Flushed_store.read_many r.store positions in
-    if Probe.active () then
-      List.iter
-        (fun (gp, (rec_ : Types.record)) ->
-          Probe.emit
-            (Probe.Read_served
-               { shard = t.sid; pos = gp; rid = rec_.Types.rid }))
-        records;
-    reply (Proto.R_records { records })
+    probe_read_served t records;
+    reply (Proto.R_records { records; stable = r.stable })
   | Ssh_get_map { from; count; stable_hint } ->
-    if stable_hint > t.stable then begin
-      t.stable <- stable_hint;
-      Waitq.broadcast t.stable_watch
-    end;
-    Waitq.await t.stable_watch (fun () -> t.stable > from);
-    let upto = min t.stable (from + count) in
+    note_stable r stable_hint;
+    if r.stable <= from then demand_bind t ~upto:(from + 1);
+    Waitq.await r.stable_watch (fun () -> r.stable > from);
+    let upto = min r.stable (from + count) in
     let chunk = ref [] in
     for gp = upto - 1 downto from do
       match Hashtbl.find_opt r.map_log gp with
       | Some sid -> chunk := (gp, sid) :: !chunk
       | None -> ()
     done;
-    reply (Proto.R_map { chunk = !chunk })
+    reply (Proto.R_map { chunk = !chunk; stable = r.stable })
   | Sh_set_stable { gp } ->
-    if gp > t.stable then begin
-      t.stable <- gp;
-      Waitq.broadcast t.stable_watch
-    end;
+    note_stable r gp;
+    (* Backup replicas serve reads only below their own mirror: relay the
+       (still lossy, one-way) stable advance so they track the primary
+       instead of lagging until the next piggyback repair. *)
+    if t.cfg.Config.replica_reads then
+      List.iter
+        (fun b ->
+          Rpc.send_oneway r.ep ~dst:(Fabric.id b.node)
+            (Proto.Sh_set_stable { gp }))
+        t.backups;
     reply Proto.R_ok
   | Sh_trim { upto } ->
     Flushed_store.trim r.store upto;
@@ -270,11 +310,26 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
       t.backups;
     reply Proto.R_ok
   | Sr_append _ | Sr_append_batch _ | Sr_check_tail _ | Sr_gc _ | Sr_seal _
-  | Sr_get_state | Sr_install_view _ | Sr_wait_ordered _ | Msh_replicate _
-  | Ssh_replicate_order _ | Ssh_backfill _ ->
+  | Sr_get_state | Sr_install_view _ | Sr_wait_ordered _ | Sr_order_demand _
+  | Msh_replicate _ | Ssh_replicate_order _ | Ssh_backfill _ ->
     failwith "shard primary: unexpected request"
 
-let handle_backup r ~src:_ (req : Proto.req) ~reply =
+(* A backup that cannot serve a read itself (position not yet covered by
+   its stable mirror) forwards the request to the primary and relays the
+   answer, max-merging the piggybacked stable into its own mirror. On
+   exhaustion it fails the read explicitly ([R_missing]) so the client
+   retries on another replica instead of seeing an empty log. *)
+let forward_to_primary t r req ~reply ~on_resp =
+  match
+    Rpc.call_retry r.ep ~dst:(primary_id t) ~size:(Proto.req_size req)
+      ~timeout:(Engine.ms 50) ~max_tries:2 req
+  with
+  | Some resp ->
+    on_resp resp;
+    reply resp
+  | None -> reply (Proto.R_missing { rids = [] })
+
+let handle_backup t r ~src:_ (req : Proto.req) ~reply =
   match req with
   | Msh_replicate { truncate_from; slots } ->
     apply_truncate r truncate_from;
@@ -325,9 +380,42 @@ let handle_backup r ~src:_ (req : Proto.req) ~reply =
   | Sh_trim { upto } ->
     Flushed_store.trim r.store upto;
     reply Proto.R_ok
+  | Sh_set_stable { gp } ->
+    note_stable r gp;
+    reply Proto.R_ok
+  | Sh_read { positions; stable_hint } ->
+    note_stable r stable_hint;
+    let max_pos = List.fold_left max (-1) positions in
+    if r.stable > max_pos then begin
+      (* Every requested position is bound here: serve from the local
+         store, scaling read throughput with the replica count. *)
+      let records = Flushed_store.read_many r.store positions in
+      probe_read_served t records;
+      reply (Proto.R_records { records; stable = r.stable })
+    end
+    else
+      forward_to_primary t r req ~reply ~on_resp:(function
+        | Proto.R_records { stable; _ } -> note_stable r stable
+        | _ -> ())
+  | Ssh_get_map { from; count; stable_hint } ->
+    note_stable r stable_hint;
+    if r.stable > from then begin
+      let upto = min r.stable (from + count) in
+      let chunk = ref [] in
+      for gp = upto - 1 downto from do
+        match Hashtbl.find_opt r.map_log gp with
+        | Some sid -> chunk := (gp, sid) :: !chunk
+        | None -> ()
+      done;
+      reply (Proto.R_map { chunk = !chunk; stable = r.stable })
+    end
+    else
+      forward_to_primary t r req ~reply ~on_resp:(function
+        | Proto.R_map { stable; _ } -> note_stable r stable
+        | _ -> ())
   | Sr_append _ | Sr_append_batch _ | Sr_check_tail _ | Sr_gc _ | Sr_seal _
-  | Sr_get_state | Sr_install_view _ | Sr_wait_ordered _ | Msh_push _
-  | Ssh_order _ | Sh_read _ | Ssh_get_map _ | Sh_set_stable _ ->
+  | Sr_get_state | Sr_install_view _ | Sr_wait_ordered _ | Sr_order_demand _
+  | Msh_push _ | Ssh_order _ ->
     failwith "shard backup: unexpected request"
 
 let service_time cfg (req : Proto.req) =
@@ -359,11 +447,13 @@ let make_replica cfg fabric ~name =
     nooped = Hashtbl.create 64;
     staging_watch = Waitq.create ();
     map_log = Hashtbl.create 1024;
+    stable = 0;
+    stable_watch = Waitq.create ();
   }
 
-let install_backup_handler b =
+let install_backup_handler t b =
   Rpc.set_handler b.ep (fun ~src req ~reply ->
-      handle_backup b ~src req ~reply:(fun resp ->
+      handle_backup t b ~src req ~reply:(fun resp ->
           reply ~size:(Proto.resp_size resp) resp))
 
 let create ~cfg ~fabric ~shard_id =
@@ -375,21 +465,11 @@ let create ~cfg ~fabric ~shard_id =
         make_replica cfg fabric
           ~name:(Printf.sprintf "shard%d.backup%d" shard_id i))
   in
-  let t =
-    {
-      cfg;
-      fabric;
-      sid = shard_id;
-      primary;
-      backups;
-      stable = 0;
-      stable_watch = Waitq.create ();
-    }
-  in
+  let t = { cfg; fabric; sid = shard_id; primary; backups; demand_target = None } in
   Rpc.set_handler primary.ep (fun ~src req ~reply ->
       handle_primary t ~src req ~reply:(fun resp ->
           reply ~size:(Proto.resp_size resp) resp));
-  List.iter install_backup_handler backups;
+  List.iter (install_backup_handler t) backups;
   t
 
 (* Section 5.4: "Failures within a shard are handled by replacing the
@@ -402,7 +482,7 @@ let replace_backup t ~index =
     make_replica t.cfg t.fabric
       ~name:(Printf.sprintf "shard%d.backup%d'" t.sid index)
   in
-  install_backup_handler fresh;
+  install_backup_handler t fresh;
   let src = t.primary in
   let copy_from pos =
     let ordered = Flushed_store.entries_from src.store pos in
@@ -428,6 +508,8 @@ let replace_backup t ~index =
   Hashtbl.iter (fun rid at -> Hashtbl.replace fresh.staged_at rid at) src.staged_at;
   Hashtbl.iter (fun rid () -> Hashtbl.replace fresh.nooped rid ()) src.nooped;
   Hashtbl.iter (fun gp sid -> Hashtbl.replace fresh.map_log gp sid) src.map_log;
+  (* The copied prefix is readable on the fresh replica right away. *)
+  fresh.stable <- src.stable;
   (* Swap in, then catch up on anything pushed during the bulk copy. *)
   t.backups <- List.mapi (fun i b -> if i = index then fresh else b) t.backups;
   ignore (copy_from copied_upto : int)

@@ -36,6 +36,13 @@ val replica_ids : t -> Fabric.node_id list
 (** Primary first — Erwin-st clients write data to all of these. *)
 
 val stable_gp : t -> int
+(** The primary's stable mirror (backups keep their own, possibly
+    lagging, mirror for replica reads). *)
+
+val set_demand_target : t -> Fabric.node_id option -> unit
+(** Where the primary sends [Sr_order_demand] when a read parks beyond
+    stable-gp (the background orderer's endpoint); [None] disables demand
+    signalling. Only consulted when [cfg.read_demand]. *)
 
 val read_local : t -> int -> Types.record option
 (** Direct store lookup (checker/test use; no simulated cost). *)

@@ -93,6 +93,29 @@ let test_healthy_sweep_clean_batched () =
   in
   checkb "workload made progress" true (acked > 100)
 
+let test_healthy_sweep_clean_replica_reads () =
+  (* The demand-driven read path under crash faults: readers probe at
+     the stable tail, so demand binding, backup serving and
+     forward-to-primary all fire, and the read-agreement /
+     read-stability monitors must stay silent. *)
+  let scenarios =
+    List.concat_map
+      (fun system ->
+        List.init 3 (fun i ->
+            Checker.scenario ~system ~seed:(i + 21) ~replica_reads:true
+              ~horizon:Checker.quick_horizon ()))
+      [ "erwin-m"; "erwin-st" ]
+  in
+  let outcomes = Checker.sweep ~jobs:2 scenarios in
+  checki "all scenarios ran" (List.length scenarios) (List.length outcomes);
+  List.iter assert_clean outcomes;
+  let reads =
+    List.fold_left
+      (fun a (o : Checker.outcome) -> a + o.Checker.coverage.Monitors.reads)
+      0 outcomes
+  in
+  checkb "tail readers actually read" true (reads > 50)
+
 (* The crash-sweep property from the linearizability suite, re-expressed
    on the checker's monitors: for ANY crash time in the first 4 ms and
    any victim, no invariant fires — durability of acked records, order,
@@ -209,6 +232,8 @@ let () =
             test_healthy_sweep_clean;
           Alcotest.test_case "sweep stays clean with batching" `Quick
             test_healthy_sweep_clean_batched;
+          Alcotest.test_case "sweep stays clean with replica reads" `Quick
+            test_healthy_sweep_clean_replica_reads;
           Alcotest.test_case "erwin-st clean on bug-sweep seeds" `Quick
             test_same_seeds_clean_without_bug;
         ]

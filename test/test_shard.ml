@@ -41,7 +41,7 @@ let set_stable ep shard gp =
 
 let read ep shard positions =
   match call ep shard (Proto.Sh_read { positions; stable_hint = 0 }) with
-  | Proto.R_records { records } -> records
+  | Proto.R_records { records; _ } -> records
   | _ -> Alcotest.fail "read failed"
 
 let test_push_and_read () =
@@ -144,7 +144,7 @@ let test_get_map_waits_and_serves () =
                 map_chunk = [ (0, 0); (1, 2); (2, 1) ] }));
       set_stable ep shard 3;
       (match call ep shard (Proto.Ssh_get_map { from = 0; count = 10; stable_hint = 0 }) with
-      | Proto.R_map { chunk } ->
+      | Proto.R_map { chunk; _ } ->
         Alcotest.(check (list (pair int int)))
           "full chunk, all shards' positions"
           [ (0, 0); (1, 2); (2, 1) ]
@@ -168,7 +168,7 @@ let test_read_repair_via_stable_hint () =
       (match
          call ep shard (Proto.Sh_read { positions = [ 0; 1 ]; stable_hint = 2 })
        with
-      | Proto.R_records { records } -> checki "served" 2 (List.length records)
+      | Proto.R_records { records; _ } -> checki "served" 2 (List.length records)
       | _ -> Alcotest.fail "hinted read failed");
       Engine.sleep (Engine.ms 1);
       (match !parked with
@@ -190,7 +190,7 @@ let test_get_map_stable_hint () =
       (match
          call ep shard (Proto.Ssh_get_map { from = 0; count = 4; stable_hint = 1 })
        with
-      | Proto.R_map { chunk } ->
+      | Proto.R_map { chunk; _ } ->
         Alcotest.(check (list (pair int int))) "chunk served" [ (0, 0) ] chunk
       | _ -> Alcotest.fail "bad map response"))
 
@@ -228,7 +228,7 @@ let test_backfill_to_backup () =
       (match
          Rpc.call ep ~dst:(Shard.primary_id shard) (Proto.Sh_read { positions = [ 0 ]; stable_hint = 0 })
        with
-      | Proto.R_records { records = [ (0, r) ] } ->
+      | Proto.R_records { records = [ (0, r) ]; _ } ->
         Alcotest.(check string) "bound" "solo" r.Types.data
       | _ -> Alcotest.fail "read failed");
       Engine.stop ())
