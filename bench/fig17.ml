@@ -19,7 +19,7 @@ let run () =
         let crash_at = Engine.ms 40 in
         let t_end = Engine.now () + Engine.ms 120 in
         Arrival.open_loop ~rate:30_000. ~until:t_end (fun i ->
-            if clients.(i mod 8).Log_api.append ~size:1024 ~data:(string_of_int i)
+            if clients.(i mod 8).Log_api.append ~size:1024 ~data:(Runner.data_for i)
             then Stats.Timeline.record tl ~at:(Engine.now ()));
         Engine.after crash_at (fun () ->
             Erwin_common.crash_replica cluster

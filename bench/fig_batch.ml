@@ -69,6 +69,7 @@ let run_mode mode mode_name json =
         js_throughput = tput;
         js_p50_us = p50;
         js_p99_us = p99;
+        js_p999_us = 0.0;
       }
       :: !json;
     tput

@@ -45,7 +45,7 @@ let tail_latency ~cfg ~rate ~duration ~distance =
       Arrival.open_loop ~rate ~until:t_end (fun i ->
           if
             clients.(i mod 8).Log_api.append ~size:4096
-              ~data:(string_of_int i)
+              ~data:(Runner.data_for i)
           then incr acked);
       Engine.spawn ~name:"bench.tail_reader" (fun () ->
           let rec loop () =
@@ -83,7 +83,7 @@ let read_throughput ~backups ~duration =
       let nrecords = 2048 in
       let writer = Lazylog.Erwin_m.client cluster in
       for i = 0 to nrecords - 1 do
-        ignore (writer.Log_api.append ~size:4096 ~data:(string_of_int i) : bool)
+        ignore (writer.Log_api.append ~size:4096 ~data:(Runner.data_for i) : bool)
       done;
       (* Everything bound and readable before the read storm starts. *)
       while cluster.Lazylog.Erwin_common.stable_gp < nrecords do
@@ -204,6 +204,7 @@ let run () =
              js_throughput = 0.;
              js_p50_us = Stats.Reservoir.percentile_us (List.assoc d lazy250) 50.0;
              js_p99_us = p99 lazy250 d;
+             js_p999_us = 0.0;
            };
            {
              js_series = Printf.sprintf "tail d=%d demand" d;
@@ -211,6 +212,7 @@ let run () =
              js_p50_us =
                Stats.Reservoir.percentile_us (List.assoc d demand250) 50.0;
              js_p99_us = p99 demand250 d;
+             js_p999_us = 0.0;
            };
          ])
        distances
@@ -221,5 +223,6 @@ let run () =
             js_throughput = thr;
             js_p50_us = 0.;
             js_p99_us = 0.;
+            js_p999_us = 0.0;
           })
         per_replicas)

@@ -37,6 +37,7 @@ type json_series = {
   js_throughput : float;  (** records per second *)
   js_p50_us : float;
   js_p99_us : float;
+  js_p999_us : float;  (** 0.0 when the benchmark has no tail to report *)
 }
 
 let write_json ~name (series : json_series list) =
@@ -53,8 +54,8 @@ let write_json ~name (series : json_series list) =
       (fun i s ->
         Printf.fprintf oc
           "  {\"series\": %S, \"throughput\": %.1f, \"p50_us\": %.2f, \
-           \"p99_us\": %.2f}%s\n"
-          s.js_series s.js_throughput s.js_p50_us s.js_p99_us
+           \"p99_us\": %.2f, \"p999_us\": %.2f}%s\n"
+          s.js_series s.js_throughput s.js_p50_us s.js_p99_us s.js_p999_us
           (if i = List.length series - 1 then "" else ","))
       series;
     output_string oc "]\n";
@@ -197,7 +198,7 @@ let append_and_read sys ~rate ~size ~duration ~lag ~chunk =
       Arrival.open_loop ~rate ~until:t_end (fun i ->
           let log = clients.(i mod 8) in
           let t0 = Engine.now () in
-          if log.Log_api.append ~size ~data:(string_of_int i) then begin
+          if log.Log_api.append ~size ~data:(Runner.data_for i) then begin
             if t0 >= t_measure then
               Stats.Reservoir.add app_lat (Engine.now () - t0);
             if !acked >= Array.length !ack_times then begin
@@ -246,7 +247,7 @@ let max_throughput ?(warmup = Engine.ms 40) sys ~offered ~size ~duration =
       let t_end = t_measure + duration in
       Arrival.open_loop ~rate:offered ~until:t_end (fun i ->
           let log = clients.(i mod 32) in
-          if log.Log_api.append ~size ~data:(string_of_int i) then begin
+          if log.Log_api.append ~size ~data:(Runner.data_for i) then begin
             let t_done = Engine.now () in
             if t_done >= t_measure && t_done <= t_end then incr completed
           end);
@@ -275,7 +276,7 @@ let drain_throughput ~cfg ~mode ~size ~offered ~duration =
       let t_end = t_measure + duration in
       Arrival.open_loop ~rate:offered ~until:t_end (fun i ->
           ignore
-            (clients.(i mod 32).Log_api.append ~size ~data:(string_of_int i)));
+            (clients.(i mod 32).Log_api.append ~size ~data:(Runner.data_for i)));
       Engine.sleep_until t_measure;
       let g0 = cluster.Lazylog.Erwin_common.stable_gp in
       Engine.sleep_until t_end;

@@ -20,9 +20,16 @@ let figures : (string * string * (unit -> unit)) list =
     ("18", "end applications", Fig18.run);
     ("batch", "append-path group commit sweep", Fig_batch.run);
     ("read", "demand-driven tail reads", Fig_read.run);
+    ("open", "open-loop 100k-producer workload", Fig_open.run);
   ]
 
-let run_selection figs full micro ablations csv json_dir =
+let run_selection scheduler figs full micro ablations csv json_dir
+    min_mevents =
+  (* Set before any simulation; spawned bench domains inherit it. Figure
+     output is byte-identical either way (the wheel preserves the heap's
+     (at, tie, seq) execution order exactly) — the flag exists so that
+     claim can be checked by diffing. *)
+  Ll_sim.Engine.set_scheduler scheduler;
   (match csv with
   | Some path -> Harness.csv_out := Some (open_out path)
   | None -> ());
@@ -52,7 +59,25 @@ let run_selection figs full micro ablations csv json_dir =
     close_out oc;
     Harness.csv_out := None
   | None -> ());
-  Printf.printf "\nDone.\n"
+  Printf.printf "\nDone.\n";
+  (* CI regression floor: fail the run if the engine's headline event
+     rate (timer-callback workload on the wheel scheduler, measured by
+     --micro) fell below the floor. Very conservative floors only — the
+     measurement is wall-clock and shared runners are noisy. *)
+  match min_mevents with
+  | Some floor when micro ->
+    if !Micro.headline_mevents < floor then begin
+      Printf.eprintf
+        "FAIL: engine headline %.2f Mevents/s below floor %.2f\n"
+        !Micro.headline_mevents floor;
+      exit 1
+    end
+    else
+      Printf.printf "engine headline %.2f Mevents/s >= floor %.2f\n"
+        !Micro.headline_mevents floor
+  | Some _ ->
+    prerr_endline "warning: --min-mevents has no effect without --micro"
+  | None -> ()
 
 open Cmdliner
 
@@ -87,11 +112,33 @@ let json_dir =
   Arg.(
     value & opt (some string) None & info [ "json-dir" ] ~docv:"DIR" ~doc)
 
+let scheduler =
+  let doc =
+    "Engine event scheduler: the timer $(b,wheel) (default) or the \
+     reference $(b,heap). Output is identical; the flag exists for \
+     byte-diff verification."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("wheel", `Wheel); ("heap", `Heap) ]) `Wheel
+    & info [ "scheduler" ] ~docv:"SCHED" ~doc)
+
+let min_mevents =
+  let doc =
+    "With --micro: exit 1 if the engine's headline rate (Mevents/s) falls \
+     below $(docv). Used as a CI regression floor."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-mevents" ] ~docv:"FLOAT" ~doc)
+
 let cmd =
   let doc = "Reproduce the LazyLog paper's evaluation figures" in
   let info = Cmd.info "lazylog-bench" ~doc in
   Cmd.v info
     Term.(
-      const run_selection $ figs $ full $ micro $ ablations $ csv $ json_dir)
+      const run_selection $ scheduler $ figs $ full $ micro $ ablations $ csv
+      $ json_dir $ min_mevents)
 
 let () = exit (Cmd.eval cmd)

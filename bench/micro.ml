@@ -266,13 +266,25 @@ let reservoir_test =
          done;
          ignore (Ll_sim.Stats.Reservoir.percentile_us r 99.0)))
 
-(* End-to-end scheduler rate in real wall-clock time: timer-driven fibers
-   pushed through {!Ll_sim.Engine}'s event heap. This is where the
-   monomorphic event comparator pays off across the whole simulator. *)
-let run_engine_rate () =
-  Harness.section "Engine event throughput (real time)";
-  let n = if !Harness.quick then 300_000 else 2_000_000 in
-  let t0 = Unix.gettimeofday () in
+(* End-to-end scheduler rate in real wall-clock time, under both the
+   timer wheel and the retained reference heap scheduler (the pre-wheel
+   implementation), on three event mixes:
+
+   - sleep-fiber: long-lived fibers blocking in [Engine.sleep]; every
+     event is an effect perform + continuation resume, so this row is
+     bounded by the effects machinery (~43 ns/event measured floor on the
+     dev box), not the scheduler.
+   - timer-callback: chains of bare [call_after] callbacks; pure scheduler
+     cost, the engine-dominated shape of fabric hops and timeout timers.
+   - mixed-hop: callback chains with bimodal delays spanning all wheel
+     levels (ns hops, 10-100 us RPCs, ~10 ms timeouts), exercising
+     cascades the way a protocol mix does.
+
+   The heap rows are a lower bound on the pre-PR cost of the callback
+   shapes: before [call_at] existed, every timer also paid a fiber
+   start. *)
+
+let sleep_fibers n =
   Ll_sim.Engine.run (fun () ->
       let open Ll_sim in
       let fibers = 64 in
@@ -282,16 +294,233 @@ let run_engine_rate () =
             for i = 1 to per do
               Engine.sleep ((((f * 31) + i) mod 97) + 1)
             done)
-      done);
+      done)
+
+let callback_chains n =
+  Ll_sim.Engine.run (fun () ->
+      let open Ll_sim in
+      let chains = 64 in
+      let per = n / chains in
+      for c = 0 to chains - 1 do
+        let rec step i =
+          if i < per then
+            Engine.call_after
+              ((((c * 31) + i) mod 97) + 1)
+              (fun () -> step (i + 1))
+        in
+        step 0
+      done)
+
+let mixed_hops n =
+  Ll_sim.Engine.run (fun () ->
+      let open Ll_sim in
+      let chains = 64 in
+      let per = n / chains in
+      for c = 0 to chains - 1 do
+        let rec hop i =
+          if i < per then begin
+            let r = ((c * 131) + (i * 7919)) mod 1000 in
+            let d =
+              if r < 700 then (r / 8) + 1 (* 1..88 ns: same wheel cycle *)
+              else if r < 950 then ((r - 700) * 400) + 1000 (* 1..101 us *)
+              else ((r - 950) * 200_000) + 1_000_000 (* 1..11 ms *)
+            in
+            Engine.call_after d (fun () -> hop (i + 1))
+          end
+        in
+        hop 0
+      done)
+
+(* The pre-PR shape of a timer callback: before [call_at] existed, every
+   scheduled callback started a fresh fiber ([Engine.after]). Same event
+   mix as [callback_chains], priced the old way. *)
+let fiber_timer_chains n =
+  Ll_sim.Engine.run (fun () ->
+      let open Ll_sim in
+      let chains = 64 in
+      let per = n / chains in
+      for c = 0 to chains - 1 do
+        let rec step i =
+          if i < per then
+            Engine.after
+              ((((c * 31) + i) mod 97) + 1)
+              (fun () -> step (i + 1))
+        in
+        step 0
+      done)
+
+(* 100k concurrently pending timers — the live-set shape of the open-loop
+   10^5-producer workload. The heap pays O(log n) comparator sifts over a
+   cold 100k-element array per event; the wheel stays O(1), so this is
+   where the scheduler swap actually pays. *)
+let deep_timers n =
+  Ll_sim.Engine.run (fun () ->
+      let open Ll_sim in
+      let chains = 100_000 in
+      let per = (n / chains) + 1 in
+      for c = 0 to chains - 1 do
+        let rec step i =
+          if i < per then
+            Engine.call_after
+              (50_000 + (((c * 31) + (i * 7919)) mod 100_000))
+              (fun () -> step (i + 1))
+        in
+        (* spread the chain starts so the live set is immediately 100k *)
+        Engine.call_after ((c mod 50_000) + 1) (fun () -> step 0)
+      done)
+
+(* Same 100k-live mix in the pre-PR shape: fiber-per-timer. *)
+let deep_fiber_timers n =
+  Ll_sim.Engine.run (fun () ->
+      let open Ll_sim in
+      let chains = 100_000 in
+      let per = (n / chains) + 1 in
+      for c = 0 to chains - 1 do
+        let rec step i =
+          if i < per then
+            Engine.after
+              (50_000 + (((c * 31) + (i * 7919)) mod 100_000))
+              (fun () -> step (i + 1))
+        in
+        Engine.after ((c mod 50_000) + 1) (fun () -> step 0)
+      done)
+
+let engine_workloads =
+  [
+    ("sleep-fiber", sleep_fibers);
+    ("timer-fiber", fiber_timer_chains);
+    ("timer-callback", callback_chains);
+    ("mixed-hop", mixed_hops);
+    ("deep-timer-100k", deep_timers);
+    ("deep-fiber-100k", deep_fiber_timers);
+  ]
+
+(* Headline Mevents/s (timer-callback under the wheel) — the number the
+   --min-mevents CI regression floor checks. *)
+let headline_mevents = ref 0.0
+
+let run_engine_rate () =
+  Harness.section "Engine event throughput (real time): wheel vs heap";
+  Harness.note
+    "heap = reference scheduler (pre-wheel boxed events); mwords/ev = minor words allocated per event";
+  let n = if !Harness.quick then 300_000 else 2_000_000 in
+  let measure sched f =
+    Ll_sim.Engine.set_scheduler sched;
+    let t0 = Unix.gettimeofday () in
+    let mw0 = Gc.minor_words () in
+    f n;
+    let mw1 = Gc.minor_words () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let events = Ll_sim.Engine.events_executed () in
+    (events, wall, (mw1 -. mw0) /. float_of_int events)
+  in
+  Harness.table_header
+    [ "workload/scheduler"; "events"; "wall_ms"; "Mevents/s"; "mwords/ev"; "speedup" ];
+  let js = ref [] in
+  let fiber_timer_heap = ref 0.0 in
+  let mixed_hop_wheel = ref 0.0 in
+  let deep_callback_wheel = ref 0.0 in
+  let deep_fiber_heap = ref 0.0 in
+  List.iter
+    (fun (wname, f) ->
+      let ev_h, w_h, a_h = measure `Heap f in
+      let ev_w, w_w, a_w = measure `Wheel f in
+      let mh = float_of_int ev_h /. w_h /. 1e6 in
+      let mw = float_of_int ev_w /. w_w /. 1e6 in
+      Harness.row (wname ^ "/heap")
+        [
+          string_of_int ev_h;
+          Harness.f1 (w_h *. 1000.);
+          Printf.sprintf "%.2f" mh;
+          Harness.f1 a_h;
+          "-";
+        ];
+      Harness.row (wname ^ "/wheel")
+        [
+          string_of_int ev_w;
+          Harness.f1 (w_w *. 1000.);
+          Printf.sprintf "%.2f" mw;
+          Harness.f1 a_w;
+          Printf.sprintf "%.2fx" (mw /. mh);
+        ];
+      if wname = "timer-fiber" then fiber_timer_heap := mh;
+      if wname = "timer-callback" then headline_mevents := mw;
+      if wname = "mixed-hop" then mixed_hop_wheel := mw;
+      if wname = "deep-timer-100k" then deep_callback_wheel := mw;
+      if wname = "deep-fiber-100k" then deep_fiber_heap := mh;
+      js :=
+        {
+          Harness.js_series = wname ^ "/heap";
+          js_throughput = mh *. 1e6;
+          js_p50_us = 0.0;
+          js_p99_us = 0.0;
+          js_p999_us = 0.0;
+        }
+        :: {
+             Harness.js_series = wname ^ "/wheel";
+             js_throughput = mw *. 1e6;
+             js_p50_us = 0.0;
+             js_p99_us = 0.0;
+             js_p999_us = 0.0;
+           }
+        :: !js)
+    engine_workloads;
+  Ll_sim.Engine.set_scheduler `Wheel;
+  (* The pre-PR engine priced every timer as timer-fiber/heap; the new
+     engine prices it as timer-callback/wheel. *)
+  if !fiber_timer_heap > 0.0 then
+    Harness.row "timer path vs pre-PR"
+      [
+        "-";
+        "-";
+        "-";
+        "-";
+        Printf.sprintf "%.2fx" (!headline_mevents /. !fiber_timer_heap);
+      ];
+  if !deep_fiber_heap > 0.0 then
+    Harness.row "deep timer path vs pre-PR"
+      [
+        "-";
+        "-";
+        "-";
+        "-";
+        Printf.sprintf "%.2fx" (!deep_callback_wheel /. !deep_fiber_heap);
+      ];
+  (* Engines are domain-local, so independent clusters shard across
+     domains with zero coordination — the sweep/bench parallelism this PR
+     spends its headroom on. Aggregate Mevents/s over [doms] domains each
+     running the mixed-hop mix under the wheel. *)
+  let doms = min 8 (Domain.recommended_domain_count ()) in
+  let t0 = Unix.gettimeofday () in
+  let spawned =
+    Array.init doms (fun _ ->
+        Domain.spawn (fun () ->
+            mixed_hops n;
+            Ll_sim.Engine.events_executed ()))
+  in
+  let events = Array.fold_left (fun a d -> a + Domain.join d) 0 spawned in
   let wall = Unix.gettimeofday () -. t0 in
-  let events = Ll_sim.Engine.events_executed () in
-  Harness.table_header [ "metric"; "events"; "wall_ms"; "Mevents/s" ];
-  Harness.row "engine (Int.compare cmp)"
+  let agg = float_of_int events /. wall /. 1e6 in
+  Harness.row (Printf.sprintf "mixed-hop/wheel x%d domains" doms)
     [
       string_of_int events;
       Harness.f1 (wall *. 1000.);
-      Printf.sprintf "%.2f" (float_of_int events /. wall /. 1e6);
-    ]
+      Printf.sprintf "%.2f" agg;
+      "-";
+      (if !mixed_hop_wheel > 0.0 then
+         Printf.sprintf "%.2fx" (agg /. !mixed_hop_wheel)
+       else "-");
+    ];
+  js :=
+    {
+      Harness.js_series = Printf.sprintf "mixed-hop/wheel-x%d" doms;
+      js_throughput = agg *. 1e6;
+      js_p50_us = 0.0;
+      js_p99_us = 0.0;
+      js_p999_us = 0.0;
+    }
+    :: !js;
+  Harness.write_json ~name:"micro" (List.rev !js)
 
 let run () =
   run_saturation ();

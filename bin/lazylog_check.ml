@@ -169,8 +169,10 @@ let run_replay path =
     print_endline "replay completed with NO violation (artifact stale?)";
     0
 
-let main systems seeds seed_base shards jobs quick serial batching
+let main scheduler systems seeds seed_base shards jobs quick serial batching
     replica_reads bug artifact_dir replay =
+  (* Set before any Engine.run; spawned sweep domains inherit it. *)
+  Ll_sim.Engine.set_scheduler scheduler;
   match replay with
   | Some path -> run_replay path
   | None ->
@@ -178,6 +180,16 @@ let main systems seeds seed_base shards jobs quick serial batching
       replica_reads bug artifact_dir
 
 open Cmdliner
+
+let scheduler =
+  Arg.(
+    value
+    & opt (enum [ ("wheel", `Wheel); ("heap", `Heap) ]) `Wheel
+    & info [ "scheduler" ] ~docv:"SCHED"
+        ~doc:
+          "Engine event scheduler: the timer $(b,wheel) (default) or the \
+           reference $(b,heap). Both execute the identical schedule; the \
+           flag exists so CI can cross-check them.")
 
 let systems =
   Arg.(
@@ -266,7 +278,8 @@ let cmd =
   Cmd.v
     (Cmd.info "lazylog-check" ~doc)
     Term.(
-      const main $ systems $ seeds $ seed_base $ shards $ jobs $ quick
-      $ serial $ batching $ replica_reads $ bug $ artifact_dir $ replay)
+      const main $ scheduler $ systems $ seeds $ seed_base $ shards $ jobs
+      $ quick $ serial $ batching $ replica_reads $ bug $ artifact_dir
+      $ replay)
 
 let () = exit (Cmd.eval' cmd)

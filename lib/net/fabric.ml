@@ -2,6 +2,17 @@ open Ll_sim
 
 type node_id = int
 
+(* Node ids are packed two-to-an-int for FIFO / partition bookkeeping:
+   [(a lsl key_bits) lor b]. 2^20 nodes per fabric is plenty (the open-loop
+   bench drives 10^5 producer nodes) and int-keyed tables avoid boxing a
+   tuple per lookup on the per-message hot path. *)
+let key_bits = 20
+let max_nodes = 1 lsl key_bits
+
+let fifo_key src dst = (src lsl key_bits) lor dst
+
+let pair_key a b = if a < b then (a lsl key_bits) lor b else (b lsl key_bits) lor a
+
 type link = {
   one_way : Engine.time;
   per_byte_ns : float;
@@ -19,16 +30,24 @@ type 'm node = {
   mutable alive : bool;
   mutable extra : Engine.time;
   mutable delivered : int;
+  (* Packed FIFO keys this node participates in (as src or dst), so crash
+     cleanup walks O(degree) keys instead of folding the whole table. May
+     hold bounded duplicates across crash/recover cycles; removal is
+     idempotent. *)
+  mutable fifo_keys : int list;
 }
 
 type 'm t = {
   link : link;
   rng : Rng.t;
+  (* Amortized-growth registry: [nodes] doubles, [nnodes] is the count.
+     Slots at index >= nnodes are padding (re-pointing at node 0). *)
   mutable nodes : 'm node array;
+  mutable nnodes : int;
   (* FIFO enforcement: earliest time the next message on (src,dst) may
-     arrive. *)
-  last_arrival : (node_id * node_id, Engine.time) Hashtbl.t;
-  partitions : (node_id * node_id, unit) Hashtbl.t;
+     arrive, keyed by the packed pair. *)
+  last_arrival : (int, Engine.time) Hashtbl.t;
+  partitions : (int, unit) Hashtbl.t;
   mutable drop_p : float;
   mutable sent : int;
   mutable sent_bytes : int;
@@ -47,6 +66,7 @@ let create ?(link = default_link) ?seed () =
     link;
     rng = Rng.create ~seed;
     nodes = [||];
+    nnodes = 0;
     last_arrival = Hashtbl.create 64;
     partitions = Hashtbl.create 8;
     drop_p = 0.0;
@@ -55,9 +75,10 @@ let create ?(link = default_link) ?seed () =
   }
 
 let add_node t ~name ?(send_overhead = 500) ?(recv_overhead = 500) () =
+  if t.nnodes >= max_nodes then failwith "Fabric.add_node: too many nodes";
   let n =
     {
-      nid = Array.length t.nodes;
+      nid = t.nnodes;
       nname = name;
       send_overhead;
       recv_overhead;
@@ -65,17 +86,28 @@ let add_node t ~name ?(send_overhead = 500) ?(recv_overhead = 500) () =
       alive = true;
       extra = 0;
       delivered = 0;
+      fifo_keys = [];
     }
   in
-  t.nodes <- Array.append t.nodes [| n |];
+  let cap = Array.length t.nodes in
+  if t.nnodes >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nnodes = Array.make ncap n in
+    Array.blit t.nodes 0 nnodes 0 cap;
+    t.nodes <- nnodes
+  end;
+  t.nodes.(t.nnodes) <- n;
+  t.nnodes <- t.nnodes + 1;
   n
 
 let id n = n.nid
 let name n = n.nname
-let node_by_id t i = t.nodes.(i)
-let node_count t = Array.length t.nodes
 
-let pair_key a b = if a < b then (a, b) else (b, a)
+let node_by_id t i =
+  if i < 0 || i >= t.nnodes then invalid_arg "Fabric.node_by_id";
+  t.nodes.(i)
+
+let node_count t = t.nnodes
 
 let partitioned t a b = Hashtbl.mem t.partitions (pair_key a b)
 
@@ -101,15 +133,22 @@ let send t ~src ~dst ~size msg =
       + dst_node.extra
     in
     let arrival = Engine.now () + delay in
-    let key = (src.nid, dst) in
+    let key = fifo_key src.nid dst in
     let arrival =
       match Hashtbl.find_opt t.last_arrival key with
-      | Some last when last >= arrival -> last + 1
-      | _ -> arrival
+      | Some last -> if last >= arrival then last + 1 else arrival
+      | None ->
+        (* First traffic on this (src,dst): index the key on both
+           endpoints for O(degree) crash cleanup. *)
+        src.fifo_keys <- key :: src.fifo_keys;
+        dst_node.fifo_keys <- key :: dst_node.fifo_keys;
+        arrival
     in
     Hashtbl.replace t.last_arrival key arrival;
     let sender = src.nid in
-    Engine.at arrival (fun () ->
+    (* Bare callback: delivery only re-checks liveness and enqueues, no
+       fiber effects, so it skips the fiber-start cost per hop. *)
+    Engine.call_at arrival (fun () ->
         (* Re-check liveness and partition at delivery time: a message in
            flight to a node that crashes meanwhile is lost. *)
         if dst_node.alive && not (partitioned t sender dst) then begin
@@ -129,14 +168,10 @@ let crash t n =
   Mailbox.clear n.inbox;
   (* Forget FIFO bookkeeping involving this node: everything in flight is
      dropped, so a revived node's first message must not be artificially
-     delayed behind (or ordered after) pre-crash traffic. *)
-  let stale =
-    Hashtbl.fold
-      (fun ((src, dst) as key) _ acc ->
-        if src = n.nid || dst = n.nid then key :: acc else acc)
-      t.last_arrival []
-  in
-  List.iter (Hashtbl.remove t.last_arrival) stale
+     delayed behind (or ordered after) pre-crash traffic. The per-node key
+     index makes this O(degree). *)
+  List.iter (Hashtbl.remove t.last_arrival) n.fifo_keys;
+  n.fifo_keys <- []
 
 let recover _t n = n.alive <- true
 

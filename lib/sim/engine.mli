@@ -16,7 +16,16 @@
 
     All scheduler state is domain-local: each OS domain owns an independent
     engine, so independent simulations (e.g. a seed sweep) can run in
-    parallel domains with no shared state. *)
+    parallel domains with no shared state.
+
+    Events are stored in pooled cells inside a hierarchical timer wheel
+    (near-future buckets at 1 ns granularity cascading out of coarser
+    wheels, with a heap fallback for far-future timers), so the per-event
+    cost is a handful of array writes rather than comparator sifts and a
+    record + closure allocation. A reference binary-heap scheduler — the
+    pre-wheel implementation — remains selectable via {!set_scheduler} for
+    equivalence testing and before/after benchmarking; both execute the
+    identical [(at, tie, seq)] order. *)
 
 type time = int
 (** Simulated time in nanoseconds since the start of the run. *)
@@ -45,7 +54,8 @@ val to_sec : time -> float
     calling them elsewhere raises [Failure]. *)
 
 val now : unit -> time
-(** Current simulated time. *)
+(** Current simulated time. Reads the engine clock directly (not an
+    effect), so it is also callable from bare {!call_at} callbacks. *)
 
 val sleep : time -> unit
 (** [sleep d] suspends the calling fiber for [d] simulated nanoseconds.
@@ -84,6 +94,17 @@ val at : time -> (unit -> unit) -> unit
 val after : time -> (unit -> unit) -> unit
 (** [after d f] is [at (now () + d) f]. *)
 
+val call_at : time -> (unit -> unit) -> unit
+(** [call_at t f] schedules [f] at absolute time [t] (clamped to now if in
+    the past), run {e bare} in the scheduler loop rather than on a fiber:
+    no fiber start cost and no closure beyond [f] itself. [f] must not
+    perform fiber effects ({!sleep}, {!spawn}, {!suspend}) — use {!at}
+    for callbacks that do. Calling {!now}, {!wake} or scheduling further
+    events from [f] is fine (wake thunks already run this way). *)
+
+val call_after : time -> (unit -> unit) -> unit
+(** [call_after d f] is [call_at (now () + d) f]. *)
+
 (** {1 Randomness} *)
 
 val random_state : unit -> Random.State.t
@@ -117,4 +138,20 @@ val fiber_count : unit -> int
 
 val events_executed : unit -> int
 (** Number of scheduler events executed so far in this run — a stable
-    logical clock for repro artifacts (survives until the next {!run}). *)
+    logical clock for repro artifacts (survives until the next {!run}).
+    Scheduler-invariant: the wheel and the reference heap execute the same
+    events in the same order, so counts recorded by monitors are
+    comparable across schedulers. *)
+
+(** {1 Scheduler selection} *)
+
+val set_scheduler : [ `Wheel | `Heap ] -> unit
+(** Select the event scheduler for subsequent {!run}s — [`Wheel] (default,
+    hierarchical timer wheel over pooled cells) or [`Heap] (reference
+    binary heap, the pre-wheel implementation). Both execute the identical
+    event order; [`Heap] exists for equivalence tests and before/after
+    benchmarks. Also sets the default inherited by freshly spawned
+    domains. Raises [Failure] if called during a run. *)
+
+val scheduler : unit -> [ `Wheel | `Heap ]
+(** The calling domain's currently selected scheduler. *)

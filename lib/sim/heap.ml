@@ -62,9 +62,9 @@ let pop t =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let clear t =
-  t.data <- [||];
-  t.size <- 0
+(* Keep the backing array: repeated Engine.run calls (checker seed
+   sweeps) would otherwise re-grow it from 16 every run. *)
+let clear t = t.size <- 0
 
 let to_list t =
   let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in

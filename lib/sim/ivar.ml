@@ -43,7 +43,7 @@ let read_timeout t ~timeout =
         (match t.state with
         | Full v -> ignore (Engine.wake w (Some v))
         | Empty waiters -> t.state <- Empty (w :: waiters));
-        Engine.after timeout (fun () -> ignore (Engine.wake w None)))
+        Engine.call_after timeout (fun () -> ignore (Engine.wake w None)))
 
 let join_all ts = List.map read ts
 

@@ -28,7 +28,8 @@ let recv_timeout t ~timeout =
   | None ->
     Engine.suspend (fun w ->
         Queue.push w t.waiters;
-        Engine.after timeout (fun () -> ignore (Engine.wake w None)))
+        (* call_after: the timeout thunk only wakes, no fiber needed *)
+        Engine.call_after timeout (fun () -> ignore (Engine.wake w None)))
 
 let try_recv t = Queue.take_opt t.items
 

@@ -23,7 +23,8 @@ let await_timeout t ~timeout pred =
         let woke =
           Engine.suspend (fun w ->
               t.waiters <- w :: t.waiters;
-              Engine.after remaining (fun () -> ignore (Engine.wake w false)))
+              Engine.call_after remaining (fun () ->
+                  ignore (Engine.wake w false)))
         in
         ignore (woke : bool);
         loop ()

@@ -1,12 +1,31 @@
 open Ll_sim
 
-type arrivals = Poisson | Uniform
+type arrivals =
+  | Poisson
+  | Uniform
+  | Bursty of { factor : float; duty : float; period : Engine.time }
+  | Diurnal of { amplitude : float; period : Engine.time }
 
-let gap rng arrivals ~rate =
-  let mean_us = 1e6 /. rate in
+(* Instantaneous rate multiplier at simulated time [now]. Normalized so
+   the time-averaged multiplier is 1: [rate] stays the mean rate whatever
+   the shape. Clamped away from zero so a trough never stalls the
+   generator outright. *)
+let local_mult arrivals ~now =
   match arrivals with
-  | Poisson -> Engine.us_f (Rng.exponential rng ~mean:mean_us)
+  | Poisson | Uniform -> 1.0
+  | Bursty { factor; duty; period } ->
+    let phase = float_of_int (now mod period) /. float_of_int period in
+    let c = 1.0 /. ((duty *. factor) +. (1.0 -. duty)) in
+    Float.max 0.01 (if phase < duty then factor *. c else c)
+  | Diurnal { amplitude; period } ->
+    let phase = float_of_int (now mod period) /. float_of_int period in
+    Float.max 0.01 (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. phase)))
+
+let gap rng arrivals ~rate ~now =
+  let mean_us = 1e6 /. (rate *. local_mult arrivals ~now) in
+  match arrivals with
   | Uniform -> Engine.us_f mean_us
+  | _ -> Engine.us_f (Rng.exponential rng ~mean:mean_us)
 
 (* Without an explicit seed, derive one from the engine's master-seeded
    stream so workload arrivals reproduce from the single master seed. *)
@@ -20,7 +39,7 @@ let open_loop ?(arrivals = Poisson) ?seed ~rate ~until op =
       let rec loop i =
         if Engine.now () < until then begin
           Engine.spawn ~name:"op" (fun () -> op i);
-          Engine.sleep (gap rng arrivals ~rate);
+          Engine.sleep (gap rng arrivals ~rate ~now:(Engine.now ()));
           loop (i + 1)
         end
       in
@@ -42,5 +61,5 @@ let at_rate_blocking ?(arrivals = Poisson) ?seed ~rate ~n op =
   let rng = Rng.create ~seed:(derive_seed seed) in
   for i = 0 to n - 1 do
     Engine.spawn ~name:"op" (fun () -> op i);
-    Engine.sleep (gap rng arrivals ~rate)
+    Engine.sleep (gap rng arrivals ~rate ~now:(Engine.now ()))
   done

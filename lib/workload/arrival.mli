@@ -8,7 +8,16 @@
 
 open Ll_sim
 
-type arrivals = Poisson | Uniform
+type arrivals =
+  | Poisson  (** exponential inter-arrival gaps *)
+  | Uniform  (** fixed inter-arrival gaps *)
+  | Bursty of { factor : float; duty : float; period : Engine.time }
+      (** Poisson arrivals whose rate alternates each [period]: for the
+          first [duty] fraction the local rate is [factor]x the off-burst
+          rate. Normalized so the time-averaged rate is still [rate]. *)
+  | Diurnal of { amplitude : float; period : Engine.time }
+      (** Poisson arrivals with a sinusoidal rate swing of [amplitude]
+          (0..1) around [rate] over each [period]. *)
 
 val open_loop :
   ?arrivals:arrivals ->

@@ -32,3 +32,10 @@ val append_workload :
 
 val percentiles : Stats.Reservoir.t -> float * float * float
 (** (mean, p50, p99) in microseconds. *)
+
+val data_for : int -> string
+(** Interned payload for operation [i] (shared pool of 256 strings).
+    Benchmark append paths should use this instead of [string_of_int i]:
+    timing depends on the declared [size], not the bytes, and the pool
+    avoids one allocation per operation. Checkers that match payloads
+    back must build unique strings instead. *)

@@ -1,0 +1,170 @@
+(* Scheduler equivalence: the timer wheel must execute the exact same
+   event sequence as the reference heap. The engine's order contract is
+   the total order (at, tie, seq) — seq is unique, so any correct
+   scheduler produces one identical execution. We check this two ways:
+
+   - a randomized program generator (sleeps spanning every wheel level
+     and the overflow heap, fiber timers, bare callbacks, nested spawns,
+     suspend/wake, past-time clamping) traced under both schedulers
+     across many master seeds, with and without tie perturbation;
+
+   - a small erwin-m cluster workload whose latency statistics, message
+     counts and ordering progress must be bit-identical under both. *)
+
+open Ll_sim
+
+(* --- randomized program equivalence --- *)
+
+(* One trace entry per observable step: (sim time, actor id, step no). The
+   list is in execution order, so comparing traces compares the schedule
+   itself, not just final state. *)
+type trace = (Engine.time * int * int) list
+
+let delay rng =
+  (* Spread delays across wheel levels: level 0 (ns..us), level 1 (us..ms),
+     level 2 (ms..s), and past the level-2 cycle (~8.6 s) into the
+     overflow heap. Bucket 4 forces same-instant ties. *)
+  match Random.State.int rng 8 with
+  | 0 -> 1 + Random.State.int rng 60
+  | 1 -> Engine.us (1 + Random.State.int rng 100)
+  | 2 -> Engine.ms (1 + Random.State.int rng 30)
+  | 3 -> Engine.ms (100 * (1 + Random.State.int rng 9))
+  | 4 -> Engine.us 10
+  | 5 -> Engine.sec (1 + Random.State.int rng 5)
+  | 6 -> Engine.sec (9 + Random.State.int rng 25)
+  | _ -> 0
+
+let run_program sched ~perturb ~seed : trace * int =
+  Engine.set_scheduler sched;
+  let trace = ref [] in
+  Engine.run ~seed ~perturb (fun () ->
+      (* Program shape depends only on [seed], drawn from a private
+         stream so it is identical across schedulers. *)
+      let rng = Random.State.make [| seed; 0x7ee1 |] in
+      let emit actor step = trace := (Engine.now (), actor, step) :: !trace in
+      (* Sleeping fibers. *)
+      for i = 1 to 12 do
+        let steps = 1 + Random.State.int rng 4 in
+        let delays = List.init steps (fun _ -> delay rng) in
+        Engine.spawn (fun () ->
+            List.iteri
+              (fun j d ->
+                Engine.sleep d;
+                emit i j)
+              delays)
+      done;
+      (* Fiber timers and bare callbacks, including nested re-arming. *)
+      for i = 1 to 12 do
+        let d = delay rng in
+        let d2 = delay rng in
+        match Random.State.int rng 3 with
+        | 0 -> Engine.after d (fun () -> emit (100 + i) 0)
+        | 1 -> Engine.call_after d (fun () -> emit (200 + i) 0)
+        | _ ->
+          Engine.call_after d (fun () ->
+              emit (300 + i) 0;
+              Engine.call_after d2 (fun () -> emit (300 + i) 1))
+      done;
+      (* Suspend/wake pair: a fiber parks, a timer wakes it. *)
+      let d = delay rng in
+      Engine.spawn (fun () ->
+          let v =
+            Engine.suspend (fun w ->
+                Engine.call_after d (fun () -> ignore (Engine.wake w 7)))
+          in
+          emit 400 v);
+      (* Past-time clamping. *)
+      Engine.spawn (fun () ->
+          Engine.sleep (Engine.us 3);
+          Engine.at 0 (fun () -> emit 500 0);
+          Engine.sleep_until 0;
+          emit 500 1);
+      (* Nested spawn from a timer context. *)
+      Engine.after (delay rng) (fun () ->
+          emit 600 0;
+          Engine.spawn (fun () ->
+              Engine.sleep (delay rng);
+              emit 600 1)));
+  (List.rev !trace, Engine.events_executed ())
+
+let test_equivalence ~perturb () =
+  let prev = Engine.scheduler () in
+  Fun.protect
+    ~finally:(fun () -> Engine.set_scheduler prev)
+    (fun () ->
+      for seed = 1 to 100 do
+        let th, eh = run_program `Heap ~perturb ~seed in
+        let tw, ew = run_program `Wheel ~perturb ~seed in
+        if eh <> ew then
+          Alcotest.failf "seed %d: events_executed heap=%d wheel=%d" seed eh
+            ew;
+        if th <> tw then begin
+          let len = List.length in
+          List.iteri
+            (fun i ((ta, aa, sa) as a) ->
+              match List.nth_opt tw i with
+              | Some b when a = b -> ()
+              | Some (tb, ab, sb) ->
+                Alcotest.failf
+                  "seed %d: traces diverge at step %d: heap (%d,%d,%d) vs \
+                   wheel (%d,%d,%d)"
+                  seed i ta aa sa tb ab sb
+              | None ->
+                Alcotest.failf "seed %d: wheel trace shorter (%d vs %d)" seed
+                  (len tw) (len th))
+            th;
+          Alcotest.failf "seed %d: wheel trace longer (%d vs %d)" seed
+            (len tw) (len th)
+        end
+      done)
+
+(* --- cluster workload equivalence --- *)
+
+(* A full erwin-m append run exercises the entire stack (fabric hops,
+   mailboxes, timeouts, batching) on top of the scheduler. All statistics
+   derived from the schedule must match exactly. *)
+
+let cluster_run sched =
+  Engine.set_scheduler sched;
+  Ll_workload.Runner.in_sim ~seed:42 (fun () ->
+      let cfg = Lazylog.Config.default in
+      let cluster = Lazylog.Erwin_m.create ~cfg () in
+      let r =
+        Ll_workload.Runner.append_workload ~seed:7 ~clients:4 ~size:512
+          ~warmup:(Engine.ms 2)
+          ~log_factory:(fun () -> Lazylog.Erwin_m.client cluster)
+          ~rate:20_000.0 ~duration:(Engine.ms 30) ()
+      in
+      let lat = r.Ll_workload.Runner.latency in
+      ( Stats.Reservoir.count lat,
+        Stats.Reservoir.mean_us lat,
+        Stats.Reservoir.percentile_us lat 99.0,
+        Ll_net.Fabric.messages_sent cluster.Lazylog.Erwin_common.fabric,
+        cluster.Lazylog.Erwin_common.stable_gp ))
+
+let test_cluster_equivalence () =
+  let prev = Engine.scheduler () in
+  Fun.protect
+    ~finally:(fun () -> Engine.set_scheduler prev)
+    (fun () ->
+      let ch, mh, ph, sh, gh = cluster_run `Heap in
+      let cw, mw, pw, sw, gw = cluster_run `Wheel in
+      Alcotest.(check int) "latency samples" ch cw;
+      Alcotest.(check (float 0.0)) "mean latency" mh mw;
+      Alcotest.(check (float 0.0)) "p99 latency" ph pw;
+      Alcotest.(check int) "messages sent" sh sw;
+      Alcotest.(check int) "stable-gp" gh gw)
+
+let () =
+  Alcotest.run "wheel"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "100 seeds, no perturb" `Quick
+            (test_equivalence ~perturb:false);
+          Alcotest.test_case "100 seeds, perturbed ties" `Quick
+            (test_equivalence ~perturb:true);
+          Alcotest.test_case "erwin-m cluster stats identical" `Quick
+            test_cluster_equivalence;
+        ] );
+    ]
