@@ -1,0 +1,164 @@
+(* `--fig stream`: streaming delivery (not a paper figure).
+
+   Append-to-delivery latency and delivery throughput for the
+   subscription subsystem (lib/stream): open-loop writers append
+   timestamped records while N subscribers receive server pushes off the
+   stable tail; each delivered record's latency is measured from append
+   invocation to application delivery.
+
+   (a) Subscriber-count ladder on Erwin-m at the default 20us ordering
+   cadence: every subscriber receives every record, so aggregate
+   delivery throughput should scale ~linearly with subscriber count
+   while per-record latency stays flat (the manager fetches once per
+   subscription — fan-out work, not ordering work).
+
+   (b) The lazy-cadence point (250us ordering interval): the manager's
+   demand hook asks the orderer to bind eagerly exactly like a parked
+   tail read (PR 4), so append-to-delivery latency must not degrade by
+   the cadence, only by the extra demand hop.
+
+   (c) One Erwin-st row: the manager fetch path goes through the
+   position-to-shard map and uncoordinated shard reads instead of
+   deterministic placement. *)
+
+open Ll_sim
+open Lazylog
+open Harness
+open Ll_workload
+
+let stream_cfg ?(order_interval = Engine.us 20) () =
+  { Config.default with subscriptions = true; order_interval }
+
+(* One measured run: [nsubs] subscribers over open-loop appends of
+   timestamped records. Returns (append->delivery latency reservoir,
+   delivered records per second aggregated over the subscribers). *)
+let delivery ~mode ~cfg ~rate ~duration ~nsubs =
+  Runner.in_sim (fun () ->
+      let cluster, client =
+        match mode with
+        | `M ->
+          let c = Erwin_m.create ~cfg () in
+          (c, fun () -> Erwin_m.client c)
+        | `St ->
+          let c = Erwin_st.create ~cfg () in
+          (c, fun () -> Erwin_st.client c)
+      in
+      let mgr = Ll_stream.Manager.start cluster in
+      let mid = Ll_stream.Manager.endpoint_id mgr in
+      let lat = Stats.Reservoir.create ~name:"append_to_delivery" () in
+      let delivered = ref 0 in
+      let t_measure = Engine.now () + Engine.ms 5 in
+      let t_end = t_measure + duration in
+      for k = 0 to nsubs - 1 do
+        Engine.spawn ~name:(Printf.sprintf "bench.sub%d" k) (fun () ->
+            ignore
+              (Ll_stream.Subscriber.create cluster ~manager:mid
+                 ~name:(Printf.sprintf "sub-%d" k)
+                 ~on_record:(fun _gp r ->
+                   let now = Engine.now () in
+                   if now >= t_measure && now <= t_end then begin
+                     incr delivered;
+                     (* Records carry their append-invocation time. *)
+                     Stats.Reservoir.add lat
+                       (now - int_of_string r.Types.data)
+                   end)
+                 ()
+                : Ll_stream.Subscriber.t))
+      done;
+      let clients = Array.init 4 (fun _ -> client ()) in
+      Arrival.open_loop ~rate ~until:t_end (fun i ->
+          ignore
+            (clients.(i mod 4).Log_api.append ~size:256
+               ~data:(string_of_int (Engine.now ()))
+              : bool));
+      Engine.sleep_until (t_end + Engine.ms 10);
+      (lat, Stats.throughput_per_sec ~count:!delivered ~dur:duration))
+
+let run () =
+  let duration = dur 30 120 in
+  let rate = 50_000. in
+
+  section
+    "Stream (a): Append-to-Delivery vs Subscriber Count (Erwin-m, 256B, \
+     50K appends/s, 20us cadence)";
+  let ladder = [ 1; 2; 4; 8 ] in
+  let by_subs =
+    List.map
+      (fun n ->
+        (n, delivery ~mode:`M ~cfg:(stream_cfg ()) ~rate ~duration ~nsubs:n))
+      ladder
+  in
+  table_header [ "subscribers"; "deliv/s"; "p50_us"; "p99_us"; "p999_us" ];
+  List.iter
+    (fun (n, (lat, thr)) ->
+      row (string_of_int n)
+        [
+          kops thr;
+          f1 (Stats.Reservoir.percentile_us lat 50.0);
+          f1 (Stats.Reservoir.percentile_us lat 99.0);
+          f1 (Stats.Reservoir.percentile_us lat 99.9);
+        ])
+    by_subs;
+  let thr n = snd (List.assoc n by_subs) in
+  note "1 -> 8 subscribers scales aggregate delivery %.1fx" (thr 8 /. thr 1);
+
+  section
+    "Stream (b): Lazy Cadence (250us ordering interval, 1 subscriber) — \
+     the demand wake path";
+  let lazy_lat, lazy_thr =
+    delivery ~mode:`M
+      ~cfg:(stream_cfg ~order_interval:(Engine.us 250) ())
+      ~rate ~duration ~nsubs:1
+  in
+  table_header [ "cadence"; "deliv/s"; "p50_us"; "p99_us"; "p999_us" ];
+  row "250us+demand"
+    [
+      kops lazy_thr;
+      f1 (Stats.Reservoir.percentile_us lazy_lat 50.0);
+      f1 (Stats.Reservoir.percentile_us lazy_lat 99.0);
+      f1 (Stats.Reservoir.percentile_us lazy_lat 99.9);
+    ];
+  note
+    "delivery does not wait out the lazy cadence: the manager demands \
+     binding like a parked tail read";
+
+  section "Stream (c): Erwin-st (map-resolved fetch path, 2 subscribers)";
+  let st_lat, st_thr =
+    delivery ~mode:`St ~cfg:(stream_cfg ()) ~rate ~duration ~nsubs:2
+  in
+  table_header [ "system"; "deliv/s"; "p50_us"; "p99_us"; "p999_us" ];
+  row "erwin-st"
+    [
+      kops st_thr;
+      f1 (Stats.Reservoir.percentile_us st_lat 50.0);
+      f1 (Stats.Reservoir.percentile_us st_lat 99.0);
+      f1 (Stats.Reservoir.percentile_us st_lat 99.9);
+    ];
+
+  write_json ~name:"stream"
+    (List.map
+       (fun (n, (lat, thr)) ->
+         {
+           js_series = Printf.sprintf "erwin-m subs=%d" n;
+           js_throughput = thr;
+           js_p50_us = Stats.Reservoir.percentile_us lat 50.0;
+           js_p99_us = Stats.Reservoir.percentile_us lat 99.0;
+           js_p999_us = Stats.Reservoir.percentile_us lat 99.9;
+         })
+       by_subs
+    @ [
+        {
+          js_series = "erwin-m lazy-250us subs=1";
+          js_throughput = lazy_thr;
+          js_p50_us = Stats.Reservoir.percentile_us lazy_lat 50.0;
+          js_p99_us = Stats.Reservoir.percentile_us lazy_lat 99.0;
+          js_p999_us = Stats.Reservoir.percentile_us lazy_lat 99.9;
+        };
+        {
+          js_series = "erwin-st subs=2";
+          js_throughput = st_thr;
+          js_p50_us = Stats.Reservoir.percentile_us st_lat 50.0;
+          js_p99_us = Stats.Reservoir.percentile_us st_lat 99.0;
+          js_p999_us = Stats.Reservoir.percentile_us st_lat 99.9;
+        };
+      ])

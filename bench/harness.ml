@@ -28,9 +28,12 @@ let csv_line cells =
   | None -> ()
 
 (* Optional machine-readable JSON output: one BENCH_<name>.json file per
-   benchmark under [!json_dir], each an array of
-   {series, throughput, p50_us, p99_us} objects (CI consumes these). *)
+   benchmark under [!json_dir], of the shape
+   {schema: "lazylog-bench/v1", name, series: [{series, throughput,
+   p50_us, p99_us, p999_us}, ...]} (CI parses every emitted file against
+   this schema). *)
 let json_dir : string option ref = ref None
+let json_schema = "lazylog-bench/v1"
 
 type json_series = {
   js_series : string;
@@ -39,6 +42,11 @@ type json_series = {
   js_p99_us : float;
   js_p999_us : float;  (** 0.0 when the benchmark has no tail to report *)
 }
+
+(* NaN/inf are not valid JSON numbers (a latency reservoir that saw no
+   samples yields NaN percentiles): clamp to 0 so the file always
+   parses. *)
+let json_num x = if Float.is_finite x then x else 0.0
 
 let write_json ~name (series : json_series list) =
   match !json_dir with
@@ -49,16 +57,18 @@ let write_json ~name (series : json_series list) =
        try Sys.mkdir dir 0o755 with Sys_error _ -> ()));
     let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
     let oc = open_out path in
-    output_string oc "[\n";
+    Printf.fprintf oc "{\"schema\": %S, \"name\": %S, \"series\": [\n"
+      json_schema name;
     List.iteri
       (fun i s ->
         Printf.fprintf oc
           "  {\"series\": %S, \"throughput\": %.1f, \"p50_us\": %.2f, \
            \"p99_us\": %.2f, \"p999_us\": %.2f}%s\n"
-          s.js_series s.js_throughput s.js_p50_us s.js_p99_us s.js_p999_us
+          s.js_series (json_num s.js_throughput) (json_num s.js_p50_us)
+          (json_num s.js_p99_us) (json_num s.js_p999_us)
           (if i = List.length series - 1 then "" else ","))
       series;
-    output_string oc "]\n";
+    output_string oc "]}\n";
     close_out oc;
     Printf.printf "  [json: %s]\n%!" path
 

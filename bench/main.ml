@@ -21,6 +21,7 @@ let figures : (string * string * (unit -> unit)) list =
     ("batch", "append-path group commit sweep", Fig_batch.run);
     ("read", "demand-driven tail reads", Fig_read.run);
     ("open", "open-loop 100k-producer workload", Fig_open.run);
+    ("stream", "subscription streaming delivery", Fig_stream.run);
   ]
 
 let run_selection scheduler figs full micro ablations csv json_dir

@@ -38,10 +38,10 @@ let summarize (outcomes : Checker.outcome list) =
   List.iter
     (fun (o : Checker.outcome) ->
       let sys = o.Checker.scenario.Artifact.system in
-      let runs, viols, acked, reads, crashes, views, events =
+      let runs, viols, acked, reads, crashes, views, delivered, events =
         match Hashtbl.find_opt by_system sys with
         | Some t -> t
-        | None -> (0, 0, 0, 0, 0, 0, 0)
+        | None -> (0, 0, 0, 0, 0, 0, 0, 0)
       in
       let c = o.Checker.coverage in
       Hashtbl.replace by_system sys
@@ -51,16 +51,17 @@ let summarize (outcomes : Checker.outcome list) =
           reads + c.Monitors.reads,
           crashes + c.Monitors.crashes,
           views + c.Monitors.view_installs,
+          delivered + c.Monitors.delivered,
           events + o.Checker.events ))
     outcomes;
   print_endline "";
   print_endline "coverage summary";
   Hashtbl.iter
-    (fun sys (runs, viols, acked, reads, crashes, views, events) ->
+    (fun sys (runs, viols, acked, reads, crashes, views, delivered, events) ->
       Printf.printf
         "  %-8s %4d seeds | %d violations | %d appends acked | %d records \
-         read | %d crashes | %d view installs | %.1fM events\n"
-        sys runs viols acked reads crashes views
+         read | %d crashes | %d view installs | %d delivered | %.1fM events\n"
+        sys runs viols acked reads crashes views delivered
         (float_of_int events /. 1e6))
     by_system
 
@@ -79,7 +80,7 @@ let write_artifact dir (o : Checker.outcome) =
     Some path
 
 let run_sweep systems seeds seed_base shards jobs quick serial batching
-    replica_reads bug artifact_dir =
+    replica_reads subscriptions bug artifact_dir =
   let horizon =
     if quick then Checker.quick_horizon else Checker.default_horizon
   in
@@ -88,7 +89,7 @@ let run_sweep systems seeds seed_base shards jobs quick serial batching
       (fun system ->
         List.init seeds (fun i ->
             Checker.scenario ~system ~seed:(seed_base + i) ~shards ~serial
-              ~batching ~replica_reads ?bug ~horizon ()))
+              ~batching ~replica_reads ~subscriptions ?bug ~horizon ()))
       systems
   in
   Printf.printf
@@ -100,7 +101,8 @@ let run_sweep systems seeds seed_base shards jobs quick serial batching
     shards
     (if serial then "; serial orderer" else "")
     ((if batching then "; append batching" else "")
-    ^ if replica_reads then "; replica reads" else "")
+    ^ (if replica_reads then "; replica reads" else "")
+    ^ if subscriptions then "; subscriptions" else "")
     (match bug with Some b -> "; BUG GATE " ^ b | None -> "")
     jobs;
   let outcomes = Checker.sweep ~jobs scenarios in
@@ -170,14 +172,14 @@ let run_replay path =
     0
 
 let main scheduler systems seeds seed_base shards jobs quick serial batching
-    replica_reads bug artifact_dir replay =
+    replica_reads subscriptions bug artifact_dir replay =
   (* Set before any Engine.run; spawned sweep domains inherit it. *)
   Ll_sim.Engine.set_scheduler scheduler;
   match replay with
   | Some path -> run_replay path
   | None ->
     run_sweep systems seeds seed_base shards jobs quick serial batching
-      replica_reads bug artifact_dir
+      replica_reads subscriptions bug artifact_dir
 
 open Cmdliner
 
@@ -248,6 +250,17 @@ let replica_reads =
            primary forwarding and demand binding are all exercised under \
            faults.")
 
+let subscriptions =
+  Arg.(
+    value & flag
+    & info [ "subscriptions" ]
+        ~doc:
+          "Run the streaming-delivery subsystem alongside the workload (a \
+           subscription manager plus two pushed consumers, one \
+           crash-restarted twice mid-run) and check exactly-once delivery: \
+           every appended record reaches every registered subscriber \
+           exactly once, in order, across the injected faults.")
+
 let bug =
   Arg.(
     value
@@ -279,7 +292,7 @@ let cmd =
     (Cmd.info "lazylog-check" ~doc)
     Term.(
       const main $ scheduler $ systems $ seeds $ seed_base $ shards $ jobs
-      $ quick $ serial $ batching $ replica_reads $ bug $ artifact_dir
-      $ replay)
+      $ quick $ serial $ batching $ replica_reads $ subscriptions $ bug
+      $ artifact_dir $ replay)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,6 +9,10 @@ type scenario = {
   replica_reads : bool;
       (* run the demand-driven read path: replica reads + read-triggered
          eager binding + readahead, with readers probing at the tail *)
+  subscriptions : bool;
+      (* run with the streaming-delivery subsystem: a subscription
+         manager plus pushed consumers (one crash-restarted mid-run),
+         checked by the exactly-once monitor *)
   bug : string option;
   horizon : Engine.time;
   script : Fault_dsl.script;
@@ -34,6 +38,7 @@ let to_string a =
   line "serial %b" a.scenario.serial;
   line "batching %b" a.scenario.batching;
   line "replica_reads %b" a.scenario.replica_reads;
+  line "subscriptions %b" a.scenario.subscriptions;
   (match a.scenario.bug with Some b -> line "bug %s" b | None -> ());
   line "horizon %d" a.scenario.horizon;
   line "invariant %s" a.invariant;
@@ -90,6 +95,11 @@ let of_string s =
           (* Absent in pre-replica-reads artifacts: default off. *)
           replica_reads =
             (match Hashtbl.find_opt fields "replica_reads" with
+            | Some b -> bool_of_string b
+            | None -> false);
+          (* Absent in pre-subscription artifacts: default off. *)
+          subscriptions =
+            (match Hashtbl.find_opt fields "subscriptions" with
             | Some b -> bool_of_string b
             | None -> false);
           bug = Hashtbl.find_opt fields "bug";

@@ -23,6 +23,9 @@ type scenario = {
   replica_reads : bool;
       (** demand-driven read path on (replica reads, eager binding,
           readahead) with readers probing at the stable tail *)
+  subscriptions : bool;
+      (** streaming delivery on: subscription manager + pushed consumers
+          (one crash-restarted mid-run), exactly-once monitored *)
   bug : string option;  (** intentional bug gate, e.g. ["no-pinning"] *)
   horizon : Engine.time;
   script : Fault_dsl.script;

@@ -25,6 +25,9 @@ let config_of (sc : Artifact.scenario) =
       { cfg with Config.replica_reads = true; read_demand = true; readahead = 8 }
     else cfg
   in
+  let cfg =
+    if sc.subscriptions then { cfg with Config.subscriptions = true } else cfg
+  in
   match sc.bug with
   | None -> cfg
   | Some "no-pinning" -> { cfg with Config.debug_no_rid_pinning = true }
@@ -39,8 +42,8 @@ let gen_script ~seed ~horizon ~shards =
     ~nreplicas:Config.default.Config.seq_replica_count ~nshards:shards
 
 let scenario ~system ~seed ?(shards = 2) ?(serial = false)
-    ?(batching = false) ?(replica_reads = false) ?bug
-    ?(horizon = default_horizon) () : Artifact.scenario =
+    ?(batching = false) ?(replica_reads = false) ?(subscriptions = false)
+    ?bug ?(horizon = default_horizon) () : Artifact.scenario =
   {
     Artifact.system;
     seed;
@@ -48,6 +51,7 @@ let scenario ~system ~seed ?(shards = 2) ?(serial = false)
     serial;
     batching;
     replica_reads;
+    subscriptions;
     bug;
     horizon;
     script = gen_script ~seed ~horizon ~shards;
@@ -68,6 +72,7 @@ let empty_coverage : Monitors.coverage =
     crashes = 0;
     view_installs = 0;
     stable = 0;
+    delivered = 0;
   }
 
 let client_for (sc : Artifact.scenario) cluster =
@@ -87,9 +92,13 @@ let nwriters = 4
 let run_one (sc : Artifact.scenario) : outcome =
   let cfg = config_of sc in
   let monitor = ref None in
+  (* Subscription runs need a drain tail after the workload horizon: the
+     manager must be given time to push the last stable records through
+     any still-open fault window (loss/partition windows heal by about
+     [horizon + 5ms]) before the completeness audit is sound. *)
+  let slack = if sc.subscriptions then Engine.ms 80 else Engine.ms 10 in
   let run () =
-    Engine.run ~seed:sc.seed ~perturb:true
-      ~until:(sc.horizon + Engine.ms 10)
+    Engine.run ~seed:sc.seed ~perturb:true ~until:(sc.horizon + slack)
       (fun () ->
         Probe.reset ();
         let cluster = create_cluster sc cfg in
@@ -105,6 +114,32 @@ let run_one (sc : Artifact.scenario) : outcome =
         in
         monitor := Some mon;
         Fault_dsl.apply cluster sc.script;
+        if sc.subscriptions then begin
+          let mgr = Ll_stream.Manager.start cluster in
+          let mid = Ll_stream.Manager.endpoint_id mgr in
+          (* Two pushed consumers; sub-b is crashed and restarted twice
+             mid-run — including windows where an ack is likely in
+             flight — to exercise redelivery, epoch bumps, and dedup on
+             top of whatever the fault script does to the cluster. *)
+          Engine.spawn ~name:"check.sub-a" (fun () ->
+              ignore
+                (Ll_stream.Subscriber.create cluster ~manager:mid
+                   ~name:"sub-a" ()
+                  : Ll_stream.Subscriber.t));
+          Engine.spawn ~name:"check.sub-b" (fun () ->
+              let sb =
+                Ll_stream.Subscriber.create cluster ~manager:mid ~name:"sub-b"
+                  ~consume:(Engine.us 2) ()
+              in
+              let cycle at =
+                Engine.sleep_until at;
+                Ll_stream.Subscriber.crash sb;
+                Engine.sleep (Engine.ms 3);
+                Ll_stream.Subscriber.restart sb
+              in
+              cycle (sc.horizon * 2 / 5);
+              cycle (sc.horizon * 4 / 5))
+        end;
         for c = 0 to nwriters - 1 do
           let log = client_for sc cluster in
           let rng =
@@ -144,7 +179,29 @@ let run_one (sc : Artifact.scenario) : outcome =
                 ignore (rlog.Log_api.read ~from ~len : Types.record list)
               end
             done);
-        Engine.at (sc.horizon + Engine.ms 5) (fun () -> Engine.stop ()))
+        if sc.subscriptions then
+          (* Drain, then audit completeness: wait until the stable prefix
+             stops advancing and every subscription has caught up with it
+             (bounded by the run's slack — a push stuck in a retry loop
+             behind a fault window still gets through once it heals). *)
+          Engine.spawn ~name:"check.drain" (fun () ->
+              Engine.sleep_until (sc.horizon + Engine.ms 5);
+              let deadline = sc.horizon + slack - Engine.ms 10 in
+              let rec wait () =
+                let s = cluster.Erwin_common.stable_gp in
+                Engine.sleep (Engine.ms 1);
+                if
+                  Engine.now () >= deadline
+                  || (cluster.Erwin_common.stable_gp = s
+                     && Monitors.subs_caught_up mon)
+                then begin
+                  Monitors.finalize_delivery mon;
+                  if not !stopped then Engine.stop ()
+                end
+                else wait ()
+              in
+              wait ())
+        else Engine.at (sc.horizon + Engine.ms 5) (fun () -> Engine.stop ()))
   in
   let exn_violation =
     match run () with

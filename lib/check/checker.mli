@@ -27,6 +27,7 @@ val scenario :
   ?serial:bool ->
   ?batching:bool ->
   ?replica_reads:bool ->
+  ?subscriptions:bool ->
   ?bug:string ->
   ?horizon:Engine.time ->
   unit ->
@@ -37,8 +38,12 @@ val scenario :
     enabled (a batch straddling a crash or seal must fail atomically per
     record); [replica_reads] turns on the demand-driven read path
     (replica reads, read-triggered eager binding, readahead) and points
-    the reader at the stable tail; [bug] enables a known-bad
-    configuration (currently ["no-pinning"]). *)
+    the reader at the stable tail; [subscriptions] runs the streaming
+    delivery subsystem alongside the workload (a subscription manager
+    plus two pushed consumers, one crash-restarted twice mid-run) under
+    the exactly-once monitor, with a drain tail after the horizon before
+    the completeness audit; [bug] enables a known-bad configuration
+    (currently ["no-pinning"]). *)
 
 type outcome = {
   scenario : Artifact.scenario;

@@ -25,6 +25,8 @@ type t = {
   nooped : (Types.Rid.t, unit) Hashtbl.t;
   bindings : (int, int * Types.Rid.t) Hashtbl.t;  (* pos -> (shard, rid) *)
   installed_views : (int, int) Hashtbl.t;  (* replica node -> last view *)
+  (* exactly-once delivery: subscription name -> (from, next expected) *)
+  subs : (string, int * int) Hashtbl.t;
   mutable stable : int;
   (* real-time order frontier: max invocation time among exposed records *)
   mutable max_invoke_exposed : Engine.time;
@@ -35,6 +37,7 @@ type t = {
   mutable n_reads : int;
   mutable n_crashes : int;
   mutable n_views : int;
+  mutable n_delivered : int;
 }
 
 let violate t invariant fmt =
@@ -190,6 +193,88 @@ let handle t (ev : Probe.event) =
   | Crashed _ ->
     t.n_crashes <- t.n_crashes + 1;
     audit_crash t
+  | Sub_registered { name; from } ->
+    if not (Hashtbl.mem t.subs name) then Hashtbl.replace t.subs name (from, from)
+  | Sub_delivered { name; pos; rid } -> (
+    t.n_delivered <- t.n_delivered + 1;
+    match Hashtbl.find_opt t.subs name with
+    | None ->
+      violate t "exactly-once"
+        "subscription %s delivered position %d before registering" name pos
+    | Some (from, next) ->
+      if pos >= t.stable then
+        violate t "exactly-once"
+          "subscription %s delivered position %d beyond the stable prefix %d"
+          name pos t.stable;
+      if pos < next then
+        violate t "exactly-once"
+          "subscription %s delivered position %d twice (cursor already at %d)"
+          name pos next
+      else begin
+        (* Positions a subscription skips over must all be no-op bindings
+           (Erwin-st's unresolved-data fillers) — a skipped client record
+           is a lost or reordered delivery. *)
+        for p = next to pos - 1 do
+          match Hashtbl.find_opt t.bindings p with
+          | Some (_, r) when r.Types.Rid.client < 0 -> ()
+          | Some (_, r) ->
+            violate t "exactly-once"
+              "subscription %s skipped position %d (record %a) while \
+               delivering %d"
+              name p rid_pp r pos
+          | None ->
+            violate t "exactly-once"
+              "subscription %s skipped unbound position %d while delivering \
+               %d"
+              name p pos
+        done;
+        (match Hashtbl.find_opt t.bindings pos with
+        | Some (_, r) when Types.Rid.equal r rid -> ()
+        | Some (_, r) ->
+          violate t "exactly-once"
+            "subscription %s delivered %a at position %d but %a is bound \
+             there"
+            name rid_pp rid pos rid_pp r
+        | None ->
+          violate t "exactly-once"
+            "subscription %s delivered unbound position %d" name pos);
+        Hashtbl.replace t.subs name (from, pos + 1)
+      end)
+
+(* A subscription is caught up when no client record below the stable
+   prefix is still awaiting delivery (trailing no-op fillers do not
+   count: the consumer only learns of them with the next pushed record). *)
+let sub_pending t next =
+  let rec scan p =
+    if p >= t.stable then None
+    else
+      match Hashtbl.find_opt t.bindings p with
+      | Some (_, r) when r.Types.Rid.client >= 0 -> Some p
+      | _ -> scan (p + 1)
+  in
+  scan next
+
+let subs_caught_up t =
+  Hashtbl.fold
+    (fun _ (_, next) acc -> acc && sub_pending t next = None)
+    t.subs true
+
+(* End-of-run completeness: the per-event checks above catch duplicates,
+   reorderings and rid mismatches as they happen, but a record that is
+   simply never pushed is only visible by its absence — audited here once
+   the run has drained. *)
+let finalize_delivery t =
+  Hashtbl.iter
+    (fun name (_, next) ->
+      match sub_pending t next with
+      | Some p ->
+        let _, r = Hashtbl.find t.bindings p in
+        violate t "exactly-once"
+          "subscription %s never received record %a at stable position %d \
+           (cursor stuck at %d, stable %d)"
+          name rid_pp r p next t.stable
+      | None -> ())
+    t.subs
 
 let install ?(on_violation = fun _ -> ()) cluster =
   let t =
@@ -202,6 +287,7 @@ let install ?(on_violation = fun _ -> ()) cluster =
       nooped = Hashtbl.create 64;
       bindings = Hashtbl.create 4096;
       installed_views = Hashtbl.create 8;
+      subs = Hashtbl.create 4;
       stable = 0;
       max_invoke_exposed = -1;
       violations_rev = [];
@@ -210,6 +296,7 @@ let install ?(on_violation = fun _ -> ()) cluster =
       n_reads = 0;
       n_crashes = 0;
       n_views = 0;
+      n_delivered = 0;
     }
   in
   Probe.subscribe (handle t);
@@ -225,6 +312,7 @@ type coverage = {
   crashes : int;
   view_installs : int;
   stable : int;
+  delivered : int;
 }
 
 let coverage t =
@@ -235,4 +323,5 @@ let coverage t =
     crashes = t.n_crashes;
     view_installs = t.n_views;
     stable = t.stable;
+    delivered = t.n_delivered;
   }

@@ -18,7 +18,13 @@
       (sound because {!Lazylog.Probe.Stable_advanced} is emitted before
       any shard learns the new bound);
     - {b view-safety}: per-replica installed views are strictly
-      increasing and the stable prefix never regresses.
+      increasing and the stable prefix never regresses;
+    - {b exactly-once}: every registered subscription receives each
+      client record bound below the stable prefix exactly once, in
+      position order (duplicates, skips over non-no-op positions, rid
+      mismatches and beyond-stable deliveries are flagged as they
+      happen; records never delivered at all are caught by
+      {!finalize_delivery} once the run drains).
 
     Handlers are synchronous and allocation-light; a monitored run is a
     few percent slower than a bare one. *)
@@ -55,6 +61,17 @@ type coverage = {
   crashes : int;
   view_installs : int;
   stable : int;  (** final stable prefix length *)
+  delivered : int;  (** subscription records delivered (post-dedup) *)
 }
 
 val coverage : t -> coverage
+
+val subs_caught_up : t -> bool
+(** Every registered subscription has consumed every client record bound
+    below the current stable prefix (trailing no-op fillers excluded).
+    The checker's drain loop polls this before finalizing. *)
+
+val finalize_delivery : t -> unit
+(** End-of-run completeness audit: flags any stable client record a
+    subscription registered for but never received. Call once, after the
+    workload and delivery have drained. *)

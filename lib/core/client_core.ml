@@ -267,6 +267,27 @@ let prefetched_read (cluster : t) pf ~fetch ~from ~len =
      end);
   out
 
+(* ---------- streaming subscriptions (lib/stream) ----------
+
+   The client leg of the subscribe handshake. The push/ack traffic itself
+   flows through the consumer's own endpoint handler (Ll_stream.Subscriber)
+   — this is just the attach RPC, retried across manager restarts. *)
+
+let subscribe_stream (cluster : t) ep ~manager ~name ~from ~window =
+  let req = Proto.St_subscribe { name; endpoint = Rpc.endpoint_id ep; from; window } in
+  let rec go () =
+    match
+      Rpc.call_retry ep ~dst:manager ~size:(Proto.req_size req)
+        ~timeout:cluster.cfg.Config.append_timeout ~max_tries:25
+        ~backoff:(Engine.us 50) req
+    with
+    | Some (Proto.R_sub { epoch; cursor }) -> (epoch, cursor)
+    | Some _ | None ->
+      Engine.sleep (Engine.ms 1);
+      go ()
+  in
+  go ()
+
 let trim_all (cluster : t) ep ~upto =
   let acks =
     List.map

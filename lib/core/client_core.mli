@@ -66,4 +66,18 @@ val prefetched_read :
     current window. With [readahead = 0] this is exactly one synchronous
     [fetch]. *)
 
+val subscribe_stream :
+  Erwin_common.t ->
+  ep ->
+  manager:Fabric.node_id ->
+  name:string ->
+  from:int ->
+  window:int ->
+  int * int
+(** Attach (or re-attach) the named subscription at the subscription
+    manager on node [manager], delivering pushes to this endpoint; returns
+    the subscription's [(epoch, cursor)]. [from] seeds the cursor only
+    when the name is new; [window] is this consumer's credit grant.
+    Retries until the manager answers. *)
+
 val trim_all : Erwin_common.t -> ep -> upto:int -> bool

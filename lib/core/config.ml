@@ -28,6 +28,10 @@ type t = {
   replica_reads : bool;
   readahead : int;
   map_fetch_chunk : int;
+  subscriptions : bool;
+  sub_window : int;
+  sub_push_max : int;
+  sub_push_timeout : Engine.time;
   link : Fabric.link;
   rpc_overhead : Engine.time;
   debug_no_rid_pinning : bool;
@@ -72,6 +76,13 @@ let default =
     replica_reads = false;
     readahead = 0;
     map_fetch_chunk = 1024;
+    (* Streaming delivery defaults off: with no subscription manager
+       started and the knob off, no push-path code runs and the
+       paper-fidelity figures stay byte-identical. *)
+    subscriptions = false;
+    sub_window = 64;
+    sub_push_max = 32;
+    sub_push_timeout = Engine.ms 2;
     link = Fabric.default_link;
     rpc_overhead = Engine.ns 500;
     debug_no_rid_pinning = false;

@@ -69,6 +69,25 @@ type t = {
   map_fetch_chunk : int;
       (** Erwin-st: positions fetched per [Ssh_get_map] when filling the
           client's position-to-shard map cache *)
+  subscriptions : bool;
+      (** opt-in streaming delivery: a per-cluster subscription manager
+          (started separately, [Ll_stream.Manager]) pushes stable-tail
+          records to registered subscriber endpoints, keeps durable named
+          consumer cursors replicated through the sequencing layer
+          ([St_cursor_sync]), and reuses the read-demand wake path so the
+          push frontier does not wait out the lazy ordering cadence. Off
+          by default so the paper-fidelity figures are untouched. *)
+  sub_window : int;
+      (** subscriptions: credit-based flow-control window — the maximum
+          number of pushed-but-unacknowledged records a consumer ever has
+          outstanding *)
+  sub_push_max : int;
+      (** subscriptions: records per [St_push] batch (one batch in flight
+          per subscription; bounded by the consumer's remaining credits) *)
+  sub_push_timeout : Engine.time;
+      (** subscriptions: how long the manager waits for a push's ack
+          before redelivering the batch (at-least-once; the consumer
+          dedups by position) *)
   link : Fabric.link;
   rpc_overhead : Engine.time;  (** per-endpoint software overhead (eRPC) *)
   debug_no_rid_pinning : bool;

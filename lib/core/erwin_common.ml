@@ -71,6 +71,7 @@ type t = {
   mutable demand_upto : int;
   order_wake : Waitq.t;
   mutable orderer_node : Fabric.node_id option;
+  mutable on_stable : (int -> unit) option;
 }
 
 let create ~cfg ~mode =
@@ -115,6 +116,7 @@ let create ~cfg ~mode =
       demand_upto = 0;
       order_wake = Waitq.create ();
       orderer_node = None;
+      on_stable = None;
     }
   in
   List.iter

@@ -83,6 +83,11 @@ type t = {
   mutable orderer_node : Fabric.node_id option;
       (** the background orderer's fabric node, once started — the target
           shards send [Sr_order_demand] to *)
+  mutable on_stable : (int -> unit) option;
+      (** called by the orderer whenever stable-gp advances, with the new
+          bound — the subscription manager's push trigger. [None] (and
+          never invoked) unless a manager is attached, so the hook is free
+          for paper-fidelity runs. *)
 }
 
 val create : cfg:Config.t -> mode:mode -> t

@@ -92,12 +92,77 @@ let try_append_once (cluster : Erwin_common.t) ep ~track record shard =
       else `Fail view
     | None -> `Fail view
 
+(* Position-to-shard resolution through a cached map (section 5.3), plus
+   the grouped shard reads behind it. Exported separately from [client] so
+   non-client readers of bound positions — the subscription manager's
+   fetch path in particular — share the exact same machinery. Every shard
+   replica stores the full map chunk stream, so with [replica_reads] the
+   fetches round-robin over every replica of every shard; otherwise they
+   pin to the head shard's primary. [rr0] seeds the rotation so distinct
+   readers interleave instead of marching in lockstep. *)
+let reader (cluster : Erwin_common.t) ep ~rr0 =
+  let map_cache : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let map_rr = ref rr0 in
+  let fetch_map_chunk dst ~tries req =
+    match
+      Rpc.call_retry ep ~dst ~size:(Proto.req_size req)
+        ~timeout:(Engine.ms 50) ~max_tries:tries ~backoff:(Engine.us 50) req
+    with
+    | Some (Proto.R_map { chunk; stable }) ->
+      Client_core.note_piggyback cluster stable;
+      Some chunk
+    | Some _ | None -> None
+  in
+  let rec ensure_mapped positions =
+    match List.find_opt (fun p -> not (Hashtbl.mem map_cache p)) positions with
+    | None -> ()
+    | Some missing ->
+      let req =
+        Proto.Ssh_get_map
+          {
+            from = missing;
+            count = cluster.cfg.Config.map_fetch_chunk;
+            stable_hint = cluster.stable_gp;
+          }
+      in
+      let head_primary = Shard.primary_id (List.hd cluster.shards) in
+      let chunk =
+        if cluster.cfg.Config.replica_reads then begin
+          let all =
+            Array.of_list (List.concat_map Shard.replica_ids cluster.shards)
+          in
+          let dst = all.(!map_rr mod Array.length all) in
+          incr map_rr;
+          match fetch_map_chunk dst ~tries:25 req with
+          | Some c -> c
+          | None -> (
+            (* The picked replica is unreachable (or kept failing the
+               forward): fall back to the head primary before giving up. *)
+            match
+              if dst = head_primary then None
+              else fetch_map_chunk head_primary ~tries:25 req
+            with
+            | Some c -> c
+            | None -> failwith "erwin-st: map fetch failed on every replica")
+        end
+        else
+          match fetch_map_chunk head_primary ~tries:100 req with
+          | Some c -> c
+          | None -> failwith "erwin-st: bad map response"
+      in
+      List.iter (fun (gp, sid) -> Hashtbl.replace map_cache gp sid) chunk;
+      ensure_mapped positions
+  in
+  let shard_of p = shard_by_id cluster (Hashtbl.find map_cache p) in
+  fun positions ->
+    ensure_mapped positions;
+    Client_core.read_grouped ~rr:map_rr cluster ep ~shard_of positions
+
 let client (cluster : Erwin_common.t) : Log_api.t =
   let cid = fresh_client_id cluster in
   let ep = new_endpoint cluster ~name:(Printf.sprintf "st-client%d" cid) in
   let seq = ref 0 in
   let rr = ref cid in
-  let map_cache : (int, int) Hashtbl.t = Hashtbl.create 4096 in
   let next_rid () =
     incr seq;
     { Types.Rid.client = cid; seq = !seq }
@@ -150,69 +215,11 @@ let client (cluster : Erwin_common.t) : Log_api.t =
     let rid = append_record ~track:true r in
     Client_core.wait_ordered cluster ep rid
   in
-  (* Position-to-shard resolution through the cached map (section 5.3).
-     Every shard replica stores the full map chunk stream, so with
-     [replica_reads] the fetches round-robin over every replica of every
-     shard ([map_rr] is separate from the append rotation [rr], which
-     also decides record placement and must not be perturbed by reads);
-     otherwise they pin to the head shard's primary as before. *)
-  let map_rr = ref cid in
-  let fetch_map_chunk dst ~tries req =
-    match
-      Rpc.call_retry ep ~dst ~size:(Proto.req_size req)
-        ~timeout:(Engine.ms 50) ~max_tries:tries ~backoff:(Engine.us 50) req
-    with
-    | Some (Proto.R_map { chunk; stable }) ->
-      Client_core.note_piggyback cluster stable;
-      Some chunk
-    | Some _ | None -> None
-  in
-  let rec ensure_mapped positions =
-    match List.find_opt (fun p -> not (Hashtbl.mem map_cache p)) positions with
-    | None -> ()
-    | Some missing ->
-      let req =
-        Proto.Ssh_get_map
-          {
-            from = missing;
-            count = cluster.cfg.Config.map_fetch_chunk;
-            stable_hint = cluster.stable_gp;
-          }
-      in
-      let head_primary = Shard.primary_id (List.hd cluster.shards) in
-      let chunk =
-        if cluster.cfg.Config.replica_reads then begin
-          let all =
-            Array.of_list (List.concat_map Shard.replica_ids cluster.shards)
-          in
-          let dst = all.(!map_rr mod Array.length all) in
-          incr map_rr;
-          match fetch_map_chunk dst ~tries:25 req with
-          | Some c -> c
-          | None -> (
-            (* The picked replica is unreachable (or kept failing the
-               forward): fall back to the head primary before giving up. *)
-            match
-              if dst = head_primary then None
-              else fetch_map_chunk head_primary ~tries:25 req
-            with
-            | Some c -> c
-            | None -> failwith "erwin-st: map fetch failed on every replica")
-        end
-        else
-          match fetch_map_chunk head_primary ~tries:100 req with
-          | Some c -> c
-          | None -> failwith "erwin-st: bad map response"
-      in
-      List.iter (fun (gp, sid) -> Hashtbl.replace map_cache gp sid) chunk;
-      ensure_mapped positions
-  in
-  let shard_of p = shard_by_id cluster (Hashtbl.find map_cache p) in
+  (* The map rotation inside [reader] is seeded separately from the append
+     rotation [rr], which also decides record placement and must not be
+     perturbed by reads. *)
   let pf = Client_core.prefetcher () in
-  let fetch positions =
-    ensure_mapped positions;
-    Client_core.read_grouped ~rr:map_rr cluster ep ~shard_of positions
-  in
+  let fetch = reader cluster ep ~rr0:cid in
   let read ~from ~len =
     Client_core.prefetched_read cluster pf ~fetch ~from ~len |> List.map snd
   in

@@ -19,3 +19,18 @@ val client : Erwin_common.t -> Log_api.t
     fetching [cfg.map_fetch_chunk] positions in bulk on misses
     (amortization, section 5.3). Returned records include no-ops (filter
     with {!Types.is_no_op}) so positions stay aligned. *)
+
+val reader :
+  Erwin_common.t ->
+  (Proto.req, Proto.resp) Ll_net.Rpc.endpoint ->
+  rr0:int ->
+  int list ->
+  (int * Types.record) list
+(** [reader cluster ep ~rr0] is the client read path as a standalone
+    closure: position-to-shard resolution through a private cached map
+    (bulk [Ssh_get_map] fetches on misses) followed by grouped shard
+    reads. Partially applied once, it keeps its cache and replica
+    round-robin state (seeded by [rr0]) across calls. Blocks until the
+    requested positions are readable; results are sorted by position and
+    include no-ops. Used by [client] and by the subscription manager's
+    fetch path ({!Ll_stream}). *)

@@ -96,7 +96,8 @@ let broadcast_stable (cluster : t) ep gp =
     cluster.stable_gp <- gp;
     (* Emitted before any shard learns the new bound, so a monitor's
        stable frontier is always >= every shard's. *)
-    if Probe.active () then Probe.emit (Probe.Stable_advanced { gp })
+    if Probe.active () then Probe.emit (Probe.Stable_advanced { gp });
+    match cluster.on_stable with Some f -> f gp | None -> ()
   end;
   Array.iter
     (fun shard ->
@@ -167,7 +168,7 @@ end
    frontier passes the demand cursor (or the unordered log drains) the
    cursor is inert and the orderer falls back to its normal pacing. *)
 let demand_pending (cluster : t) ~frontier =
-  cluster.cfg.Config.read_demand
+  (cluster.cfg.Config.read_demand || cluster.cfg.Config.subscriptions)
   && cluster.demand_upto > frontier
   && (not cluster.reconfiguring)
   && (match cluster.replicas with
@@ -182,12 +183,15 @@ let serial_frontier (cluster : t) =
   | r :: _ -> Seq_log.last_ordered_gp (Seq_replica.log r)
   | [] -> max_int
 
-(* The idle sleep between ordering passes. Gated on [read_demand] because
-   an interruptible wait schedules different engine events than a plain
-   sleep — with the knob off the event sequence (and so every jitter draw)
-   must stay byte-identical to the lazy baseline. *)
+(* The idle sleep between ordering passes. Gated on the demand knobs
+   because an interruptible wait schedules different engine events than a
+   plain sleep — with both knobs off the event sequence (and so every
+   jitter draw) must stay byte-identical to the lazy baseline.
+   [subscriptions] joins [read_demand] here: the subscription manager's
+   push frontier demands binding through the same Sr_order_demand path a
+   parked read does. *)
 let idle_wait (cluster : t) ~frontier =
-  if cluster.cfg.Config.read_demand then
+  if cluster.cfg.Config.read_demand || cluster.cfg.Config.subscriptions then
     ignore
       (Waitq.await_timeout cluster.order_wake
          ~timeout:cluster.cfg.Config.order_interval
@@ -412,10 +416,15 @@ let start (cluster : t) =
   Rpc.set_handler ep (fun ~src:_ req ~reply ->
       match req with
       | Proto.Sr_order_demand { upto } ->
-        if upto > cluster.demand_upto then begin
-          cluster.demand_upto <- upto;
-          Waitq.broadcast cluster.order_wake
-        end;
+        if upto > cluster.demand_upto then cluster.demand_upto <- upto;
+        (* Wake unconditionally, not just when the cursor rises: a
+           repeated demand at or below the merged cursor still means a
+           reader is parked on positions that may have arrived after the
+           orderer went idle (e.g. a demand that over-reached the tail,
+           survived a view change, and left later same-range demands
+           silent). [demand_pending] decides whether there is anything
+           to claim. *)
+        Waitq.broadcast cluster.order_wake;
         reply ~size:(Proto.resp_size Proto.R_ok) Proto.R_ok
       | _ -> failwith "orderer: unexpected request");
   cluster.orderer_node <- Some (Rpc.endpoint_id ep);

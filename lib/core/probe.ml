@@ -17,6 +17,8 @@ type event =
   | Shard_truncated of { shard : int; from : int }
   | Read_served of { shard : int; pos : int; rid : Types.Rid.t }
   | Crashed of { node : int }
+  | Sub_registered of { name : string; from : int }
+  | Sub_delivered of { name : string; pos : int; rid : Types.Rid.t }
 
 type handler = event -> unit
 
@@ -54,3 +56,7 @@ let pp_event fmt =
   | Read_served e ->
     Format.fprintf fmt "read-served s%d pos=%d %a" e.shard e.pos rid e.rid
   | Crashed e -> Format.fprintf fmt "crashed node=%d" e.node
+  | Sub_registered e ->
+    Format.fprintf fmt "sub-registered %s from=%d" e.name e.from
+  | Sub_delivered e ->
+    Format.fprintf fmt "sub-delivered %s pos=%d %a" e.name e.pos rid e.rid

@@ -40,6 +40,16 @@ type event =
       (** A cluster node (fabric node id) crashed. Emitted {e after} the
           fabric processed the crash, so inspecting the cluster from the
           handler sees the post-crash survivor set. *)
+  | Sub_registered of { name : string; from : int }
+      (** A subscriber attached subscription [name] for the first time;
+          the exactly-once monitor expects every position [>= from] to be
+          delivered to it exactly once, in order. Emitted only on the
+          first attach — a restart of the same consumer re-attaches
+          without re-registering. *)
+  | Sub_delivered of { name : string; pos : int; rid : Types.Rid.t }
+      (** Subscription [name]'s consumer delivered the record bound at
+          [pos] to the application (post-dedup — redelivered duplicates
+          are filtered before this fires). *)
 
 type handler = event -> unit
 

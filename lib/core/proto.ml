@@ -69,6 +69,32 @@ type req =
   | Ssh_backfill of { slots : (gp * Types.record) list }
       (** Primary -> backup: records the backup was missing. *)
   | Ssh_get_map of { from : gp; count : int; stable_hint : gp }
+  (* --- Streaming delivery (lib/stream): subscriptions off the stable
+     tail with durable replicated cursors --- *)
+  | St_subscribe of { name : string; endpoint : int; from : gp; window : int }
+      (** Consumer -> subscription manager: attach (or re-attach after a
+          consumer restart) the named subscription, delivering to fabric
+          node [endpoint]. [from] seeds the cursor when the name is new;
+          a re-attach keeps the manager's cursor (the redelivered gap is
+          filtered by consumer-side dedup). [window] is the consumer's
+          credit grant. *)
+  | St_push of {
+      name : string;
+      epoch : int;
+      seq : int;  (** per-epoch batch sequence number *)
+      records : (gp * Types.record) list;  (** ascending positions *)
+    }
+      (** Manager -> consumer: one in-flight batch of stable records. The
+          RPC response is the ack ([R_sub_ack]); a lost response means
+          redelivery of the same batch. *)
+  | St_cursor_sync of { name : string; epoch : int; cursor : gp }
+      (** Manager -> every sequencing replica, one-way: durably replicate
+          the acknowledged cursor. Receivers max-merge, so lost or
+          reordered syncs only lag the floor (redelivery + dedup absorb
+          the gap after a recovery). *)
+  | St_cursor_fetch
+      (** Manager -> sequencing replica: read back every replicated
+          cursor (view-change recovery). *)
 
 type resp =
   | R_ok
@@ -89,6 +115,16 @@ type resp =
           in the per-record header slack already counted by [resp_size]. *)
   | R_map of { chunk : (gp * int) list; stable : gp }
   | R_missing of { rids : Types.Rid.t list }
+  | R_sub of { epoch : int; cursor : gp }
+      (** Subscribe ack: the subscription's current epoch and cursor. *)
+  | R_sub_ack of { epoch : int; upto : gp; credits : int }
+      (** Consumer's cumulative push ack: every position [< upto] is
+          delivered durably ([upto] is the consumer's own cursor, so it
+          can run ahead of the pushed batch when dedup filtered a
+          redelivered prefix); [credits] re-grants flow-control window. *)
+  | R_cursors of { cursors : (string * int * gp) list }
+      (** [St_cursor_fetch] reply: (name, epoch, cursor) per
+          subscription. *)
 
 (** Approximate wire sizes, for the fabric's per-byte costs. *)
 
@@ -117,8 +153,10 @@ let req_size = function
     + (16 * List.length noops)
   | Ssh_backfill { slots } -> slots_wire slots
   | Sh_read { positions; _ } -> (8 * List.length positions) + 8
+  | St_push { records; _ } -> slots_wire records + 32
   | Sr_check_tail _ | Sr_seal _ | Sr_get_state | Sr_wait_ordered _
-  | Sr_order_demand _ | Sh_set_stable _ | Sh_trim _ | Ssh_get_map _ ->
+  | Sr_order_demand _ | Sh_set_stable _ | Sh_trim _ | Ssh_get_map _
+  | St_subscribe _ | St_cursor_sync _ | St_cursor_fetch ->
     32
 
 let resp_size = function
@@ -128,4 +166,5 @@ let resp_size = function
   | R_map { chunk; _ } -> 12 * List.length chunk
   | R_missing { rids } -> 16 * List.length rids
   | R_append_batch { appended; _ } -> 16 + List.length appended
-  | R_ok | R_append _ | R_tail _ | R_gp _ -> 16
+  | R_cursors { cursors } -> (24 * List.length cursors) + 16
+  | R_ok | R_append _ | R_tail _ | R_gp _ | R_sub _ | R_sub_ack _ -> 16

@@ -14,6 +14,11 @@ type t = {
   tracked : (Types.Rid.t, unit) Hashtbl.t;
   bound_gp : (Types.Rid.t, int) Hashtbl.t;
   bound_watch : Waitq.t;
+  (* Replicated subscription cursors (lib/stream): name -> (epoch, cursor).
+     Max-merged on cursor, so lost or reordered one-way syncs only lag the
+     durable floor. Deliberately not cleared on view install — the cursor
+     is client-progress state, not view state. *)
+  sub_cursors : (string, int * int) Hashtbl.t;
 }
 
 let node t = t.node
@@ -22,6 +27,7 @@ let name t = t.rname
 let log t = t.slog
 let view t = t.view
 let is_sealed t = t.sealed
+let sub_cursor t name = Hashtbl.find_opt t.sub_cursors name
 
 let record_bindings t slots =
   List.iter
@@ -142,9 +148,23 @@ let handle t ~src:_ (req : Proto.req) ~reply =
   | Sr_wait_ordered { rid } ->
     Waitq.await t.bound_watch (fun () -> Hashtbl.mem t.bound_gp rid);
     reply (Proto.R_gp { gp = Hashtbl.find t.bound_gp rid })
+  | St_cursor_sync { name; epoch; cursor } ->
+    (* One-way from the subscription manager. Max-merge: a newer epoch
+       always wins (the cursor may legitimately regress across a manager
+       recovery that re-seeds from a lagging survivor); within an epoch
+       only a larger cursor advances the floor. *)
+    (match Hashtbl.find_opt t.sub_cursors name with
+    | Some (e, c) when epoch < e || (epoch = e && cursor <= c) -> ()
+    | _ -> Hashtbl.replace t.sub_cursors name (epoch, cursor));
+    reply Proto.R_ok
+  | St_cursor_fetch ->
+    let cursors =
+      Hashtbl.fold (fun name (e, c) acc -> (name, e, c) :: acc) t.sub_cursors []
+    in
+    reply (Proto.R_cursors { cursors })
   | Sr_order_demand _ | Sh_set_stable _ | Sh_read _ | Sh_trim _ | Msh_push _
   | Msh_replicate _ | Ssh_data_write _ | Ssh_order _ | Ssh_replicate_order _
-  | Ssh_backfill _ | Ssh_get_map _ ->
+  | Ssh_backfill _ | Ssh_get_map _ | St_subscribe _ | St_push _ ->
     failwith (t.rname ^ ": shard request sent to a sequencing replica")
 
 let service_time cfg (req : Proto.req) =
@@ -189,6 +209,7 @@ let create ~cfg ~fabric ~name:rname =
       tracked = Hashtbl.create 64;
       bound_gp = Hashtbl.create 64;
       bound_watch = Waitq.create ();
+      sub_cursors = Hashtbl.create 8;
     }
   in
   Rpc.set_service_time ep (service_time cfg);

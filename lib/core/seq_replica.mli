@@ -36,3 +36,9 @@ val is_sealed : t -> bool
 
 val apply_gc : t -> slots:(int * Types.Rid.t) list -> new_gp:int -> unit
 (** Local equivalent of [Sr_gc], used by the orderer on the leader. *)
+
+val sub_cursor : t -> string -> (int * int) option
+(** The replicated [(epoch, cursor)] of a named subscription, as last
+    max-merged from the subscription manager's [St_cursor_sync] stream
+    (tests and recovery diagnostics; the manager itself recovers via
+    [St_cursor_fetch]). *)

@@ -311,7 +311,8 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
     reply Proto.R_ok
   | Sr_append _ | Sr_append_batch _ | Sr_check_tail _ | Sr_gc _ | Sr_seal _
   | Sr_get_state | Sr_install_view _ | Sr_wait_ordered _ | Sr_order_demand _
-  | Msh_replicate _ | Ssh_replicate_order _ | Ssh_backfill _ ->
+  | Msh_replicate _ | Ssh_replicate_order _ | Ssh_backfill _ | St_subscribe _
+  | St_push _ | St_cursor_sync _ | St_cursor_fetch ->
     failwith "shard primary: unexpected request"
 
 (* A backup that cannot serve a read itself (position not yet covered by
@@ -415,7 +416,8 @@ let handle_backup t r ~src:_ (req : Proto.req) ~reply =
         | _ -> ())
   | Sr_append _ | Sr_append_batch _ | Sr_check_tail _ | Sr_gc _ | Sr_seal _
   | Sr_get_state | Sr_install_view _ | Sr_wait_ordered _ | Sr_order_demand _
-  | Msh_push _ | Ssh_order _ ->
+  | Msh_push _ | Ssh_order _ | St_subscribe _ | St_push _ | St_cursor_sync _
+  | St_cursor_fetch ->
     failwith "shard backup: unexpected request"
 
 let service_time cfg (req : Proto.req) =

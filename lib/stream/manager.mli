@@ -1,0 +1,39 @@
+(** The per-cluster subscription manager: durable named cursors, epoch-
+    branded server push off the stable tail, credit-bounded batches, and
+    cursor replication through the sequencing layer (DESIGN.md section
+    13).
+
+    Start one per cluster (after {!Lazylog.Orderer}); consumers attach
+    with {!Subscriber.create} / [St_subscribe]. Delivery is at-least-once
+    per push (ack-timeout redelivery) and exactly-once end to end once
+    composed with the consumer's position dedup. Exercised only when
+    started — a cluster without a manager runs byte-identically to the
+    pre-subscription baseline. *)
+
+open Ll_net
+
+type t
+
+val start : Lazylog.Erwin_common.t -> t
+(** Creates the manager endpoint, installs the stable-advance push
+    trigger ([cluster.on_stable]) and the view-change recovery fiber
+    (cursor refetch from surviving replicas + epoch bump). Must run
+    inside {!Ll_sim.Engine.run}, with the cluster's orderer started. *)
+
+val endpoint_id : t -> Fabric.node_id
+(** Where consumers send [St_subscribe]. *)
+
+val cursor_of : t -> string -> int option
+(** The manager's in-memory acked cursor for a named subscription. *)
+
+val epoch_of : t -> string -> int option
+(** Current epoch (bumps on every re-attach and every recovery). *)
+
+val pushes : t -> string -> int
+(** [St_push] batches sent (redeliveries included). *)
+
+val redeliveries : t -> string -> int
+(** Push batches re-sent after an ack timeout. *)
+
+val recoveries : t -> int
+(** View-change recoveries performed. *)

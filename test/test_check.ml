@@ -116,6 +116,31 @@ let test_healthy_sweep_clean_replica_reads () =
   in
   checkb "tail readers actually read" true (reads > 50)
 
+let test_healthy_sweep_clean_subscriptions () =
+  (* Streaming delivery under the fault scripts: two subscribers (one
+     with a crash/restart cycle) receive pushes off the stable tail
+     while crashes, partitions, loss and stragglers fire. The
+     exactly-once monitor must stay silent and every stable record must
+     have been delivered by the drain. *)
+  let scenarios =
+    List.concat_map
+      (fun system ->
+        List.init 3 (fun i ->
+            Checker.scenario ~system ~seed:(i + 31) ~subscriptions:true
+              ~horizon:Checker.quick_horizon ()))
+      [ "erwin-m"; "erwin-st" ]
+  in
+  let outcomes = Checker.sweep ~jobs:2 scenarios in
+  checki "all scenarios ran" (List.length scenarios) (List.length outcomes);
+  List.iter assert_clean outcomes;
+  let delivered =
+    List.fold_left
+      (fun a (o : Checker.outcome) ->
+        a + o.Checker.coverage.Monitors.delivered)
+      0 outcomes
+  in
+  checkb "subscribers actually received pushes" true (delivered > 100)
+
 (* The crash-sweep property from the linearizability suite, re-expressed
    on the checker's monitors: for ANY crash time in the first 4 ms and
    any victim, no invariant fires — durability of acked records, order,
@@ -234,6 +259,8 @@ let () =
             test_healthy_sweep_clean_batched;
           Alcotest.test_case "sweep stays clean with replica reads" `Quick
             test_healthy_sweep_clean_replica_reads;
+          Alcotest.test_case "sweep stays clean with subscriptions" `Quick
+            test_healthy_sweep_clean_subscriptions;
           Alcotest.test_case "erwin-st clean on bug-sweep seeds" `Quick
             test_same_seeds_clean_without_bug;
         ]

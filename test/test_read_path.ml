@@ -87,6 +87,61 @@ let test_parked_read_woken_by_view_change () =
       | None -> Alcotest.fail "parked read not woken by the view change");
       Engine.stop ())
 
+let test_demand_survives_view_change () =
+  (* Directed test for the orderer's demand_upto max-merge across a view
+     change. A demand for positions well past the appended tail is
+     parked in the orderer (max-merged into [demand_upto], which lives
+     on the cluster record, not in view state) when the leader dies.
+     After the reconfiguration, the outstanding demand must neither
+     wedge the new ordering passes nor bind anything twice: fresh
+     appends bind fast (the surviving demand covers them — no new
+     demand is ever sent), and a full scan sees each record exactly
+     once. *)
+  Engine.run (fun () ->
+      let cluster = Erwin_m.create ~cfg:(lazy_cfg ~read_demand:true) () in
+      let log = Erwin_m.client cluster in
+      append_n log 5;
+      (* Demand far past the tail, straight at the orderer's sink. *)
+      let orderer = Option.get cluster.Erwin_common.orderer_node in
+      let ep = Erwin_common.new_endpoint cluster ~name:"test.demander" in
+      let req = Proto.Sr_order_demand { upto = 40 } in
+      (match
+         Rpc.call_timeout ep ~dst:orderer ~size:(Proto.req_size req)
+           ~timeout:(Engine.ms 5) req
+       with
+      | Some Proto.R_ok -> ()
+      | _ -> Alcotest.fail "demand not accepted");
+      checki "demand max-merged" 40 cluster.Erwin_common.demand_upto;
+      Erwin_common.crash_replica cluster (Erwin_common.leader cluster);
+      let deadline = Engine.now () + Engine.ms 100 in
+      while cluster.Erwin_common.view = 0 && Engine.now () < deadline do
+        Engine.sleep (Engine.ms 1)
+      done;
+      checki "view advanced" 1 cluster.Erwin_common.view;
+      checkb "demand survived the view change" true
+        (cluster.Erwin_common.demand_upto = 40);
+      (* New-view appends are covered by the surviving demand: a tail
+         read binds well before the 20 ms cadence without issuing any
+         further demand. *)
+      for i = 6 to 10 do
+        checkb "acked" true (log.append ~size:256 ~data:(string_of_int i))
+      done;
+      let t0 = Engine.now () in
+      (match log.read ~from:9 ~len:1 with
+      | [ r ] -> checkstr "tail record" "10" r.Types.data
+      | _ -> Alcotest.fail "tail read failed");
+      checkb "parked demand bound the new view's appends fast" true
+        (Engine.now () - t0 < Engine.ms 2);
+      (* Exactly once: the demand that fired in both views bound each
+         position a single time. *)
+      let all = log.read ~from:0 ~len:10 in
+      checki "scan covers the log exactly" 10 (List.length all);
+      List.iteri
+        (fun i (r : Types.record) ->
+          checkstr "bound once, in order" (string_of_int (i + 1)) r.Types.data)
+        all;
+      Engine.stop ())
+
 (* --- replica read scale-out --- *)
 
 let test_reads_spread_over_replicas () =
@@ -217,6 +272,8 @@ let () =
             test_lazy_read_waits_out_cadence;
           Alcotest.test_case "parked read woken by view change" `Quick
             test_parked_read_woken_by_view_change;
+          Alcotest.test_case "demand survives view change" `Quick
+            test_demand_survives_view_change;
         ] );
       ( "replica-reads",
         [
