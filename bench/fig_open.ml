@@ -4,7 +4,10 @@
    driven by one open-loop arrival process — Poisson at a ladder of
    offered rates, plus bursty and diurnal shapes at mid-load — and we
    report p50/p99/p99.9 append latency per point and the highest offered
-   rate whose p99.9 stays under the SLO.
+   rate whose p99.9 stays under the SLO. A final 10^6-producer row runs
+   the same mid-load point against the full cloud-scale population —
+   feasible because slab-allocated wait queues and cancelled append
+   timeouts keep per-producer cost at the parked-waiter floor.
 
    Ladder points are independent simulations, so they are farmed out to
    domains ([Domain.recommended_domain_count], capped) — on a multi-core
@@ -131,6 +134,29 @@ let run () =
   let jobs = min 4 (Domain.recommended_domain_count ()) in
   let results =
     par_map ~jobs (run_point ~producers ~size ~duration) (ladder @ shaped)
+  in
+  (* The 10^6-producer ladder row: the full cloud-scale population in a
+     single sim — every producer a live fabric endpoint with its own
+     mailbox and FIFO channels (fabric keys pack 2^20 node ids, leaving
+     ~48k headroom over the million clients). Memory-bound rather than
+     wall-bound, so it runs alone after the farmed ladder; a shorter
+     measurement window keeps the sample count comparable. With timer
+     cancellation every completed append retires its timeout cell, so
+     the wheel's live set stays at the in-flight population instead of
+     accreting one dead 20 ms timer per append. The "mega-" prefix keeps
+     it out of the throughput-at-SLO fold, which compares the 10^5
+     Poisson ladder only. *)
+  let mega =
+    {
+      p_label = "mega-poisson-0.50x";
+      p_arrivals = Arrival.Poisson;
+      p_rate = 0.5 *. cap;
+      p_seed = 3000;
+    }
+  in
+  let results =
+    results
+    @ [ run_point ~producers:1_000_000 ~size ~duration:(dur 5 50) mega ]
   in
   table_header
     [ "arrivals/load"; "offered"; "achieved"; "p50_us"; "p99_us"; "p999_us"; "SLO" ];

@@ -25,7 +25,7 @@ let figures : (string * string * (unit -> unit)) list =
   ]
 
 let run_selection scheduler figs full micro ablations csv json_dir
-    min_mevents =
+    min_mevents min_domain_scaling =
   (* Set before any simulation; spawned bench domains inherit it. Figure
      output is byte-identical either way (the wheel preserves the heap's
      (at, tie, seq) execution order exactly) — the flag exists so that
@@ -65,7 +65,7 @@ let run_selection scheduler figs full micro ablations csv json_dir
      rate (timer-callback workload on the wheel scheduler, measured by
      --micro) fell below the floor. Very conservative floors only — the
      measurement is wall-clock and shared runners are noisy. *)
-  match min_mevents with
+  (match min_mevents with
   | Some floor when micro ->
     if !Micro.headline_mevents < floor then begin
       Printf.eprintf
@@ -78,6 +78,26 @@ let run_selection scheduler figs full micro ablations csv json_dir
         !Micro.headline_mevents floor
   | Some _ ->
     prerr_endline "warning: --min-mevents has no effect without --micro"
+  | None -> ());
+  (* Engines are domain-local and share nothing, so the multi-domain
+     aggregate must scale on multi-core runners — only checked there;
+     on a single core the "aggregate" is one domain plus spawn cost. *)
+  match min_domain_scaling with
+  | Some floor when micro ->
+    if Domain.recommended_domain_count () <= 1 then
+      Printf.printf
+        "domain scaling %.2fx not asserted (single-core runner)\n"
+        !Micro.aggregate_scaling
+    else if !Micro.aggregate_scaling < floor then begin
+      Printf.eprintf "FAIL: domain scaling %.2fx below floor %.2fx\n"
+        !Micro.aggregate_scaling floor;
+      exit 1
+    end
+    else
+      Printf.printf "domain scaling %.2fx >= floor %.2fx\n"
+        !Micro.aggregate_scaling floor
+  | Some _ ->
+    prerr_endline "warning: --min-domain-scaling has no effect without --micro"
   | None -> ()
 
 open Cmdliner
@@ -134,12 +154,22 @@ let min_mevents =
     & opt (some float) None
     & info [ "min-mevents" ] ~docv:"FLOAT" ~doc)
 
+let min_domain_scaling =
+  let doc =
+    "With --micro: exit 1 if the multi-domain aggregate Mevents/s is below \
+     $(docv) times the single-domain rate. No-op on single-core runners."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-domain-scaling" ] ~docv:"FLOAT" ~doc)
+
 let cmd =
   let doc = "Reproduce the LazyLog paper's evaluation figures" in
   let info = Cmd.info "lazylog-bench" ~doc in
   Cmd.v info
     Term.(
       const run_selection $ scheduler $ figs $ full $ micro $ ablations $ csv
-      $ json_dir $ min_mevents)
+      $ json_dir $ min_mevents $ min_domain_scaling)
 
 let () = exit (Cmd.eval cmd)

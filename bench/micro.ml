@@ -399,6 +399,75 @@ let engine_workloads =
    --min-mevents CI regression floor checks. *)
 let headline_mevents = ref 0.0
 
+(* Multi-domain aggregate speedup over the single-domain mixed-hop rate —
+   the number the --min-domain-scaling CI assertion checks on multi-core
+   runners. *)
+let aggregate_scaling = ref 0.0
+
+(* Timed-recv storm: 10^5 parked receivers with armed deadlines, every
+   one fed before its deadline fires. Cancellation retires each deadline
+   cell at wake time, so the wheel's live set after the storm is zero —
+   before cancellation this workload left one dead 20 ms timer per recv
+   (10^5 cells to churn through cascades and dispatch as no-ops). The
+   live-cell count is reported as its own row and JSON series so the
+   regression is visible, not just slow. *)
+let recv_storm js =
+  let n = if !Harness.quick then 50_000 else 100_000 in
+  let live_after = ref (-1) and cancelled = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let mw0 = Gc.minor_words () in
+  Ll_sim.Engine.run (fun () ->
+      let open Ll_sim in
+      let mb = Mailbox.create () in
+      for _ = 1 to n do
+        Engine.spawn (fun () ->
+            ignore (Mailbox.recv_timeout mb ~timeout:(Engine.ms 20) : int option))
+      done;
+      for i = 1 to n do
+        Engine.call_after (i land 1023) (fun () -> Mailbox.send mb i)
+      done;
+      Engine.after (Engine.us 10) (fun () ->
+          live_after := Engine.pending_events ();
+          cancelled := Engine.timers_cancelled ()));
+  let wall = Unix.gettimeofday () -. t0 in
+  let mw = (Gc.minor_words () -. mw0) /. float_of_int (Ll_sim.Engine.events_executed ()) in
+  let events = Ll_sim.Engine.events_executed () in
+  Harness.row "timed-recv-storm/wheel"
+    [
+      string_of_int events;
+      Harness.f1 (wall *. 1000.);
+      Printf.sprintf "%.2f" (float_of_int events /. wall /. 1e6);
+      Printf.sprintf "%.1f" mw;
+      "-";
+    ];
+  Harness.row "  storm live wheel cells"
+    [
+      string_of_int !live_after;
+      "-";
+      "-";
+      "-";
+      Printf.sprintf "%d cancelled" !cancelled;
+    ];
+  js :=
+    {
+      Harness.js_series = "recv-storm/wheel";
+      js_throughput = float_of_int events /. wall;
+      js_p50_us = 0.0;
+      js_p99_us = 0.0;
+      js_p999_us = 0.0;
+    }
+    :: {
+         (* live-cells-after-storm, recorded in the throughput field:
+            must stay 0 — every completed timed recv cancels its
+            deadline cell. *)
+         Harness.js_series = "recv-storm/live-cells";
+         js_throughput = float_of_int !live_after;
+         js_p50_us = 0.0;
+         js_p99_us = 0.0;
+         js_p999_us = 0.0;
+       }
+    :: !js
+
 let run_engine_rate () =
   Harness.section "Engine event throughput (real time): wheel vs heap";
   Harness.note
@@ -501,6 +570,7 @@ let run_engine_rate () =
   let events = Array.fold_left (fun a d -> a + Domain.join d) 0 spawned in
   let wall = Unix.gettimeofday () -. t0 in
   let agg = float_of_int events /. wall /. 1e6 in
+  if !mixed_hop_wheel > 0.0 then aggregate_scaling := agg /. !mixed_hop_wheel;
   Harness.row (Printf.sprintf "mixed-hop/wheel x%d domains" doms)
     [
       string_of_int events;
@@ -520,6 +590,7 @@ let run_engine_rate () =
       js_p999_us = 0.0;
     }
     :: !js;
+  recv_storm js;
   Harness.write_json ~name:"micro" (List.rev !js)
 
 let run () =

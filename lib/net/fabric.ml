@@ -31,10 +31,11 @@ type 'm node = {
   mutable extra : Engine.time;
   mutable delivered : int;
   (* Packed FIFO keys this node participates in (as src or dst), so crash
-     cleanup walks O(degree) keys instead of folding the whole table. May
-     hold bounded duplicates across crash/recover cycles; removal is
-     idempotent. *)
-  mutable fifo_keys : int list;
+     cleanup walks O(degree) keys instead of folding the whole table: an
+     intrusive slab list of int keys (immediate, unboxed) instead of a
+     cons per first-contact pair. May hold bounded duplicates across
+     crash/recover cycles; removal is idempotent. *)
+  mutable fifo_keys : int;
 }
 
 type 'm t = {
@@ -86,7 +87,7 @@ let add_node t ~name ?(send_overhead = 500) ?(recv_overhead = 500) () =
       alive = true;
       extra = 0;
       delivered = 0;
-      fifo_keys = [];
+      fifo_keys = Slab.nil;
     }
   in
   let cap = Array.length t.nodes in
@@ -140,8 +141,12 @@ let send t ~src ~dst ~size msg =
       | None ->
         (* First traffic on this (src,dst): index the key on both
            endpoints for O(degree) crash cleanup. *)
-        src.fifo_keys <- key :: src.fifo_keys;
-        dst_node.fifo_keys <- key :: dst_node.fifo_keys;
+        let ks = Slab.alloc (Obj.repr key) in
+        Slab.set_next ks src.fifo_keys;
+        src.fifo_keys <- ks;
+        let kd = Slab.alloc (Obj.repr key) in
+        Slab.set_next kd dst_node.fifo_keys;
+        dst_node.fifo_keys <- kd;
         arrival
     in
     Hashtbl.replace t.last_arrival key arrival;
@@ -170,8 +175,14 @@ let crash t n =
      dropped, so a revived node's first message must not be artificially
      delayed behind (or ordered after) pre-crash traffic. The per-node key
      index makes this O(degree). *)
-  List.iter (Hashtbl.remove t.last_arrival) n.fifo_keys;
-  n.fifo_keys <- []
+  let c = ref n.fifo_keys in
+  while !c >= 0 do
+    Hashtbl.remove t.last_arrival (Obj.obj (Slab.get !c) : int);
+    let next = Slab.next !c in
+    Slab.free !c;
+    c := next
+  done;
+  n.fifo_keys <- Slab.nil
 
 let recover _t n = n.alive <- true
 

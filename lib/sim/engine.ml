@@ -18,21 +18,28 @@ let to_sec t = float_of_int t /. 1_000_000_000.
    schedulers implement that contract over the same cell stream:
 
    - the default hierarchical timer wheel (below), whose per-event cost is
-     O(1) appends plus bitmap scans instead of O(log n) comparator sifts;
+     O(1) appends plus bitmap scans instead of O(log n) comparator sifts,
+     and whose run loop drains a whole slot (one exact timestamp) per
+     bitmap scan, dispatching head-first in a tight loop — the slot list
+     itself is the run queue, so batching adds no copy and a pending
+     same-instant cell stays cancellable until the moment it fires;
    - a reference binary heap over boxed event records — the pre-wheel
      implementation, kept selectable (see {!set_scheduler}) so equivalence
      tests and before/after benchmarks can run both on identical inputs.
 
    Since [seq] is unique, the order is total: any correct scheduler
-   executes the identical sequence, which is what test_wheel.ml checks. *)
+   executes the identical sequence, which is what test_wheel.ml checks.
+   Cancelled timers ({!cancel}) are removed from the schedule in both
+   schedulers without executing, so the executed sequences stay equal. *)
 
 (* Event cells are pooled in struct-of-arrays form: scheduling an event
-   writes five ints and one pointer into recycled slots instead of
+   writes four ints and one pointer into recycled slots instead of
    allocating a record plus a dispatch closure. [kind] selects how the run
    loop fires the cell: *)
 let k_thunk = 0 (* payload : unit -> unit, called bare in the loop *)
 let k_cont = 1 (* payload : (unit, unit) continuation (a sleeping fiber) *)
 let k_fiber = 2 (* payload : unit -> unit, started as a fiber via [exec] *)
+let k_dead = 3 (* cancelled timer awaiting reclamation (overflow heap) *)
 
 (* Wheel geometry: 3 levels of 2048 slots. Level 0 buckets by exact
    nanosecond (slot = at land mask), so a slot never mixes timestamps and
@@ -59,6 +66,28 @@ let lsb_table =
 
 let lowest_bit x = lsb_table.((x land -x) mod 37)
 
+(* A cell's current location is packed into its [seqk] word (below):
+   13 bits hold either [level lsl 11 lor slot] for a cell linked into a
+   wheel slot list, or a sentinel. O(1) cancellation needs this: the
+   token identifies the cell, and the location says which doubly-linked
+   slot list to unlink it from. *)
+let loc_bits = 13
+let loc_mask = (1 lsl loc_bits) - 1
+let loc_ovf = loc_mask (* parked in the overflow heap: tombstone on cancel *)
+let loc_free = loc_mask - 1 (* free-listed / detached *)
+
+(* [seqk] packs [seq lsl 15 lor loc lsl 2 lor kind]. Two cells in the
+   same slot list share their [loc] bits, so comparing whole [seqk] words
+   compares [seq] — the trick that keeps sorted level-0 inserts to one
+   load per cell. [seq] gets 48 bits: ~2.8e14 events per run. *)
+let seqk_shift = loc_bits + 2
+let seqk_make seq kind = (seq lsl seqk_shift) lor (loc_free lsl 2) lor kind
+let seqk_seq sk = sk lsr seqk_shift
+let seqk_kind sk = sk land 3
+let seqk_loc sk = (sk lsr 2) land loc_mask
+let seqk_set_loc sk loc = sk land lnot (loc_mask lsl 2) lor (loc lsl 2)
+let seqk_set_kind sk kind = sk land lnot 3 lor kind
+
 (* Overflow entries carry their key so the heap comparator never chases
    the (growable) pool arrays. Rare path: only timers beyond the current
    2^39 ns cycle land here. *)
@@ -72,8 +101,16 @@ let ovf_cmp a b =
     if c <> 0 then c else Int.compare a.oseq b.oseq
 
 (* Reference scheduler: the pre-wheel representation, one boxed record and
-   one dispatch closure per event in a binary heap. *)
-type event = { at : time; tie : int; seq : int; fn : unit -> unit }
+   one dispatch closure per event in a binary heap. [dead] is the lazy
+   form of cancellation: the wheel unlinks a cancelled cell eagerly, the
+   heap tombstones it and the run loop skips it on pop. *)
+type event = {
+  at : time;
+  tie : int;
+  seq : int;
+  fn : unit -> unit;
+  mutable dead : bool;
+}
 
 (* Int.compare, not polymorphic compare: this runs on every heap sift of
    every scheduled event under the reference scheduler. *)
@@ -88,6 +125,17 @@ let nil = -1
 let unit_obj = Obj.repr 0
 let no_name = ""
 
+(* Cancel tokens are immediate ints: 0 is "none", positive packs
+   [cell lsl 38 lor seq] for a wheel cell (validated against the cell's
+   live [seq] so a fired-and-recycled cell can't be cancelled by a stale
+   token), negative is [-seq] for a reference-heap event looked up in a
+   side table. Tokens are only meaningful within the run that made them. *)
+type timer = int
+
+let no_timer = 0
+let token_seq_bits = 38
+let token_seq_mask = (1 lsl token_seq_bits) - 1
+
 (* Scheduler state is domain-local: each OS domain owns an independent
    engine, so seed sweeps (bin/lazylog_check) parallelize across domains
    with no shared state. Within a domain, runs are not reentrant and the
@@ -100,18 +148,24 @@ type state = {
   mutable stopping : bool;
   mutable fibers : int;
   mutable executed : int;
+  mutable cancelled : int;
   mutable seed : int;
   mutable rng : Random.State.t;
   mutable perturb_rng : Random.State.t option;
   mutable use_heap : bool;
   (* reference scheduler *)
   queue : event Heap.t;
+  hcancel : (int, event) Hashtbl.t; (* seq -> cancellable pending event *)
+  mutable heap_dead : int; (* tombstones still inside [queue] *)
   (* Pooled cells. The int fields live interleaved in [ev_i] at stride 4
-     — at, tie, seqk (seq lsl 2 lor kind), next — so touching a cell costs
-     one cache line, not four; this is what keeps 10^5 live timers fast.
-     The free list is threaded through the next field. [ev_name] holds
-     fiber names and is only touched for fiber-start cells. *)
+     — at, seqk (seq|loc|kind, above), next, prev — so touching a cell
+     costs one 32-byte block; this is what keeps 10^5 live timers fast.
+     The free list is threaded through the next field. [ev_tie] is only
+     read under ~perturb (ties are 0 otherwise) so the unperturbed hot
+     path never touches it. [ev_name] holds fiber names and is only
+     touched for fiber-start cells. *)
   mutable ev_i : int array;
+  mutable ev_tie : int array;
   mutable ev_payload : Obj.t array;
   mutable ev_name : string array;
   mutable free_head : int;
@@ -135,9 +189,9 @@ let initial_pool = 1024
 let fresh_state () =
   let ev_i = Array.make (4 * initial_pool) 0 in
   for i = 0 to initial_pool - 1 do
-    ev_i.((4 * i) + 3) <- i + 1
+    ev_i.((4 * i) + 2) <- i + 1
   done;
-  ev_i.((4 * (initial_pool - 1)) + 3) <- nil;
+  ev_i.((4 * (initial_pool - 1)) + 2) <- nil;
   {
     clock = 0;
     seqno = 0;
@@ -145,12 +199,16 @@ let fresh_state () =
     stopping = false;
     fibers = 0;
     executed = 0;
+    cancelled = 0;
     seed = 0;
     rng = Random.State.make [| 0 |];
     perturb_rng = None;
     use_heap = Atomic.get default_use_heap;
     queue = Heap.create ~cmp:event_cmp;
+    hcancel = Hashtbl.create 64;
+    heap_dead = 0;
     ev_i;
+    ev_tie = Array.make initial_pool 0;
     ev_payload = Array.make initial_pool unit_obj;
     ev_name = Array.make initial_pool no_name;
     free_head = 0;
@@ -184,10 +242,11 @@ let grow_pool s =
   let ev_i = Array.make (4 * ncap) 0 in
   Array.blit s.ev_i 0 ev_i 0 (4 * cap);
   for i = cap to ncap - 1 do
-    ev_i.((4 * i) + 3) <- i + 1
+    ev_i.((4 * i) + 2) <- i + 1
   done;
-  ev_i.((4 * (ncap - 1)) + 3) <- s.free_head;
+  ev_i.((4 * (ncap - 1)) + 2) <- s.free_head;
   s.ev_i <- ev_i;
+  s.ev_tie <- copy s.ev_tie 0;
   s.ev_payload <- copy s.ev_payload unit_obj;
   s.ev_name <- copy s.ev_name no_name;
   s.free_head <- cap
@@ -200,14 +259,16 @@ let grow_pool s =
 let alloc_cell s =
   if s.free_head < 0 then grow_pool s;
   let c = s.free_head in
-  s.free_head <- Array.unsafe_get s.ev_i ((4 * c) + 3);
+  s.free_head <- Array.unsafe_get s.ev_i ((4 * c) + 2);
   c
 
 (* Fiber names are cleared at dispatch, not here, so the common (unnamed)
-   cell never touches the name array. *)
+   cell never touches the name array. [seqk] is zeroed so a stale cancel
+   token (seq >= 1 always) can never match a freed or recycled cell. *)
 let free_cell s c =
   Array.unsafe_set s.ev_payload c unit_obj;
-  Array.unsafe_set s.ev_i ((4 * c) + 3) s.free_head;
+  Array.unsafe_set s.ev_i ((4 * c) + 1) 0;
+  Array.unsafe_set s.ev_i ((4 * c) + 2) s.free_head;
   s.free_head <- c
 
 (* ---------- wheel primitives ---------- *)
@@ -238,48 +299,92 @@ let scan_from bm start =
 
 (* Level-0 slots hold a single exact timestamp, kept sorted by (tie, seq).
    Unperturbed cells arrive in ascending seq with tie 0, so the tail
-   append fast path always hits; perturbed runs pay an O(slot) walk. *)
+   append fast path always hits; perturbed runs pay an O(slot) walk.
+   Lists are doubly linked (prev at [4c+3]) so {!cancel} unlinks in
+   O(1). *)
 let l0_insert s c =
   let ev = s.ev_i in
   let slot = Array.unsafe_get ev (4 * c) land wheel_mask in
+  let sk = seqk_set_loc (Array.unsafe_get ev ((4 * c) + 1)) slot in
+  Array.unsafe_set ev ((4 * c) + 1) sk;
   let hts = Array.unsafe_get s.hts 0 in
   let tl = Array.unsafe_get hts ((2 * slot) + 1) in
-  if tl < 0 then begin
-    Array.unsafe_set hts (2 * slot) c;
-    Array.unsafe_set hts ((2 * slot) + 1) c;
-    Array.unsafe_set ev ((4 * c) + 3) nil;
-    bit_set (Array.unsafe_get s.bitmaps 0) slot
-  end
-  else begin
-    let after_of a b =
-      (* does [a] order after [b]? same timestamp, so (tie, seq) decides;
-         seqk compares like seq because seq is unique *)
-      let c = Int.compare ev.((4 * a) + 1) ev.((4 * b) + 1) in
-      if c <> 0 then c > 0 else ev.((4 * a) + 2) > ev.((4 * b) + 2)
-    in
-    if after_of c tl then begin
-      Array.unsafe_set ev ((4 * tl) + 3) c;
-      Array.unsafe_set ev ((4 * c) + 3) nil;
-      Array.unsafe_set hts ((2 * slot) + 1) c
-    end
-    else begin
-      let hd = Array.unsafe_get hts (2 * slot) in
-      if not (after_of c hd) then begin
-        Array.unsafe_set ev ((4 * c) + 3) hd;
-        Array.unsafe_set hts (2 * slot) c
-      end
-      else begin
-        let p = ref hd in
-        while
-          ev.((4 * !p) + 3) >= 0 && after_of c ev.((4 * !p) + 3)
-        do
-          p := ev.((4 * !p) + 3)
-        done;
-        ev.((4 * c) + 3) <- ev.((4 * !p) + 3);
-        ev.((4 * !p) + 3) <- c
-      end
-    end
-  end;
+  (if tl < 0 then begin
+     Array.unsafe_set hts (2 * slot) c;
+     Array.unsafe_set hts ((2 * slot) + 1) c;
+     Array.unsafe_set ev ((4 * c) + 2) nil;
+     Array.unsafe_set ev ((4 * c) + 3) nil;
+     bit_set (Array.unsafe_get s.bitmaps 0) slot
+   end
+   else
+     match s.perturb_rng with
+     | None ->
+       (* Same slot means same timestamp and same loc bits, so comparing
+          whole [seqk] words compares [seq]; unperturbed arrivals — fresh
+          schedules, cascades, overflow drains — are all in ascending seq
+          per timestamp, so the tail append always hits. The sorted walk
+          below is kept as a safety net. *)
+       if sk > Array.unsafe_get ev ((4 * tl) + 1) then begin
+         Array.unsafe_set ev ((4 * tl) + 2) c;
+         Array.unsafe_set ev ((4 * c) + 2) nil;
+         Array.unsafe_set ev ((4 * c) + 3) tl;
+         Array.unsafe_set hts ((2 * slot) + 1) c
+       end
+       else begin
+         let hd = Array.unsafe_get hts (2 * slot) in
+         if sk < ev.((4 * hd) + 1) then begin
+           ev.((4 * c) + 2) <- hd;
+           ev.((4 * c) + 3) <- nil;
+           ev.((4 * hd) + 3) <- c;
+           hts.(2 * slot) <- c
+         end
+         else begin
+           let p = ref hd in
+           while
+             ev.((4 * !p) + 2) >= 0 && sk > ev.((4 * ev.((4 * !p) + 2)) + 1)
+           do
+             p := ev.((4 * !p) + 2)
+           done;
+           let n = ev.((4 * !p) + 2) in
+           ev.((4 * c) + 2) <- n;
+           ev.((4 * c) + 3) <- !p;
+           if n >= 0 then ev.((4 * n) + 3) <- c;
+           ev.((4 * !p) + 2) <- c
+         end
+       end
+     | Some _ ->
+       (* Checker path: ties are random, so this is a real sorted insert
+          by (tie, seq); the closure allocation is fine here. *)
+       let after_of a b =
+         let cmp = Int.compare s.ev_tie.(a) s.ev_tie.(b) in
+         if cmp <> 0 then cmp > 0 else ev.((4 * a) + 1) > ev.((4 * b) + 1)
+       in
+       if after_of c tl then begin
+         ev.((4 * tl) + 2) <- c;
+         ev.((4 * c) + 2) <- nil;
+         ev.((4 * c) + 3) <- tl;
+         hts.((2 * slot) + 1) <- c
+       end
+       else begin
+         let hd = hts.(2 * slot) in
+         if not (after_of c hd) then begin
+           ev.((4 * c) + 2) <- hd;
+           ev.((4 * c) + 3) <- nil;
+           ev.((4 * hd) + 3) <- c;
+           hts.(2 * slot) <- c
+         end
+         else begin
+           let p = ref hd in
+           while ev.((4 * !p) + 2) >= 0 && after_of c ev.((4 * !p) + 2) do
+             p := ev.((4 * !p) + 2)
+           done;
+           let n = ev.((4 * !p) + 2) in
+           ev.((4 * c) + 2) <- n;
+           ev.((4 * c) + 3) <- !p;
+           if n >= 0 then ev.((4 * n) + 3) <- c;
+           ev.((4 * !p) + 2) <- c
+         end
+       end);
   s.counts.(0) <- s.counts.(0) + 1
 
 (* Levels >= 1 are plain FIFO appends; order within a coarse slot is
@@ -287,14 +392,17 @@ let l0_insert s c =
 let lx_insert s l c =
   let ev = s.ev_i in
   let slot = (ev.(4 * c) lsr (wheel_bits * l)) land wheel_mask in
+  ev.((4 * c) + 1) <-
+    seqk_set_loc ev.((4 * c) + 1) ((l lsl wheel_bits) lor slot);
   let hts = s.hts.(l) in
   let tl = hts.((2 * slot) + 1) in
   if tl < 0 then begin
     hts.(2 * slot) <- c;
     bit_set s.bitmaps.(l) slot
   end
-  else ev.((4 * tl) + 3) <- c;
-  ev.((4 * c) + 3) <- nil;
+  else ev.((4 * tl) + 2) <- c;
+  ev.((4 * c) + 2) <- nil;
+  ev.((4 * c) + 3) <- tl;
   hts.((2 * slot) + 1) <- c;
   s.counts.(l) <- s.counts.(l) + 1
 
@@ -307,14 +415,20 @@ let wheel_insert s ~ref_ c =
     lx_insert s 1 c
   else if t lsr (3 * wheel_bits) = ref_ lsr (3 * wheel_bits) then
     lx_insert s 2 c
-  else
+  else begin
+    let sk = s.ev_i.((4 * c) + 1) in
+    s.ev_i.((4 * c) + 1) <- seqk_set_loc sk loc_ovf;
     Heap.push s.overflow
       {
         oat = t;
-        otie = s.ev_i.((4 * c) + 1);
-        oseq = s.ev_i.((4 * c) + 2);
+        otie =
+          (match s.perturb_rng with
+          | None -> 0
+          | Some _ -> s.ev_tie.(c));
+        oseq = seqk_seq sk;
         ocell = c;
       }
+  end
 
 (* Move the next occupied level-[l] slot's cells one level down. List
    order is insertion order (ascending seq per timestamp), which the
@@ -329,7 +443,7 @@ let cascade s l =
   s.pos.(l) <- slot;
   s.pos.(l - 1) <- 0;
   while !c >= 0 do
-    let next = s.ev_i.((4 * !c) + 3) in
+    let next = s.ev_i.((4 * !c) + 2) in
     s.counts.(l) <- s.counts.(l) - 1;
     if l = 1 then l0_insert s !c else lx_insert s 1 !c;
     c := next
@@ -337,10 +451,11 @@ let cascade s l =
 
 (* Refill the wheels with the overflow heap's earliest 2^39 ns cycle.
    Heap pops arrive in (at, tie, seq) order, so per-slot appends keep
-   every list sorted. *)
+   every list sorted. Cancelled cells were tombstoned in place (the
+   binary heap has no O(1) removal) and are reclaimed here. *)
 let drain_overflow s =
   match Heap.peek s.overflow with
-  | None -> ()
+  | None -> failwith "Engine: live events but empty wheel and overflow"
   | Some top ->
     let cyc = top.oat lsr (3 * wheel_bits) in
     s.pos.(0) <- 0;
@@ -351,43 +466,30 @@ let drain_overflow s =
       match Heap.peek s.overflow with
       | Some o when o.oat lsr (3 * wheel_bits) = cyc ->
         ignore (Heap.pop s.overflow);
-        wheel_insert s ~ref_:top.oat o.ocell
+        if seqk_kind s.ev_i.((4 * o.ocell) + 1) = k_dead then
+          free_cell s o.ocell
+        else wheel_insert s ~ref_:top.oat o.ocell
       | _ -> continue_ := false
     done
 
-(* Pop the minimum cell, or [nil]. Level 0 always holds the earliest
-   pending work when nonempty: its cells live in the current 8192 ns
-   cycle, while higher levels and the overflow heap only hold strictly
-   later cycles. *)
-let rec wheel_pop s =
-  if s.live = 0 then nil
-  else if Array.unsafe_get s.counts 0 > 0 then begin
-    let bm0 = Array.unsafe_get s.bitmaps 0 in
-    let hts = Array.unsafe_get s.hts 0 in
-    let slot = scan_from bm0 (Array.unsafe_get s.pos 0) in
-    Array.unsafe_set s.pos 0 slot;
-    let c = Array.unsafe_get hts (2 * slot) in
-    let n = Array.unsafe_get s.ev_i ((4 * c) + 3) in
-    Array.unsafe_set hts (2 * slot) n;
-    if n < 0 then begin
-      Array.unsafe_set hts ((2 * slot) + 1) nil;
-      bit_clear bm0 slot
-    end;
-    Array.unsafe_set s.counts 0 (Array.unsafe_get s.counts 0 - 1);
-    s.live <- s.live - 1;
-    c
-  end
+(* Bring the earliest pending work down to level 0, or report the run
+   finished. Level 0 always holds the earliest pending cells when
+   nonempty: they live in the current 2 us cycle, while higher levels and
+   the overflow heap only hold strictly later cycles. *)
+let rec refill s =
+  if s.live = 0 then false
+  else if Array.unsafe_get s.counts 0 > 0 then true
   else if s.counts.(1) > 0 then begin
     cascade s 1;
-    wheel_pop s
+    refill s
   end
   else if s.counts.(2) > 0 then begin
     cascade s 2;
-    wheel_pop s
+    refill s
   end
   else begin
     drain_overflow s;
-    wheel_pop s
+    refill s
   end
 
 let wheel_reset s =
@@ -400,17 +502,87 @@ let wheel_reset s =
   Heap.clear s.overflow;
   let cap = Array.length s.ev_payload in
   for i = 0 to cap - 1 do
-    s.ev_i.((4 * i) + 3) <- i + 1;
+    s.ev_i.((4 * i) + 1) <- 0;
+    s.ev_i.((4 * i) + 2) <- i + 1;
     s.ev_payload.(i) <- unit_obj;
     s.ev_name.(i) <- no_name
   done;
-  s.ev_i.((4 * (cap - 1)) + 3) <- nil;
+  s.ev_i.((4 * (cap - 1)) + 2) <- nil;
   s.free_head <- 0;
   s.live <- 0
 
+(* ---------- timer cancellation ---------- *)
+
+(* Cancel a pending timer: under the wheel, unlink the cell from its
+   doubly-linked slot list and recycle it immediately (overflow-parked
+   cells are tombstoned and reclaimed when their cycle drains); under the
+   reference heap, tombstone the event for the run loop to skip. Either
+   way the callback never fires, the executed event sequence is the same
+   under both schedulers, and — unlike the pre-cancellation engine — a
+   completed timed wait leaves nothing behind to churn through the
+   scheduler. *)
+let cancel tok =
+  let s = state () in
+  if tok = no_timer then false
+  else if tok < 0 then begin
+    (* reference heap: tombstone via the seq side table *)
+    let seq = -tok in
+    match Hashtbl.find_opt s.hcancel seq with
+    | None -> false
+    | Some ev ->
+      ev.dead <- true;
+      Hashtbl.remove s.hcancel seq;
+      s.heap_dead <- s.heap_dead + 1;
+      s.cancelled <- s.cancelled + 1;
+      true
+  end
+  else begin
+    let cell = tok lsr token_seq_bits in
+    let seq = tok land token_seq_mask in
+    let ev = s.ev_i in
+    let sk = ev.((4 * cell) + 1) in
+    if seqk_seq sk land token_seq_mask <> seq then false
+      (* already fired (cell freed or recycled under a new seq) *)
+    else begin
+      let loc = seqk_loc sk in
+      if loc = loc_free then false
+      else if loc = loc_ovf then
+        (* Overflow-parked cells are tombstoned in place (the heap entry
+           still points at them) and reclaimed when their cycle drains;
+           the tombstone keeps seq and loc, so a repeated cancel must be
+           rejected on the kind. *)
+        if seqk_kind sk = k_dead then false
+        else begin
+          ev.((4 * cell) + 1) <- seqk_set_kind sk k_dead;
+          Array.unsafe_set s.ev_payload cell unit_obj;
+          s.live <- s.live - 1;
+          s.cancelled <- s.cancelled + 1;
+          true
+        end
+      else begin
+        let l = loc lsr wheel_bits and slot = loc land wheel_mask in
+        let n = ev.((4 * cell) + 2) and p = ev.((4 * cell) + 3) in
+        let hts = s.hts.(l) in
+        if p >= 0 then ev.((4 * p) + 2) <- n else hts.(2 * slot) <- n;
+        if n >= 0 then ev.((4 * n) + 3) <- p
+        else hts.((2 * slot) + 1) <- p;
+        if p < 0 && n < 0 then bit_clear s.bitmaps.(l) slot;
+        s.counts.(l) <- s.counts.(l) - 1;
+        s.live <- s.live - 1;
+        free_cell s cell;
+        s.cancelled <- s.cancelled + 1;
+        true
+      end
+    end
+  end
+
 (* ---------- scheduling and fibers ---------- *)
 
-type 'a waker = { mutable fired : bool; mutable resume : 'a -> unit }
+type 'a waker = {
+  mutable fired : bool;
+  mutable resume : 'a -> unit;
+  mutable deadline : timer;
+}
 
 let is_woken w = w.fired
 
@@ -449,7 +621,13 @@ let rec exec name f =
           | Suspend register ->
             Some
               (fun (k : (a, unit) continuation) ->
-                let w = { fired = false; resume = (fun v -> continue k v) } in
+                let w =
+                  {
+                    fired = false;
+                    resume = (fun v -> continue k v);
+                    deadline = no_timer;
+                  }
+                in
                 register w)
           | _ -> None);
     }
@@ -457,24 +635,41 @@ let rec exec name f =
 and schedule_cell s at kind payload name =
   let at = if at < s.clock then s.clock else at in
   s.seqno <- s.seqno + 1;
-  let tie =
-    match s.perturb_rng with
-    | None -> 0
-    | Some prng -> Random.State.bits prng
-  in
-  if s.use_heap then
-    Heap.push s.queue { at; tie; seq = s.seqno; fn = heap_fn kind payload name }
-  else begin
-    let c = alloc_cell s in
-    let ev = s.ev_i in
-    Array.unsafe_set ev (4 * c) at;
-    Array.unsafe_set ev ((4 * c) + 1) tie;
-    Array.unsafe_set ev ((4 * c) + 2) ((s.seqno lsl 2) lor kind);
-    Array.unsafe_set s.ev_payload c payload;
-    if name != no_name then Array.unsafe_set s.ev_name c name;
-    s.live <- s.live + 1;
-    wheel_insert s ~ref_:s.clock c
-  end
+  match s.perturb_rng with
+  | None ->
+    if s.use_heap then
+      Heap.push s.queue
+        {
+          at;
+          tie = 0;
+          seq = s.seqno;
+          fn = heap_fn kind payload name;
+          dead = false;
+        }
+    else begin
+      let c = alloc_cell s in
+      Array.unsafe_set s.ev_i (4 * c) at;
+      Array.unsafe_set s.ev_i ((4 * c) + 1) (seqk_make s.seqno kind);
+      Array.unsafe_set s.ev_payload c payload;
+      if name != no_name then Array.unsafe_set s.ev_name c name;
+      s.live <- s.live + 1;
+      wheel_insert s ~ref_:s.clock c
+    end
+  | Some prng ->
+    let tie = Random.State.bits prng in
+    if s.use_heap then
+      Heap.push s.queue
+        { at; tie; seq = s.seqno; fn = heap_fn kind payload name; dead = false }
+    else begin
+      let c = alloc_cell s in
+      Array.unsafe_set s.ev_i (4 * c) at;
+      Array.unsafe_set s.ev_i ((4 * c) + 1) (seqk_make s.seqno kind);
+      Array.unsafe_set s.ev_tie c tie;
+      Array.unsafe_set s.ev_payload c payload;
+      if name != no_name then Array.unsafe_set s.ev_name c name;
+      s.live <- s.live + 1;
+      wheel_insert s ~ref_:s.clock c
+    end
 
 and heap_fn kind payload name =
   if kind = k_thunk then (Obj.obj payload : unit -> unit)
@@ -488,6 +683,15 @@ let wake w v =
   if w.fired then false
   else begin
     w.fired <- true;
+    (* A normal wake cancels the waker's armed deadline (if any), so a
+       completed timed wait leaves no dead timer behind in the wheel.
+       When the deadline itself is doing the waking, its cell/table entry
+       is already retired and this cancel is a no-op. *)
+    (match w.deadline with
+    | 0 -> ()
+    | t ->
+      w.deadline <- no_timer;
+      ignore (cancel t : bool));
     (* Resume on a fresh event so wake never re-enters the waker's fiber
        from the middle of the caller's slice: determinism and no surprise
        reentrancy. *)
@@ -538,11 +742,72 @@ let call_after d fn =
   if not s.running then failwith "call_after: not inside Engine.run";
   schedule_cell s (s.clock + d) k_thunk (Obj.repr fn) no_name
 
+(* Like [call_at], but hands back a cancel token. The scheduled position
+   (at, tie, seq) is identical to [call_at]'s, so converting a call site
+   changes no schedule until a cancel actually removes the timer. *)
+let timer_at t fn =
+  let s = state () in
+  if not s.running then failwith "timer_at: not inside Engine.run";
+  let at = if t < s.clock then s.clock else t in
+  s.seqno <- s.seqno + 1;
+  let seq = s.seqno in
+  let tie =
+    match s.perturb_rng with
+    | None -> 0
+    | Some prng -> Random.State.bits prng
+  in
+  if s.use_heap then begin
+    let ev =
+      {
+        at;
+        tie;
+        seq;
+        fn =
+          (fun () ->
+            Hashtbl.remove s.hcancel seq;
+            fn ());
+        dead = false;
+      }
+    in
+    Hashtbl.replace s.hcancel seq ev;
+    Heap.push s.queue ev;
+    -seq
+  end
+  else begin
+    let c = alloc_cell s in
+    Array.unsafe_set s.ev_i (4 * c) at;
+    Array.unsafe_set s.ev_i ((4 * c) + 1) (seqk_make seq k_thunk);
+    (match s.perturb_rng with
+    | None -> ()
+    | Some _ -> Array.unsafe_set s.ev_tie c tie);
+    Array.unsafe_set s.ev_payload c (Obj.repr fn);
+    s.live <- s.live + 1;
+    wheel_insert s ~ref_:s.clock c;
+    (c lsl token_seq_bits) lor (seq land token_seq_mask)
+  end
+
+let timer_after d fn =
+  let s = state () in
+  if not s.running then failwith "timer_after: not inside Engine.run";
+  timer_at (s.clock + d) fn
+
+let arm_timeout w d v =
+  w.deadline <- timer_after d (fun () -> ignore (wake w v : bool))
+
 let random_state () = (state ()).rng
 
 let master_seed () = (state ()).seed
 
 let events_executed () = (state ()).executed
+
+let timers_cancelled () = (state ()).cancelled
+
+(* Scheduled-but-unfired events. Under the wheel this is exact: cancelled
+   cells are unlinked (or, overflow-parked, dropped from the count at
+   cancel time); under the reference heap, tombstones are subtracted. *)
+let pending_events () =
+  let s = state () in
+  if s.use_heap then Heap.length s.queue - s.heap_dead else s.live
 
 let stop () = (state ()).stopping <- true
 
@@ -566,15 +831,21 @@ let run ?(seed = 42) ?(perturb = false) ?until main =
   s.seqno <- 0;
   s.fibers <- 0;
   s.executed <- 0;
+  s.cancelled <- 0;
   s.seed <- seed;
+  s.heap_dead <- 0;
   Heap.clear s.queue;
+  Hashtbl.reset s.hcancel;
   wheel_reset s;
+  Slab.reset ();
   s.rng <- Random.State.make [| seed; 0x1a2706 |];
   s.perturb_rng <-
     (if perturb then Some (Random.State.make [| seed; 0x7e27b6 |]) else None);
   let finish () =
     s.running <- false;
     Heap.clear s.queue;
+    Hashtbl.reset s.hcancel;
+    s.heap_dead <- 0;
     wheel_reset s
   in
   let ulim = match until with None -> max_int | Some u -> u in
@@ -587,7 +858,8 @@ let run ?(seed = 42) ?(perturb = false) ?until main =
             match Heap.pop s.queue with
             | None -> continue_loop := false
             | Some ev ->
-              if ev.at > ulim then continue_loop := false
+              if ev.dead then s.heap_dead <- s.heap_dead - 1
+              else if ev.at > ulim then continue_loop := false
               else begin
                 s.clock <- ev.at;
                 s.executed <- s.executed + 1;
@@ -596,34 +868,74 @@ let run ?(seed = 42) ?(perturb = false) ?until main =
           done
         end
         else begin
+          (* Batched resumption: each outer iteration locates the
+             earliest occupied level-0 slot — every pending event of one
+             exact timestamp, in (tie, seq) order — and the inner loop
+             pops and dispatches head-first until the slot empties. The
+             slot list is the run queue: no copy, and every cell stays
+             linked (hence cancellable via the normal O(1) unlink, same
+             as a still-queued heap event) until the moment it fires.
+             Events scheduled mid-batch for the same instant append to
+             the draining slot with a larger seq, so they run at the
+             batch's tail, exactly where the (at, tie, seq) order puts
+             them. That tail-append argument needs ascending-seq
+             tie-breaking; under ~perturb ties are random, so perturbed
+             runs fall back to one full scan per event. *)
+          let batch_all = s.perturb_rng = None in
           let continue_loop = ref true in
           while !continue_loop && not s.stopping do
-            let c = wheel_pop s in
-            if c < 0 then continue_loop := false
+            if not (refill s) then continue_loop := false
             else begin
-              let at = Array.unsafe_get s.ev_i (4 * c) in
+              let bm0 = Array.unsafe_get s.bitmaps 0 in
+              let slot = scan_from bm0 (Array.unsafe_get s.pos 0) in
+              Array.unsafe_set s.pos 0 slot;
+              let hts = Array.unsafe_get s.hts 0 in
+              let ev = s.ev_i in
+              let at = Array.unsafe_get ev (4 * Array.unsafe_get hts (2 * slot)) in
               if at > ulim then continue_loop := false
               else begin
                 s.clock <- at;
-                s.executed <- s.executed + 1;
-                let kind = Array.unsafe_get s.ev_i ((4 * c) + 2) land 3 in
-                let payload = Array.unsafe_get s.ev_payload c in
-                if kind = k_thunk then begin
-                  free_cell s c;
-                  (Obj.obj payload : unit -> unit) ()
-                end
-                else if kind = k_cont then begin
-                  free_cell s c;
-                  Effect.Deep.continue
-                    (Obj.obj payload : (unit, unit) Effect.Deep.continuation)
-                    ()
-                end
-                else begin
-                  let name = Array.unsafe_get s.ev_name c in
-                  Array.unsafe_set s.ev_name c no_name;
-                  free_cell s c;
-                  exec name (Obj.obj payload)
-                end
+                let draining = ref true in
+                while !draining && not s.stopping do
+                  let head = Array.unsafe_get hts (2 * slot) in
+                  (* [ev_i] must be re-read per event: the one just
+                     dispatched may have grown the pool, replacing the
+                     arrays. ([hts] and the bitmaps are fixed-size.) *)
+                  let ev = s.ev_i in
+                  let hnext = Array.unsafe_get ev ((4 * head) + 2) in
+                  Array.unsafe_set hts (2 * slot) hnext;
+                  if hnext >= 0 then
+                    Array.unsafe_set ev ((4 * hnext) + 3) nil
+                  else begin
+                    Array.unsafe_set hts ((2 * slot) + 1) nil;
+                    bit_clear bm0 slot
+                  end;
+                  s.counts.(0) <- Array.unsafe_get s.counts 0 - 1;
+                  s.live <- s.live - 1;
+                  let k = Array.unsafe_get ev ((4 * head) + 1) land 3 in
+                  let payload = Array.unsafe_get s.ev_payload head in
+                  s.executed <- s.executed + 1;
+                  if k = k_fiber then begin
+                    let name = Array.unsafe_get s.ev_name head in
+                    if name != no_name then
+                      Array.unsafe_set s.ev_name head no_name;
+                    free_cell s head;
+                    exec name (Obj.obj payload)
+                  end
+                  else begin
+                    free_cell s head;
+                    if k = k_thunk then (Obj.obj payload : unit -> unit) ()
+                    else
+                      Effect.Deep.continue
+                        (Obj.obj payload
+                          : (unit, unit) Effect.Deep.continuation)
+                        ()
+                  end;
+                  (* Re-read the head: the dispatched event may have
+                     scheduled into, or cancelled from, this slot. *)
+                  if (not batch_all) || Array.unsafe_get hts (2 * slot) < 0
+                  then draining := false
+                done
               end
             end
           done

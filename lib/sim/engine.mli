@@ -105,6 +105,54 @@ val call_at : time -> (unit -> unit) -> unit
 val call_after : time -> (unit -> unit) -> unit
 (** [call_after d f] is [call_at (now () + d) f]. *)
 
+(** {1 Cancellable timers}
+
+    Timed waits (Mailbox/Waitq/Ivar timeouts, RPC deadlines) arm a timer
+    they usually don't need: the common case is a normal wake before the
+    deadline. Cancellation removes the dead timer from the schedule — the
+    wheel unlinks the cell in O(1) and recycles it; the reference heap
+    tombstones the event and the run loop skips it — so a completed timed
+    wait leaves nothing behind to churn through the scheduler. Cancelled
+    timers never execute under either scheduler, so schedule equivalence
+    is preserved. *)
+
+type timer = private int
+(** A cancel token for a pending timer. Tokens are immediate ints (no
+    allocation) and are only meaningful within the {!run} that created
+    them. *)
+
+val no_timer : timer
+(** The null token; {!cancel} on it returns [false]. *)
+
+val timer_at : time -> (unit -> unit) -> timer
+(** Like {!call_at} — identical schedule position — but returns a token
+    that can cancel the callback before it fires. *)
+
+val timer_after : time -> (unit -> unit) -> timer
+(** [timer_after d f] is [timer_at (now () + d) f]. *)
+
+val cancel : timer -> bool
+(** [cancel t] removes the pending timer: [true] if this call removed it
+    (the callback will never run), [false] if it already fired, was
+    already cancelled, or [t] is {!no_timer}. *)
+
+val arm_timeout : 'a waker -> time -> 'a -> unit
+(** [arm_timeout w d v] arms a deadline on waker [w]: after [d] ns, [w] is
+    woken with [v] unless it fired first. A normal {!wake} before the
+    deadline cancels the timer automatically — this is the primitive the
+    timed waits in Mailbox/Waitq/Ivar are built on. At most one deadline
+    per waker; re-arming overwrites the token without cancelling the
+    previous timer. *)
+
+val timers_cancelled : unit -> int
+(** Number of timers removed by {!cancel} so far in this run
+    (diagnostic; includes deadline auto-cancels). *)
+
+val pending_events : unit -> int
+(** Number of scheduled-but-unfired events right now — live wheel cells
+    (or non-tombstoned heap events). Lets tests and micro benchmarks
+    observe that cancelled timers really left the schedule. *)
+
 (** {1 Randomness} *)
 
 val random_state : unit -> Random.State.t

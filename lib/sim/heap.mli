@@ -18,7 +18,9 @@ val is_empty : 'a t -> bool
 val push : 'a t -> 'a -> unit
 
 val pop : 'a t -> 'a option
-(** [pop t] removes and returns the minimum element, if any. *)
+(** [pop t] removes and returns the minimum element, if any. The backing
+    array retains no reference to popped elements (beyond, transiently,
+    the last element popped from a heap that became empty). *)
 
 val peek : 'a t -> 'a option
 

@@ -1,49 +1,73 @@
-type 'a state =
-  | Empty of 'a option Engine.waker list
-  | Full of 'a
+(* The waiter list is an intrusive slab list (FIFO, like the old
+   cons-then-[List.rev] representation but allocation-free); the value is
+   stored untyped so the record itself is the whole ivar — no [state]
+   variant reallocated on fill. *)
+type 'a t = {
+  mutable full : bool;
+  mutable value : Obj.t;
+  mutable whead : int;
+  mutable wtail : int;
+}
 
-type 'a t = { mutable state : 'a state }
+let unit_obj = Obj.repr 0
 
-let create () = { state = Empty [] }
+let create () =
+  { full = false; value = unit_obj; whead = Slab.nil; wtail = Slab.nil }
 
 let try_fill t v =
-  match t.state with
-  | Full _ -> false
-  | Empty waiters ->
-    t.state <- Full v;
-    List.iter (fun w -> ignore (Engine.wake w (Some v))) (List.rev waiters);
+  if t.full then false
+  else begin
+    t.full <- true;
+    t.value <- Obj.repr v;
+    let c = ref t.whead in
+    t.whead <- Slab.nil;
+    t.wtail <- Slab.nil;
+    while !c >= 0 do
+      let w : 'a option Engine.waker = Obj.obj (Slab.get !c) in
+      let next = Slab.next !c in
+      Slab.free !c;
+      ignore (Engine.wake w (Some v) : bool);
+      c := next
+    done;
     true
+  end
 
 let fill t v =
   if not (try_fill t v) then invalid_arg "Ivar.fill: already full"
 
-let is_full t = match t.state with Full _ -> true | Empty _ -> false
+let is_full t = t.full
 
-let peek t = match t.state with Full v -> Some v | Empty _ -> None
+let peek t = if t.full then Some (Obj.obj t.value : 'a) else None
+
+let park t w =
+  let nd = Slab.alloc (Obj.repr w) in
+  if t.wtail < 0 then t.whead <- nd else Slab.set_next t.wtail nd;
+  t.wtail <- nd
 
 let read t =
-  match t.state with
-  | Full v -> v
-  | Empty _ -> (
+  if t.full then (Obj.obj t.value : 'a)
+  else begin
     let r =
       Engine.suspend (fun w ->
-          match t.state with
-          | Full v -> ignore (Engine.wake w (Some v))
-          | Empty waiters -> t.state <- Empty (w :: waiters))
+          (* re-check: a fill may have raced in before the suspension *)
+          if t.full then ignore (Engine.wake w (Some (Obj.obj t.value)) : bool)
+          else park t w)
     in
     match r with
     | Some v -> v
-    | None -> assert false (* only timeouts wake with [None] *))
+    | None -> assert false (* only timeouts wake with [None] *)
+  end
 
 let read_timeout t ~timeout =
-  match t.state with
-  | Full v -> Some v
-  | Empty _ ->
+  if t.full then Some (Obj.obj t.value : 'a)
+  else
     Engine.suspend (fun w ->
-        (match t.state with
-        | Full v -> ignore (Engine.wake w (Some v))
-        | Empty waiters -> t.state <- Empty (w :: waiters));
-        Engine.call_after timeout (fun () -> ignore (Engine.wake w None)))
+        if t.full then ignore (Engine.wake w (Some (Obj.obj t.value)) : bool)
+        else begin
+          park t w;
+          (* the fill that wakes this waiter cancels the deadline cell *)
+          Engine.arm_timeout w timeout None
+        end)
 
 let join_all ts = List.map read ts
 

@@ -1,38 +1,94 @@
+(* Items and blocked receivers both live in intrusive slab lists (head /
+   tail node indices into the per-domain {!Slab}), so send/recv allocate
+   nothing in steady state — the previous [Queue.t] representation paid a
+   minor-heap cell per message and per waiter, which dominates at 10^6
+   parked producers. FIFO order of both lists is unchanged. *)
 type 'a t = {
-  items : 'a Queue.t;
-  waiters : 'a option Engine.waker Queue.t;
+  mutable ihead : int;
+  mutable itail : int;
+  mutable ilen : int;
+  mutable whead : int;
+  mutable wtail : int;
 }
 
-let create () = { items = Queue.create (); waiters = Queue.create () }
+let create () =
+  {
+    ihead = Slab.nil;
+    itail = Slab.nil;
+    ilen = 0;
+    whead = Slab.nil;
+    wtail = Slab.nil;
+  }
 
 (* Deliver [v] to the first waiter that has not already been woken (e.g. by
-   a timeout); returns false when no live waiter remains. *)
-let rec deliver_to_waiter t v =
-  match Queue.take_opt t.waiters with
-  | None -> false
-  | Some w -> if Engine.wake w (Some v) then true else deliver_to_waiter t v
+   a timeout); returns false when no live waiter remains. Dead waiters'
+   nodes are freed here, lazily, exactly when the old queue dropped them. *)
+let rec deliver_to_waiter : 'a. 'a t -> 'a -> bool =
+ fun t v ->
+  if t.whead < 0 then false
+  else begin
+    let n = t.whead in
+    let w : 'a option Engine.waker = Obj.obj (Slab.get n) in
+    t.whead <- Slab.next n;
+    if t.whead < 0 then t.wtail <- Slab.nil;
+    Slab.free n;
+    if Engine.wake w (Some v) then true else deliver_to_waiter t v
+  end
 
-let send t v = if not (deliver_to_waiter t v) then Queue.push v t.items
+let send t v =
+  if not (deliver_to_waiter t v) then begin
+    let n = Slab.alloc (Obj.repr v) in
+    if t.itail < 0 then t.ihead <- n else Slab.set_next t.itail n;
+    t.itail <- n;
+    t.ilen <- t.ilen + 1
+  end
+
+let take_item t =
+  if t.ihead < 0 then None
+  else begin
+    let n = t.ihead in
+    let v = Obj.obj (Slab.get n) in
+    t.ihead <- Slab.next n;
+    if t.ihead < 0 then t.itail <- Slab.nil;
+    Slab.free n;
+    t.ilen <- t.ilen - 1;
+    Some v
+  end
+
+let park t w =
+  let n = Slab.alloc (Obj.repr w) in
+  if t.wtail < 0 then t.whead <- n else Slab.set_next t.wtail n;
+  t.wtail <- n
 
 let recv t =
-  match Queue.take_opt t.items with
+  match take_item t with
   | Some v -> v
   | None -> (
-    match Engine.suspend (fun w -> Queue.push w t.waiters) with
+    match Engine.suspend (fun w -> park t w) with
     | Some v -> v
     | None -> assert false)
 
 let recv_timeout t ~timeout =
-  match Queue.take_opt t.items with
+  match take_item t with
   | Some v -> Some v
   | None ->
     Engine.suspend (fun w ->
-        Queue.push w t.waiters;
-        (* call_after: the timeout thunk only wakes, no fiber needed *)
-        Engine.call_after timeout (fun () -> ignore (Engine.wake w None)))
+        park t w;
+        (* the deadline cell is cancelled automatically when a send wakes
+           this waiter first — no dead timer left in the wheel *)
+        Engine.arm_timeout w timeout None)
 
-let try_recv t = Queue.take_opt t.items
+let try_recv t = take_item t
 
-let length t = Queue.length t.items
+let length t = t.ilen
 
-let clear t = Queue.clear t.items
+let clear t =
+  let c = ref t.ihead in
+  while !c >= 0 do
+    let next = Slab.next !c in
+    Slab.free !c;
+    c := next
+  done;
+  t.ihead <- Slab.nil;
+  t.itail <- Slab.nil;
+  t.ilen <- 0

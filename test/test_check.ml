@@ -179,8 +179,8 @@ let prop_monitors_clean_any_crash_time_batched =
 
 let find_planted_bug () =
   let rec go seed =
-    if seed > 20 then
-      Alcotest.fail "no-pinning bug not caught within 20 seeds"
+    if seed > 40 then
+      Alcotest.fail "no-pinning bug not caught within 40 seeds"
     else
       let sc =
         Checker.scenario ~system:"erwin-st" ~seed ~bug:"no-pinning"

@@ -5,8 +5,13 @@
 
    - a randomized program generator (sleeps spanning every wheel level
      and the overflow heap, fiber timers, bare callbacks, nested spawns,
-     suspend/wake, past-time clamping) traced under both schedulers
-     across many master seeds, with and without tie perturbation;
+     suspend/wake, past-time clamping, cancellable timers racing
+     cancellers, timed waits whose normal wake cancels the deadline)
+     traced under both schedulers across many master seeds, with and
+     without tie perturbation. Unperturbed wheel runs take the batched
+     slot-drain path and the same-instant tie buckets force multi-cell
+     batches, so this property also pins batched resumption — and
+     cancellation mid-batch — to the reference schedule;
 
    - a small erwin-m cluster workload whose latency statistics, message
      counts and ordering progress must be bit-identical under both. *)
@@ -34,7 +39,7 @@ let delay rng =
   | 6 -> Engine.sec (9 + Random.State.int rng 25)
   | _ -> 0
 
-let run_program sched ~perturb ~seed : trace * int =
+let run_program sched ~perturb ~seed : trace * int * int =
   Engine.set_scheduler sched;
   let trace = ref [] in
   Engine.run ~seed ~perturb (fun () ->
@@ -84,8 +89,47 @@ let run_program sched ~perturb ~seed : trace * int =
           emit 600 0;
           Engine.spawn (fun () ->
               Engine.sleep (delay rng);
-              emit 600 1)));
-  (List.rev !trace, Engine.events_executed ())
+              emit 600 1));
+      (* Cancellable timers racing cancellers. The cancel outcome — did
+         the cancel win, or had the timer already fired? — is part of the
+         trace, so both schedulers must agree on every race, including
+         same-instant ones (bucket-4 delays make d = dc common): a
+         same-time later-seq timer is still pending when the canceller
+         runs and must be cancellable under both schedulers. *)
+      for i = 1 to 12 do
+        let d = delay rng in
+        let dc = delay rng in
+        let tok = Engine.timer_after d (fun () -> emit (700 + i) 0) in
+        match Random.State.int rng 4 with
+        | 0 ->
+          Engine.call_after dc (fun () ->
+              emit (700 + i) (if Engine.cancel tok then 1 else 2))
+        | 1 ->
+          (* double cancel: the second must lose under both schedulers *)
+          Engine.call_after dc (fun () ->
+              let a = Engine.cancel tok in
+              let b = Engine.cancel tok in
+              emit (700 + i) ((if a then 1 else 2) + if b then 10 else 20))
+        | 2 -> () (* timer just fires *)
+        | _ ->
+          Engine.spawn (fun () ->
+              Engine.sleep dc;
+              emit (700 + i) (if Engine.cancel tok then 3 else 4))
+      done;
+      (* Timed waits: a message racing a timeout. A normal wake cancels
+         the deadline cell; a timeout fires it. Either way the observable
+         value and the executed-event count must match the reference. *)
+      for i = 1 to 6 do
+        let dmsg = delay rng in
+        let dto = delay rng in
+        let mb = Mailbox.create () in
+        Engine.call_after dmsg (fun () -> Mailbox.send mb i);
+        Engine.spawn (fun () ->
+            match Mailbox.recv_timeout mb ~timeout:dto with
+            | Some v -> emit (800 + i) v
+            | None -> emit (800 + i) (-1))
+      done);
+  (List.rev !trace, Engine.events_executed (), Engine.timers_cancelled ())
 
 let test_equivalence ~perturb () =
   let prev = Engine.scheduler () in
@@ -93,11 +137,8 @@ let test_equivalence ~perturb () =
     ~finally:(fun () -> Engine.set_scheduler prev)
     (fun () ->
       for seed = 1 to 100 do
-        let th, eh = run_program `Heap ~perturb ~seed in
-        let tw, ew = run_program `Wheel ~perturb ~seed in
-        if eh <> ew then
-          Alcotest.failf "seed %d: events_executed heap=%d wheel=%d" seed eh
-            ew;
+        let th, eh, ch = run_program `Heap ~perturb ~seed in
+        let tw, ew, cw = run_program `Wheel ~perturb ~seed in
         if th <> tw then begin
           let len = List.length in
           List.iteri
@@ -115,7 +156,13 @@ let test_equivalence ~perturb () =
             th;
           Alcotest.failf "seed %d: wheel trace longer (%d vs %d)" seed
             (len tw) (len th)
-        end
+        end;
+        if eh <> ew then
+          Alcotest.failf "seed %d: events_executed heap=%d wheel=%d" seed eh
+            ew;
+        if ch <> cw then
+          Alcotest.failf "seed %d: timers_cancelled heap=%d wheel=%d" seed ch
+            cw
       done)
 
 (* --- cluster workload equivalence --- *)
