@@ -22,6 +22,7 @@ let figures : (string * string * (unit -> unit)) list =
     ("read", "demand-driven tail reads", Fig_read.run);
     ("open", "open-loop 100k-producer workload", Fig_open.run);
     ("stream", "subscription streaming delivery", Fig_stream.run);
+    ("gray", "gray-failure resilience (hedged reads, outlier eviction)", Fig_gray.run);
   ]
 
 let run_selection scheduler figs full micro ablations csv json_dir

@@ -16,11 +16,20 @@ open Ll_check
 
 let pp_outcome_line (o : Checker.outcome) =
   let sc = o.Checker.scenario in
-  let crashes, parts, losses, stragglers =
-    Fault_dsl.count_kind sc.Artifact.script
-  in
+  let k = Fault_dsl.count_kind sc.Artifact.script in
   let faults =
-    Printf.sprintf "%dc/%dp/%dl/%ds" crashes parts losses stragglers
+    (* Classic verbs always; the gray (fail-slow) verbs only when the
+       script has any, so non-gray sweep output is unchanged. *)
+    let base =
+      Printf.sprintf "%dc/%dp/%dl/%ds" k.Fault_dsl.crashes
+        k.Fault_dsl.partitions k.Fault_dsl.losses k.Fault_dsl.stragglers
+    in
+    if k.Fault_dsl.linkfaults + k.Fault_dsl.stutters + k.Fault_dsl.degrades = 0
+    then base
+    else
+      base
+      ^ Printf.sprintf "/%dlf/%dst/%ddg" k.Fault_dsl.linkfaults
+          k.Fault_dsl.stutters k.Fault_dsl.degrades
   in
   match o.Checker.violation with
   | Some v ->
@@ -33,36 +42,76 @@ let pp_outcome_line (o : Checker.outcome) =
       sc.Artifact.system sc.Artifact.seed faults o.Checker.coverage.acked
       o.Checker.coverage.reads o.Checker.coverage.stable o.Checker.events
 
+type agg = {
+  mutable runs : int;
+  mutable viols : int;
+  mutable acked : int;
+  mutable reads : int;
+  mutable crashes : int;
+  mutable views : int;
+  mutable delivered : int;
+  mutable gray_faults : int;
+  mutable outliers : int;
+  mutable retries : int;
+  mutable shed : int;
+  mutable hedges_won : int;
+  mutable events : int;
+}
+
 let summarize (outcomes : Checker.outcome list) =
   let by_system = Hashtbl.create 4 in
   List.iter
     (fun (o : Checker.outcome) ->
       let sys = o.Checker.scenario.Artifact.system in
-      let runs, viols, acked, reads, crashes, views, delivered, events =
+      let a =
         match Hashtbl.find_opt by_system sys with
-        | Some t -> t
-        | None -> (0, 0, 0, 0, 0, 0, 0, 0)
+        | Some a -> a
+        | None ->
+          let a =
+            {
+              runs = 0; viols = 0; acked = 0; reads = 0; crashes = 0;
+              views = 0; delivered = 0; gray_faults = 0; outliers = 0;
+              retries = 0; shed = 0; hedges_won = 0; events = 0;
+            }
+          in
+          Hashtbl.replace by_system sys a;
+          a
       in
       let c = o.Checker.coverage in
-      Hashtbl.replace by_system sys
-        ( runs + 1,
-          (viols + match o.Checker.violation with Some _ -> 1 | None -> 0),
-          acked + c.Monitors.acked,
-          reads + c.Monitors.reads,
-          crashes + c.Monitors.crashes,
-          views + c.Monitors.view_installs,
-          delivered + c.Monitors.delivered,
-          events + o.Checker.events ))
+      let r = o.Checker.rpc in
+      a.runs <- a.runs + 1;
+      (match o.Checker.violation with
+      | Some _ -> a.viols <- a.viols + 1
+      | None -> ());
+      a.acked <- a.acked + c.Monitors.acked;
+      a.reads <- a.reads + c.Monitors.reads;
+      a.crashes <- a.crashes + c.Monitors.crashes;
+      a.views <- a.views + c.Monitors.view_installs;
+      a.delivered <- a.delivered + c.Monitors.delivered;
+      a.gray_faults <- a.gray_faults + c.Monitors.gray_faults;
+      a.outliers <- a.outliers + c.Monitors.outliers_removed;
+      a.retries <- a.retries + r.Ll_net.Rpc.cs_retries;
+      a.shed <- a.shed + r.Ll_net.Rpc.cs_shed;
+      a.hedges_won <- a.hedges_won + r.Ll_net.Rpc.cs_hedges_won;
+      a.events <- a.events + o.Checker.events)
     outcomes;
   print_endline "";
   print_endline "coverage summary";
   Hashtbl.iter
-    (fun sys (runs, viols, acked, reads, crashes, views, delivered, events) ->
+    (fun sys a ->
       Printf.printf
         "  %-8s %4d seeds | %d violations | %d appends acked | %d records \
          read | %d crashes | %d view installs | %d delivered | %.1fM events\n"
-        sys runs viols acked reads crashes views delivered
-        (float_of_int events /. 1e6))
+        sys a.runs a.viols a.acked a.reads a.crashes a.views a.delivered
+        (float_of_int a.events /. 1e6);
+      (* Gray-resilience line only when something gray happened, so the
+         classic sweeps print exactly what they always did. *)
+      if a.gray_faults + a.outliers + a.retries + a.shed + a.hedges_won > 0
+      then
+        Printf.printf
+        "  %-8s      gray | %d gray faults | %d outliers evicted | %d \
+         retries (%d shed) | %d hedges won\n"
+          "" a.gray_faults a.outliers a.retries a.shed a.hedges_won)
     by_system
 
 let write_artifact dir (o : Checker.outcome) =
@@ -80,7 +129,7 @@ let write_artifact dir (o : Checker.outcome) =
     Some path
 
 let run_sweep systems seeds seed_base shards jobs quick serial batching
-    replica_reads subscriptions bug artifact_dir =
+    replica_reads subscriptions gray bug artifact_dir =
   let horizon =
     if quick then Checker.quick_horizon else Checker.default_horizon
   in
@@ -89,7 +138,7 @@ let run_sweep systems seeds seed_base shards jobs quick serial batching
       (fun system ->
         List.init seeds (fun i ->
             Checker.scenario ~system ~seed:(seed_base + i) ~shards ~serial
-              ~batching ~replica_reads ~subscriptions ?bug ~horizon ()))
+              ~batching ~replica_reads ~subscriptions ~gray ?bug ~horizon ()))
       systems
   in
   Printf.printf
@@ -102,7 +151,8 @@ let run_sweep systems seeds seed_base shards jobs quick serial batching
     (if serial then "; serial orderer" else "")
     ((if batching then "; append batching" else "")
     ^ (if replica_reads then "; replica reads" else "")
-    ^ if subscriptions then "; subscriptions" else "")
+    ^ (if subscriptions then "; subscriptions" else "")
+    ^ if gray then "; gray (fail-slow) faults + mitigations" else "")
     (match bug with Some b -> "; BUG GATE " ^ b | None -> "")
     jobs;
   let outcomes = Checker.sweep ~jobs scenarios in
@@ -172,14 +222,14 @@ let run_replay path =
     0
 
 let main scheduler systems seeds seed_base shards jobs quick serial batching
-    replica_reads subscriptions bug artifact_dir replay =
+    replica_reads subscriptions gray bug artifact_dir replay =
   (* Set before any Engine.run; spawned sweep domains inherit it. *)
   Ll_sim.Engine.set_scheduler scheduler;
   match replay with
   | Some path -> run_replay path
   | None ->
     run_sweep systems seeds seed_base shards jobs quick serial batching
-      replica_reads subscriptions bug artifact_dir
+      replica_reads subscriptions gray bug artifact_dir
 
 open Cmdliner
 
@@ -261,6 +311,18 @@ let subscriptions =
            every appended record reaches every registered subscriber \
            exactly once, in order, across the injected faults.")
 
+let gray =
+  Arg.(
+    value & flag
+    & info [ "gray" ]
+        ~doc:
+          "Hostile-world mode: the fault generator draws gray (fail-slow) \
+           verbs — asymmetric link faults, disk stutter and sustained \
+           degrade — and every mitigation runs (hedged reads, retry \
+           budgets, latency-outlier eviction), with a progress audit \
+           (stable keeps advancing, every acked record binds) after the \
+           drain tail.")
+
 let bug =
   Arg.(
     value
@@ -292,7 +354,7 @@ let cmd =
     (Cmd.info "lazylog-check" ~doc)
     Term.(
       const main $ scheduler $ systems $ seeds $ seed_base $ shards $ jobs
-      $ quick $ serial $ batching $ replica_reads $ subscriptions $ bug
-      $ artifact_dir $ replay)
+      $ quick $ serial $ batching $ replica_reads $ subscriptions $ gray
+      $ bug $ artifact_dir $ replay)
 
 let () = exit (Cmd.eval' cmd)

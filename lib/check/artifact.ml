@@ -13,6 +13,11 @@ type scenario = {
       (* run with the streaming-delivery subsystem: a subscription
          manager plus pushed consumers (one crash-restarted mid-run),
          checked by the exactly-once monitor *)
+  gray : bool;
+      (* hostile-world mode: the fault generator draws gray (fail-slow)
+         verbs — asymmetric link faults, disk stutter/degrade — and the
+         cluster runs with every mitigation on (hedged reads, retry
+         budgets, outlier detection), checked by the progress monitor *)
   bug : string option;
   horizon : Engine.time;
   script : Fault_dsl.script;
@@ -39,6 +44,7 @@ let to_string a =
   line "batching %b" a.scenario.batching;
   line "replica_reads %b" a.scenario.replica_reads;
   line "subscriptions %b" a.scenario.subscriptions;
+  line "gray %b" a.scenario.gray;
   (match a.scenario.bug with Some b -> line "bug %s" b | None -> ());
   line "horizon %d" a.scenario.horizon;
   line "invariant %s" a.invariant;
@@ -100,6 +106,11 @@ let of_string s =
           (* Absent in pre-subscription artifacts: default off. *)
           subscriptions =
             (match Hashtbl.find_opt fields "subscriptions" with
+            | Some b -> bool_of_string b
+            | None -> false);
+          (* Absent in pre-gray artifacts: default off. *)
+          gray =
+            (match Hashtbl.find_opt fields "gray" with
             | Some b -> bool_of_string b
             | None -> false);
           bug = Hashtbl.find_opt fields "bug";

@@ -26,6 +26,10 @@ type scenario = {
   subscriptions : bool;
       (** streaming delivery on: subscription manager + pushed consumers
           (one crash-restarted mid-run), exactly-once monitored *)
+  gray : bool;
+      (** hostile-world mode: fault generation draws gray (fail-slow)
+          verbs and every mitigation knob is on (hedged reads, retry
+          budgets, outlier detection); progress-monitored *)
   bug : string option;  (** intentional bug gate, e.g. ["no-pinning"] *)
   horizon : Engine.time;
   script : Fault_dsl.script;

@@ -28,6 +28,22 @@ let config_of (sc : Artifact.scenario) =
   let cfg =
     if sc.subscriptions then { cfg with Config.subscriptions = true } else cfg
   in
+  let cfg =
+    if sc.gray then
+      (* Hostile-world mode: every mitigation on, and a small dirty limit
+         so a fail-slow disk actually backpressures the append path
+         within the short horizon (with the default 8 MB the checker's
+         workload never fills the write buffer and disk verbs would only
+         exercise the flusher). *)
+      {
+        cfg with
+        Config.hedged_reads = true;
+        retry_budget = true;
+        outlier_detection = true;
+        dirty_limit_bytes = 32 * 1024;
+      }
+    else cfg
+  in
   match sc.bug with
   | None -> cfg
   | Some "no-pinning" -> { cfg with Config.debug_no_rid_pinning = true }
@@ -36,14 +52,14 @@ let config_of (sc : Artifact.scenario) =
 (* The fault script is a pure function of (seed, horizon, topology): a
    seed alone reproduces a generated run. Distinct salt from the engine's
    rng streams. *)
-let gen_script ~seed ~horizon ~shards =
+let gen_script ?(gray = false) ~seed ~horizon ~shards () =
   let rng = Random.State.make [| seed; 0xfa017 |] in
-  Fault_dsl.gen rng ~horizon
+  Fault_dsl.gen ~gray rng ~horizon
     ~nreplicas:Config.default.Config.seq_replica_count ~nshards:shards
 
 let scenario ~system ~seed ?(shards = 2) ?(serial = false)
     ?(batching = false) ?(replica_reads = false) ?(subscriptions = false)
-    ?bug ?(horizon = default_horizon) () : Artifact.scenario =
+    ?(gray = false) ?bug ?(horizon = default_horizon) () : Artifact.scenario =
   {
     Artifact.system;
     seed;
@@ -52,9 +68,10 @@ let scenario ~system ~seed ?(shards = 2) ?(serial = false)
     batching;
     replica_reads;
     subscriptions;
+    gray;
     bug;
     horizon;
-    script = gen_script ~seed ~horizon ~shards;
+    script = gen_script ~gray ~seed ~horizon ~shards ();
   }
 
 type outcome = {
@@ -62,6 +79,7 @@ type outcome = {
   violation : Monitors.violation option;
   coverage : Monitors.coverage;
   events : int;
+  rpc : Ll_net.Rpc.counter_snapshot;
 }
 
 let empty_coverage : Monitors.coverage =
@@ -73,6 +91,8 @@ let empty_coverage : Monitors.coverage =
     view_installs = 0;
     stable = 0;
     delivered = 0;
+    gray_faults = 0;
+    outliers_removed = 0;
   }
 
 let client_for (sc : Artifact.scenario) cluster =
@@ -96,7 +116,12 @@ let run_one (sc : Artifact.scenario) : outcome =
      manager must be given time to push the last stable records through
      any still-open fault window (loss/partition windows heal by about
      [horizon + 5ms]) before the completeness audit is sound. *)
-  let slack = if sc.subscriptions then Engine.ms 80 else Engine.ms 10 in
+  let slack =
+    if sc.subscriptions then Engine.ms 80
+    else if sc.gray then Engine.ms 40
+    else Engine.ms 10
+  in
+  let rpc_before = Ll_net.Rpc.counters () in
   let run () =
     Engine.run ~seed:sc.seed ~perturb:true ~until:(sc.horizon + slack)
       (fun () ->
@@ -179,23 +204,36 @@ let run_one (sc : Artifact.scenario) : outcome =
                 ignore (rlog.Log_api.read ~from ~len : Types.record list)
               end
             done);
-        if sc.subscriptions then
-          (* Drain, then audit completeness: wait until the stable prefix
-             stops advancing and every subscription has caught up with it
-             (bounded by the run's slack — a push stuck in a retry loop
-             behind a fault window still gets through once it heals). *)
+        if sc.subscriptions || sc.gray then
+          (* Drain, then audit: wait until the stable prefix stops
+             advancing — and, for subscription runs, every subscription
+             has caught up with it — bounded by the run's slack (a push
+             stuck in a retry loop behind a fault window still gets
+             through once it heals). Gray runs additionally audit
+             progress (every acked record bound, stable advanced), but
+             only when the drain actually settled: at the deadline with
+             stable still moving or a reconfiguration in flight, the
+             audit would read in-flight bindings as losses. *)
           Engine.spawn ~name:"check.drain" (fun () ->
               Engine.sleep_until (sc.horizon + Engine.ms 5);
               let deadline = sc.horizon + slack - Engine.ms 10 in
               let rec wait () =
                 let s = cluster.Erwin_common.stable_gp in
                 Engine.sleep (Engine.ms 1);
-                if
-                  Engine.now () >= deadline
-                  || (cluster.Erwin_common.stable_gp = s
-                     && Monitors.subs_caught_up mon)
-                then begin
-                  Monitors.finalize_delivery mon;
+                let settled =
+                  cluster.Erwin_common.stable_gp = s
+                  && (not cluster.Erwin_common.reconfiguring)
+                  && ((not sc.subscriptions) || Monitors.subs_caught_up mon)
+                  (* A quiescent stable prefix is not enough in gray
+                     mode: an orderer push lost to a fault window only
+                     redrives after its RPC timeout, so keep draining
+                     while acked records await binding. Only the
+                     deadline turns that wait into a violation. *)
+                  && ((not sc.gray) || not (Monitors.progress_pending mon))
+                in
+                if Engine.now () >= deadline || settled then begin
+                  if sc.subscriptions then Monitors.finalize_delivery mon;
+                  if sc.gray then Monitors.finalize_progress mon;
                   if not !stopped then Engine.stop ()
                 end
                 else wait ()
@@ -222,7 +260,15 @@ let run_one (sc : Artifact.scenario) : outcome =
         Monitors.coverage mon ))
     | None -> (exn_violation, empty_coverage)
   in
-  { scenario = sc; violation; coverage; events = Engine.events_executed () }
+  {
+    scenario = sc;
+    violation;
+    coverage;
+    events = Engine.events_executed ();
+    rpc =
+      Ll_net.Rpc.counters_diff ~before:rpc_before
+        ~after:(Ll_net.Rpc.counters ());
+  }
 
 (* ---------- greedy fault-script shrinking ---------- *)
 

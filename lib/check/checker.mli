@@ -28,6 +28,7 @@ val scenario :
   ?batching:bool ->
   ?replica_reads:bool ->
   ?subscriptions:bool ->
+  ?gray:bool ->
   ?bug:string ->
   ?horizon:Engine.time ->
   unit ->
@@ -42,8 +43,12 @@ val scenario :
     delivery subsystem alongside the workload (a subscription manager
     plus two pushed consumers, one crash-restarted twice mid-run) under
     the exactly-once monitor, with a drain tail after the horizon before
-    the completeness audit; [bug] enables a known-bad configuration
-    (currently ["no-pinning"]). *)
+    the completeness audit; [gray] turns on hostile-world mode — the
+    fault generator draws gray (fail-slow) verbs, every mitigation knob
+    is on (hedged reads, retry budgets, outlier detection), and a drain
+    tail precedes a progress audit (stable advanced, every acked record
+    bound); [bug] enables a known-bad configuration (currently
+    ["no-pinning"]). *)
 
 type outcome = {
   scenario : Artifact.scenario;
@@ -52,6 +57,9 @@ type outcome = {
           as invariant ["exception"] *)
   coverage : Monitors.coverage;
   events : int;  (** scheduler events executed *)
+  rpc : Ll_net.Rpc.counter_snapshot;
+      (** rpc-layer counter deltas for this run (timeouts, retries, shed
+          retries, hedges fired/won) — gray-mode mitigation evidence *)
 }
 
 val run_one : Artifact.scenario -> outcome

@@ -1,5 +1,6 @@
 open Ll_sim
 open Ll_net
+open Ll_storage
 open Lazylog
 
 type target = Replica of int | Shard_primary of int
@@ -19,12 +20,36 @@ type step =
       who : target;
       delay : Engine.time;
     }
+  (* Gray (fail-slow) verbs: nothing crashes, heartbeats stay green —
+     the component is just slow or lossy in one direction. *)
+  | Linkfault of {
+      at : Engine.time;
+      until : Engine.time;
+      src : target;
+      dst : target;
+      delay : Engine.time;
+      drop_p : float;
+    }
+  | Stutter of {
+      at : Engine.time;
+      until : Engine.time;
+      who : target;
+      period : Engine.time;
+      stall : Engine.time;
+    }
+  | Degrade of {
+      at : Engine.time;
+      until : Engine.time;
+      who : target;
+      factor : float;
+    }
 
 type script = step list
 
 let step_at = function
   | Crash { at; _ } | Partition { at; _ } | Loss { at; _ }
-  | Straggler { at; _ } ->
+  | Straggler { at; _ } | Linkfault { at; _ } | Stutter { at; _ }
+  | Degrade { at; _ } ->
     at
 
 let sort script =
@@ -53,6 +78,15 @@ let pp_step fmt = function
   | Straggler { at; until; who; delay } ->
     Format.fprintf fmt "straggler at=%d until=%d who=%a delay=%d" at until
       pp_target who delay
+  | Linkfault { at; until; src; dst; delay; drop_p } ->
+    Format.fprintf fmt "linkfault at=%d until=%d src=%a dst=%a delay=%d p=%.3f"
+      at until pp_target src pp_target dst delay drop_p
+  | Stutter { at; until; who; period; stall } ->
+    Format.fprintf fmt "stutter at=%d until=%d who=%a period=%d stall=%d" at
+      until pp_target who period stall
+  | Degrade { at; until; who; factor } ->
+    Format.fprintf fmt "degrade at=%d until=%d who=%a factor=%.2f" at until
+      pp_target who factor
 
 let step_to_string s = Format.asprintf "%a" pp_step s
 
@@ -96,6 +130,33 @@ let step_of_string line =
           who = target_of_string (field kvs "who");
           delay = i "delay";
         }
+    | "linkfault" ->
+      Linkfault
+        {
+          at = i "at";
+          until = i "until";
+          src = target_of_string (field kvs "src");
+          dst = target_of_string (field kvs "dst");
+          delay = i "delay";
+          drop_p = float_of_string (field kvs "p");
+        }
+    | "stutter" ->
+      Stutter
+        {
+          at = i "at";
+          until = i "until";
+          who = target_of_string (field kvs "who");
+          period = i "period";
+          stall = i "stall";
+        }
+    | "degrade" ->
+      Degrade
+        {
+          at = i "at";
+          until = i "until";
+          who = target_of_string (field kvs "who");
+          factor = float_of_string (field kvs "factor");
+        }
     | _ -> failwith ("fault_dsl: unknown step " ^ kind))
   | [] -> failwith "fault_dsl: empty step"
 
@@ -109,9 +170,14 @@ let step_of_string line =
    Windows are kept short relative to the shard staging scrubber (100 ms):
    a loss or partition window long enough to stall ordering past the
    scrubber age would make the scrubber itself discard staged records, a
-   (modeled) design assumption of the system rather than a protocol bug. *)
+   (modeled) design assumption of the system rather than a protocol bug.
 
-let gen rng ~horizon ~nreplicas ~nshards =
+   [gray]: draw from the hostile-world distribution, which mixes the
+   classic verbs with the gray ones (asymmetric link faults, disk stutter
+   and degrade). The default distribution is byte-identical to the
+   historical one, so pre-gray seeds regenerate their exact scripts. *)
+
+let gen ?(gray = false) rng ~horizon ~nreplicas ~nshards =
   let ri = Random.State.int rng in
   let rf = Random.State.float rng in
   let nsteps = ri 5 in
@@ -122,40 +188,107 @@ let gen rng ~horizon ~nreplicas ~nshards =
     if nshards > 0 && ri 2 = 0 then Shard_primary (ri nshards)
     else Replica (ri (max 1 nreplicas))
   in
+  let gen_classic at =
+    match ri 100 with
+    | k when k < 40 ->
+      (* Loss windows are kept near the client append timeout (2 ms in
+         the checker config): a window that ends between a failed
+         attempt and its retry is the shape that exercises the
+         retry-vs-binding races; much longer windows only push clients
+         down the fresh-rid path. *)
+      Loss
+        {
+          at;
+          until = at + Engine.us 200 + ri (Engine.us 2_300);
+          p = 0.1 +. rf 0.4;
+        }
+    | k when k < 65 ->
+      Straggler
+        {
+          at;
+          until = gen_window at;
+          who = gen_target ();
+          delay = Engine.us (20 + ri 400);
+        }
+    | k when k < 85 || !crash_used ->
+      let a = gen_target () and b = gen_target () in
+      Partition { at; until = gen_window at; a; b }
+    | _ ->
+      crash_used := true;
+      Crash { at; victim = ri (max 1 nreplicas) }
+  in
+  let gen_gray at =
+    match ri 100 with
+    | k when k < 18 ->
+      Loss
+        {
+          at;
+          until = at + Engine.us 200 + ri (Engine.us 2_300);
+          p = 0.1 +. rf 0.4;
+        }
+    | k when k < 34 ->
+      Straggler
+        {
+          at;
+          until = gen_window at;
+          who = gen_target ();
+          delay = Engine.us (20 + ri 400);
+        }
+    | k when k < 56 ->
+      (* Asymmetric: one direction gets a full one-way partition, a pure
+         delay, or both loss and delay; the reverse stays healthy. *)
+      let delay, drop_p =
+        match ri 3 with
+        | 0 -> (0, 1.0)
+        | 1 -> (Engine.us (30 + ri 370), 0.0)
+        | _ -> (Engine.us (ri 200), 0.1 +. rf 0.4)
+      in
+      Linkfault
+        {
+          at;
+          until = gen_window at;
+          src = gen_target ();
+          dst = gen_target ();
+          delay;
+          drop_p;
+        }
+    | k when k < 70 && nshards > 0 ->
+      Stutter
+        {
+          at;
+          until = gen_window at;
+          who = Shard_primary (ri nshards);
+          period = Engine.us (150 + ri 600);
+          stall = Engine.us (400 + ri 2_100);
+        }
+    | k when k < 82 && nshards > 0 ->
+      Degrade
+        {
+          at;
+          until = gen_window at;
+          who = Shard_primary (ri nshards);
+          factor = 2.0 +. rf 6.0;
+        }
+    | k when k < 94 || !crash_used ->
+      let a = gen_target () and b = gen_target () in
+      Partition { at; until = gen_window at; a; b }
+    | _ ->
+      crash_used := true;
+      Crash { at; victim = ri (max 1 nreplicas) }
+  in
   let steps =
     List.init nsteps (fun _ ->
         let at = gen_at () in
-        match ri 100 with
-        | k when k < 40 ->
-          (* Loss windows are kept near the client append timeout (2 ms in
-             the checker config): a window that ends between a failed
-             attempt and its retry is the shape that exercises the
-             retry-vs-binding races; much longer windows only push clients
-             down the fresh-rid path. *)
-          Loss
-            {
-              at;
-              until = at + Engine.us 200 + ri (Engine.us 2_300);
-              p = 0.1 +. rf 0.4;
-            }
-        | k when k < 65 ->
-          Straggler
-            {
-              at;
-              until = gen_window at;
-              who = gen_target ();
-              delay = Engine.us (20 + ri 400);
-            }
-        | k when k < 85 || !crash_used ->
-          let a = gen_target () and b = gen_target () in
-          Partition { at; until = gen_window at; a; b }
-        | _ ->
-          crash_used := true;
-          Crash { at; victim = ri (max 1 nreplicas) })
+        if gray then gen_gray at else gen_classic at)
   in
-  (* Drop degenerate self-partitions. *)
+  (* Drop degenerate self-faults. *)
   let steps =
-    List.filter (function Partition { a; b; _ } -> a <> b | _ -> true) steps
+    List.filter
+      (function
+        | Partition { a; b; _ } -> a <> b
+        | Linkfault { src; dst; _ } -> src <> dst
+        | _ -> true)
+      steps
   in
   sort steps
 
@@ -173,6 +306,19 @@ let resolve_node (cluster : Erwin_common.t) = function
       Some
         (Fabric.node_by_id cluster.fabric
            (Shard.primary_id cluster.shard_index.(i mod n))))
+
+(* Disk verbs only make sense against a shard (sequencing replicas are
+   in-memory); a [Replica] target resolves to no device and the step is a
+   no-op. *)
+let resolve_disk (cluster : Erwin_common.t) = function
+  | Replica _ -> None
+  | Shard_primary i -> (
+    match Array.length cluster.shard_index with
+    | 0 -> None
+    | n -> Some (Shard.replica_disk cluster.shard_index.(i mod n) 0))
+
+let emit_gray kind until =
+  if Probe.active () then Probe.emit (Probe.Gray_fault { kind; until })
 
 (* Targets are resolved at fire time (not schedule time) against the
    then-current membership, so a script stays meaningful across view
@@ -208,19 +354,70 @@ let apply (cluster : Erwin_common.t) script =
             | Some n ->
               Fabric.set_extra_delay n delay;
               Engine.at until (fun () -> Fabric.set_extra_delay n 0)
+            | None -> ())
+      | Linkfault { at; until; src; dst; delay; drop_p } ->
+        Engine.at at (fun () ->
+            match (resolve_node cluster src, resolve_node cluster dst) with
+            | Some ns, Some nd when Fabric.id ns <> Fabric.id nd ->
+              let is_ = Fabric.id ns and id_ = Fabric.id nd in
+              emit_gray "linkfault" until;
+              Fabric.set_link_fault cluster.fabric ~src:is_ ~dst:id_ ~delay
+                ~drop_p ();
+              Engine.at until (fun () ->
+                  Fabric.clear_link_fault cluster.fabric ~src:is_ ~dst:id_)
+            | _ -> ())
+      | Stutter { at; until; who; period; stall } ->
+        Engine.at at (fun () ->
+            match resolve_disk cluster who with
+            | Some d ->
+              emit_gray "stutter" until;
+              Disk.set_fail_slow d (Disk.Stutter { period; stall });
+              Engine.at until (fun () -> Disk.set_fail_slow d Disk.Healthy)
+            | None -> ())
+      | Degrade { at; until; who; factor } ->
+        Engine.at at (fun () ->
+            match resolve_disk cluster who with
+            | Some d ->
+              emit_gray "degrade" until;
+              Disk.set_fail_slow d (Disk.Degrade { factor });
+              Engine.at until (fun () -> Disk.set_fail_slow d Disk.Healthy)
             | None -> ()))
     script
+
+type counts = {
+  crashes : int;
+  partitions : int;
+  losses : int;
+  stragglers : int;
+  linkfaults : int;
+  stutters : int;
+  degrades : int;
+}
 
 let count_kind script =
   let crashes = ref 0
   and partitions = ref 0
   and losses = ref 0
-  and stragglers = ref 0 in
+  and stragglers = ref 0
+  and linkfaults = ref 0
+  and stutters = ref 0
+  and degrades = ref 0 in
   List.iter
     (function
       | Crash _ -> incr crashes
       | Partition _ -> incr partitions
       | Loss _ -> incr losses
-      | Straggler _ -> incr stragglers)
+      | Straggler _ -> incr stragglers
+      | Linkfault _ -> incr linkfaults
+      | Stutter _ -> incr stutters
+      | Degrade _ -> incr degrades)
     script;
-  (!crashes, !partitions, !losses, !stragglers)
+  {
+    crashes = !crashes;
+    partitions = !partitions;
+    losses = !losses;
+    stragglers = !stragglers;
+    linkfaults = !linkfaults;
+    stutters = !stutters;
+    degrades = !degrades;
+  }

@@ -35,6 +35,36 @@ type step =
       who : target;
       delay : Engine.time;
     }
+  | Linkfault of {
+      at : Engine.time;
+      until : Engine.time;
+      src : target;
+      dst : target;
+      delay : Engine.time;
+      drop_p : float;
+    }
+      (** Gray verb: degrade the directed [src -> dst] link only (extra
+          delay and/or loss; [drop_p = 1.0] is a one-way partition). The
+          reverse direction stays healthy — an asymmetric partial
+          partition. *)
+  | Stutter of {
+      at : Engine.time;
+      until : Engine.time;
+      who : target;
+      period : Engine.time;
+      stall : Engine.time;
+    }
+      (** Gray verb: the target shard primary's disk pauses for [stall]
+          every [period] (firmware-GC-style fail-slow). [Replica] targets
+          are no-ops — sequencing replicas are in-memory. *)
+  | Degrade of {
+      at : Engine.time;
+      until : Engine.time;
+      who : target;
+      factor : float;
+    }
+      (** Gray verb: the target shard primary's disk serves every
+          operation [factor] x slower for the window. *)
 
 type script = step list
 
@@ -42,10 +72,15 @@ val sort : script -> script
 (** Stable sort by fire time. *)
 
 val gen :
+  ?gray:bool ->
   Random.State.t -> horizon:Engine.time -> nreplicas:int -> nshards:int ->
   script
 (** Draw a random script (0–4 steps, at most one crash, windows kept
-    short relative to the staging scrubber). Pure in the rng. *)
+    short relative to the staging scrubber). Pure in the rng. With
+    [gray] (default false), draw from the hostile-world distribution,
+    which adds the fail-slow verbs; without it the distribution is
+    byte-identical to the historical one, so old seeds regenerate their
+    exact scripts. *)
 
 val apply : Erwin_common.t -> script -> unit
 (** Schedule every step against the cluster. Must run inside
@@ -57,5 +92,14 @@ val step_to_string : step -> string
 val step_of_string : string -> step
 (** Inverse of {!step_to_string}; raises [Failure] on malformed input. *)
 
-val count_kind : script -> int * int * int * int
-(** (crashes, partitions, loss windows, stragglers). *)
+type counts = {
+  crashes : int;
+  partitions : int;
+  losses : int;
+  stragglers : int;
+  linkfaults : int;
+  stutters : int;
+  degrades : int;
+}
+
+val count_kind : script -> counts

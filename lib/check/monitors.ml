@@ -38,6 +38,8 @@ type t = {
   mutable n_crashes : int;
   mutable n_views : int;
   mutable n_delivered : int;
+  mutable n_gray : int;
+  mutable n_outliers : int;
 }
 
 let violate t invariant fmt =
@@ -240,6 +242,8 @@ let handle t (ev : Probe.event) =
             "subscription %s delivered unbound position %d" name pos);
         Hashtbl.replace t.subs name (from, pos + 1)
       end)
+  | Gray_fault _ -> t.n_gray <- t.n_gray + 1
+  | Outlier_removed _ -> t.n_outliers <- t.n_outliers + 1
 
 (* A subscription is caught up when no client record below the stable
    prefix is still awaiting delivery (trailing no-op fillers do not
@@ -276,6 +280,33 @@ let finalize_delivery t =
       | None -> ())
     t.subs
 
+(* End-of-run progress audit for gray (fail-slow) runs: the per-event
+   monitors above only see what happens — a system that silently wedges
+   under a gray fault emits nothing wrong. Once the post-horizon drain has
+   settled, every acknowledged record must have been bound on some shard
+   (gray faults slow things down; they must never swallow an acked
+   append), and the stable prefix must have advanced at all if anything
+   was acked. Call only after the drain has quiesced — an acked-but-
+   still-in-flight binding would be a false positive. *)
+let progress_pending t =
+  (t.n_acked > 0 && t.stable = 0)
+  || Hashtbl.fold
+       (fun rid _ pending -> pending || not (Hashtbl.mem t.stored_rids rid))
+       t.acked false
+
+let finalize_progress t =
+  if t.n_acked > 0 && t.stable = 0 then
+    violate t "gray-progress"
+      "stable prefix never advanced despite %d acknowledged appends"
+      t.n_acked;
+  Hashtbl.iter
+    (fun rid _ ->
+      if not (Hashtbl.mem t.stored_rids rid) then
+        violate t "gray-progress"
+          "acked record %a still unbound after the post-horizon drain"
+          rid_pp rid)
+    t.acked
+
 let install ?(on_violation = fun _ -> ()) cluster =
   let t =
     {
@@ -297,6 +328,8 @@ let install ?(on_violation = fun _ -> ()) cluster =
       n_crashes = 0;
       n_views = 0;
       n_delivered = 0;
+      n_gray = 0;
+      n_outliers = 0;
     }
   in
   Probe.subscribe (handle t);
@@ -313,6 +346,8 @@ type coverage = {
   view_installs : int;
   stable : int;
   delivered : int;
+  gray_faults : int;
+  outliers_removed : int;
 }
 
 let coverage t =
@@ -324,4 +359,6 @@ let coverage t =
     view_installs = t.n_views;
     stable = t.stable;
     delivered = t.n_delivered;
+    gray_faults = t.n_gray;
+    outliers_removed = t.n_outliers;
   }

@@ -62,6 +62,8 @@ type coverage = {
   view_installs : int;
   stable : int;  (** final stable prefix length *)
   delivered : int;  (** subscription records delivered (post-dedup) *)
+  gray_faults : int;  (** gray (fail-slow) fault windows injected *)
+  outliers_removed : int;  (** replicas evicted by the outlier monitor *)
 }
 
 val coverage : t -> coverage
@@ -75,3 +77,19 @@ val finalize_delivery : t -> unit
 (** End-of-run completeness audit: flags any stable client record a
     subscription registered for but never received. Call once, after the
     workload and delivery have drained. *)
+
+val progress_pending : t -> bool
+(** True while some acknowledged record has not yet been bound on any
+    shard (or nothing has stabilized despite acks) — i.e. calling
+    {!finalize_progress} right now would flag a violation. The checker's
+    drain loop polls this so it can wait out in-flight retries (an
+    orderer push lost to a fault window redrives only after its RPC
+    timeout) instead of auditing a merely-quiescent system. *)
+
+val finalize_progress : t -> unit
+(** End-of-run progress audit for gray-failure runs: every acknowledged
+    record must be bound on some shard, and the stable prefix must have
+    advanced if anything was acked — a fail-slow fault may slow the system
+    but must never wedge it. Call only once the post-horizon drain has
+    settled (stable no longer moving, no reconfiguration in flight), or
+    in-flight bindings read as false positives. *)

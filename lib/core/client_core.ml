@@ -4,6 +4,16 @@ open Erwin_common
 
 type ep = (Proto.req, Proto.resp) Rpc.endpoint
 
+(* Arm the client endpoint's retry budget: retries (never first
+   attempts) then draw from a token bucket refilled by successful first
+   attempts, so a timeout storm degrades to load-shedding instead of a
+   synchronized retry flood. *)
+let install_retry_budget (cluster : t) ep =
+  if cluster.cfg.Config.retry_budget then
+    Rpc.set_retry_budget ep
+      (Rpc.Retry_budget.create ~ratio:cluster.cfg.Config.retry_budget_ratio
+         ~cap:cluster.cfg.Config.retry_budget_cap ())
+
 let try_append_seq (cluster : t) ep ~view ~track entry =
   let req = Proto.Sr_append { view; entry; track } in
   let size = Proto.req_size req in
@@ -119,6 +129,33 @@ let read_plan (cluster : t) ?rr shard =
 let note_piggyback (cluster : t) stable =
   if stable > cluster.stable_gp then cluster.stable_gp <- stable
 
+(* Latency-outlier avoidance in the read plan (only with hedged reads
+   on): a replica whose observed latency score exceeds 3x the plan's
+   median moves to the back, so steady-state reads skip a fail-slow
+   replica entirely and the hedge only pays for the cold start before
+   the scores converge. Unsampled replicas are left in place (assumed
+   healthy until measured), and healthy replicas keep their rotation
+   order — the partition is stable. *)
+let demote_slow_replicas ep plan =
+  match plan with
+  | [] | [ _ ] -> plan
+  | _ -> (
+    let scores = List.filter_map (fun (d, _) -> Rpc.peer_score ep d) plan in
+    match scores with
+    | [] | [ _ ] -> plan
+    | _ ->
+      let sorted = List.sort Float.compare scores in
+      let median = List.nth sorted (List.length sorted / 2) in
+      if median <= 0.0 then plan
+      else
+        let slow (d, _) =
+          match Rpc.peer_score ep d with
+          | Some s -> s > 3.0 *. median
+          | None -> false
+        in
+        let healthy, outliers = List.partition (fun e -> not (slow e)) plan in
+        healthy @ outliers)
+
 let read_grouped ?rr (cluster : t) ep ~shard_of positions =
   (* Batched shard read: shard ids are dense, so group positions with two
      array passes (count, then fill into a pre-sized buffer per shard)
@@ -148,6 +185,10 @@ let read_grouped ?rr (cluster : t) ep ~shard_of positions =
       if Array.length buf > 0 then begin
         let shard = shard_by_id cluster sid in
         let plan = read_plan cluster ?rr shard in
+        let plan =
+          if cluster.cfg.Config.hedged_reads then demote_slow_replicas ep plan
+          else plan
+        in
         let req =
           Proto.Sh_read
             {
@@ -173,7 +214,35 @@ let read_grouped ?rr (cluster : t) ep ~shard_of positions =
                 | Some (Proto.R_records _ as resp) -> Ivar.fill iv resp
                 | Some _ | None -> go rest)
             in
-            go plan);
+            (* Hedged first attempt: send to the plan's first replica and,
+               if no response lands within the adaptive deadline (lower
+               median of the plan's observed latency scores, floored at
+               [hedge_floor]), race a second copy to the next replica —
+               first R_records wins. A fail-slow replica then costs about
+               one deadline, not a 50 ms timeout. Any hedged failure
+               (both lost, or a non-record response) falls back to the
+               sequential plan walk, which retries from scratch. *)
+            let hedged =
+              if not cluster.cfg.Config.hedged_reads then None
+              else
+                match plan with
+                | (d1, _) :: (d2, _) :: _ -> (
+                  let hedge_after =
+                    Rpc.hedge_deadline ep ~dsts:(List.map fst plan)
+                      ~floor:cluster.cfg.Config.hedge_floor
+                  in
+                  match
+                    Rpc.call_hedged ep ~dsts:[ d1; d2 ]
+                      ~size:(Proto.req_size req) ~timeout:(Engine.ms 50)
+                      ~hedge_after req
+                  with
+                  | Some ((Proto.R_records _ as resp), _winner) -> Some resp
+                  | Some _ | None -> None)
+                | _ -> None
+            in
+            match hedged with
+            | Some resp -> Ivar.fill iv resp
+            | None -> go plan);
         calls := iv :: !calls
       end)
     bufs;

@@ -6,6 +6,12 @@ open Ll_net
 
 type ep = (Proto.req, Proto.resp) Rpc.endpoint
 
+val install_retry_budget : Erwin_common.t -> ep -> unit
+(** With [cfg.retry_budget], arm the endpoint's retry token bucket
+    ([retry_budget_ratio]/[retry_budget_cap]) so its [Rpc.call_retry]
+    retries shed under sustained timeouts instead of storming. No-op
+    when the knob is off. *)
+
 val try_append_seq :
   Erwin_common.t -> ep -> view:int -> track:bool -> Types.entry ->
   [ `Ok | `Fail ]
@@ -41,7 +47,16 @@ val read_grouped :
     the primary, with the backups only as a last-resort fallback. Raises
     if no replica of some shard answers — a dropped read is an error, not
     an empty log. Responses' piggybacked stable is max-merged into the
-    cluster's stable mirror. *)
+    cluster's stable mirror.
+
+    With [cfg.hedged_reads] (and a plan of at least two replicas) the
+    plan first demotes latency outliers (replicas scoring over 3x the
+    plan's median observed latency move to the back, so steady-state
+    reads avoid a fail-slow replica) and the first attempt is hedged: a
+    second copy races to the next replica after an adaptive deadline
+    (lower median of the plan's observed latency scores, floored at
+    [cfg.hedge_floor]); any hedged failure falls back to the plan walk
+    above. *)
 
 val note_piggyback : Erwin_common.t -> int -> unit
 (** Max-merge a stable value piggybacked on a read response into the

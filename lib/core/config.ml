@@ -32,6 +32,15 @@ type t = {
   sub_window : int;
   sub_push_max : int;
   sub_push_timeout : Engine.time;
+  hedged_reads : bool;
+  hedge_floor : Engine.time;
+  retry_budget : bool;
+  retry_budget_ratio : float;
+  retry_budget_cap : float;
+  outlier_detection : bool;
+  outlier_interval : Engine.time;
+  outlier_factor : float;
+  outlier_min_samples : int;
   link : Fabric.link;
   rpc_overhead : Engine.time;
   debug_no_rid_pinning : bool;
@@ -83,6 +92,18 @@ let default =
     sub_window = 64;
     sub_push_max = 32;
     sub_push_timeout = Engine.ms 2;
+    (* Gray-failure mitigations default off: knob-off runs draw nothing
+       extra from the rng and schedule nothing, so figs 6-18 stay
+       byte-identical. *)
+    hedged_reads = false;
+    hedge_floor = Engine.us 100;
+    retry_budget = false;
+    retry_budget_ratio = 0.1;
+    retry_budget_cap = 8.0;
+    outlier_detection = false;
+    outlier_interval = Engine.us 500;
+    outlier_factor = 4.0;
+    outlier_min_samples = 8;
     link = Fabric.default_link;
     rpc_overhead = Engine.ns 500;
     debug_no_rid_pinning = false;

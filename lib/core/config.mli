@@ -88,6 +88,33 @@ type t = {
       (** subscriptions: how long the manager waits for a push's ack
           before redelivering the batch (at-least-once; the consumer
           dedups by position) *)
+  hedged_reads : bool;
+      (** opt-in tail-latency hedging on the replica-read path: a client
+          read fires a duplicate to a second replica of the plan after an
+          adaptive deadline ({!Ll_net.Rpc.hedge_deadline} over the
+          endpoint's per-peer latency scores, floored at
+          {!field-hedge_floor}); first response wins, the loser's timer is
+          cancelled. Off by default. *)
+  hedge_floor : Engine.time;  (** minimum hedge deadline *)
+  retry_budget : bool;
+      (** opt-in retry budgets: client endpoints (and shard backup
+          endpoints, whose primary-forwards are retried) meter retries
+          through a token bucket so timeout storms shed load instead of
+          amplifying. Never attached to replication paths. Off by
+          default. *)
+  retry_budget_ratio : float;  (** tokens earned per fresh call *)
+  retry_budget_cap : float;  (** bucket capacity (and initial balance) *)
+  outlier_detection : bool;
+      (** opt-in latency-outlier health monitor: the controller probes
+          every sequencing replica each {!field-outlier_interval}, scores
+          responses ({!Ll_net.Rpc.peer_score}), and triggers section 5.5
+          straggler removal for a replica whose score exceeds
+          {!field-outlier_factor} x the median — catching fail-slow (gray)
+          replicas whose heartbeats stay green. Off by default. *)
+  outlier_interval : Engine.time;  (** probe cadence *)
+  outlier_factor : float;  (** eviction threshold vs median score *)
+  outlier_min_samples : int;
+      (** samples required from every replica before judging *)
   link : Fabric.link;
   rpc_overhead : Engine.time;  (** per-endpoint software overhead (eRPC) *)
   debug_no_rid_pinning : bool;

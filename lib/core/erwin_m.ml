@@ -9,6 +9,7 @@ let create ?(cfg = Config.default) () =
 let client (cluster : Erwin_common.t) : Log_api.t =
   let cid = fresh_client_id cluster in
   let ep = new_endpoint cluster ~name:(Printf.sprintf "m-client%d" cid) in
+  Client_core.install_retry_budget cluster ep;
   let seq = ref 0 in
   let next_rid () =
     incr seq;

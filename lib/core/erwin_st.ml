@@ -161,6 +161,7 @@ let reader (cluster : Erwin_common.t) ep ~rr0 =
 let client (cluster : Erwin_common.t) : Log_api.t =
   let cid = fresh_client_id cluster in
   let ep = new_endpoint cluster ~name:(Printf.sprintf "st-client%d" cid) in
+  Client_core.install_retry_budget cluster ep;
   let seq = ref 0 in
   let rr = ref cid in
   let next_rid () =

@@ -19,6 +19,8 @@ type event =
   | Crashed of { node : int }
   | Sub_registered of { name : string; from : int }
   | Sub_delivered of { name : string; pos : int; rid : Types.Rid.t }
+  | Gray_fault of { kind : string; until : int }
+  | Outlier_removed of { node : int }
 
 type handler = event -> unit
 
@@ -60,3 +62,6 @@ let pp_event fmt =
     Format.fprintf fmt "sub-registered %s from=%d" e.name e.from
   | Sub_delivered e ->
     Format.fprintf fmt "sub-delivered %s pos=%d %a" e.name e.pos rid e.rid
+  | Gray_fault e ->
+    Format.fprintf fmt "gray-fault %s until=%d" e.kind e.until
+  | Outlier_removed e -> Format.fprintf fmt "outlier-removed node=%d" e.node

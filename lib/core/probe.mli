@@ -50,6 +50,13 @@ type event =
       (** Subscription [name]'s consumer delivered the record bound at
           [pos] to the application (post-dedup — redelivered duplicates
           are filtered before this fires). *)
+  | Gray_fault of { kind : string; until : int }
+      (** The fault script injected a gray (fail-slow) fault — "linkfault",
+          "stutter" or "degrade" — healing at simulated time [until]. The
+          progress monitor uses these to know a hostile window was open. *)
+  | Outlier_removed of { node : int }
+      (** The latency-outlier monitor evicted sequencing replica [node]
+          (fabric node id) via section 5.5 straggler removal. *)
 
 type handler = event -> unit
 

@@ -113,23 +113,6 @@ let trigger (cluster : t) ep =
         end)
   end
 
-let start (cluster : t) =
-  let ep = new_endpoint cluster ~name:"controller" in
-  ignore
-    (Zookeeper.create_znode cluster.zk ~path:config_path
-       ~data:(serialize_config ~view:0 cluster.replicas)
-      : bool);
-  Zookeeper.on_session_expired cluster.zk (fun name ->
-      let member =
-        List.exists (fun r -> String.equal (Seq_replica.name r) name)
-          cluster.replicas
-      in
-      if member then trigger cluster ep)
-
-let force_view_change (cluster : t) =
-  let ep = new_endpoint cluster ~name:"controller.force" in
-  trigger cluster ep
-
 let remove_replica (cluster : t) victim =
   (* Straggler mitigation (section 5.5): reconfigure a live but slow
      replica out of the sequencing layer. The view change is the ordinary
@@ -143,3 +126,99 @@ let remove_replica (cluster : t) victim =
         String.equal (Seq_replica.name r) (Seq_replica.name victim))
       ()
   end
+
+(* Latency-outlier health monitor: the section 4.5 detector is a ZK
+   heartbeat timeout, which a fail-slow (gray) replica sails through —
+   heartbeats are tiny and out-of-band, so a replica serving appends 10x
+   slower still looks alive. This monitor probes every sequencing replica
+   on a fixed cadence ([Sr_check_tail] answers cheaply in any view, so it
+   doubles as a latency ping), scores responses with the RPC layer's
+   per-peer EWMA/deviation statistics, and evicts a replica whose score
+   exceeds [outlier_factor] x the median via section 5.5 straggler
+   removal. Guards: every current replica must have [outlier_min_samples]
+   samples, at least 3 replicas must remain (never shrink below 2), and
+   eviction yields to any in-flight reconfiguration. After an eviction the
+   survivors' statistics are forgotten — a fresh window, so congestion
+   caused by the departed straggler cannot cascade into a second
+   eviction. *)
+let start_outlier_monitor (cluster : t) =
+  let cfg = cluster.cfg in
+  let ep = new_endpoint cluster ~name:"controller.gray" in
+  Engine.spawn ~name:"controller.gray-monitor" (fun () ->
+      let rec loop () =
+        Engine.sleep cfg.Config.outlier_interval;
+        let replicas = cluster.replicas in
+        if (not cluster.reconfiguring) && List.length replicas >= 3 then begin
+          (* Fan the probes out on their own fibers so one unresponsive
+             replica cannot stall the cadence; call_timeout drops the
+             pending entry on expiry, so dead peers leak nothing. *)
+          List.iter
+            (fun r ->
+              Engine.spawn ~name:"controller.gray-probe" (fun () ->
+                  let timeout = 2 * cfg.Config.outlier_interval in
+                  match
+                    Rpc.call_timeout ep ~dst:(Seq_replica.node_id r) ~timeout
+                      (Proto.Sr_check_tail { view = cluster.view })
+                  with
+                  | Some _ -> ()
+                  | None ->
+                    (* A probe that blows its deadline is censored
+                       evidence of slowness, not no evidence: without a
+                       sample at the timeout bound, a severely fail-slow
+                       replica would score healthier than a mildly slow
+                       one. *)
+                    Rpc.note_peer_sample ep (Seq_replica.node_id r) timeout))
+            replicas;
+          let scores =
+            List.filter_map
+              (fun r ->
+                let id = Seq_replica.node_id r in
+                if Rpc.peer_samples ep id >= cfg.Config.outlier_min_samples
+                then
+                  match Rpc.peer_score ep id with
+                  | Some s -> Some (r, s)
+                  | None -> None
+                else None)
+              replicas
+          in
+          if List.length scores = List.length replicas then begin
+            let sorted =
+              List.sort (fun (_, a) (_, b) -> Float.compare a b) scores
+            in
+            let median = snd (List.nth sorted ((List.length sorted - 1) / 2)) in
+            match List.rev sorted with
+            | (victim, worst) :: _
+              when median > 0.0
+                   && worst > cfg.Config.outlier_factor *. median
+                   && not cluster.reconfiguring ->
+              if Probe.active () then
+                Probe.emit
+                  (Probe.Outlier_removed { node = Seq_replica.node_id victim });
+              remove_replica cluster victim;
+              List.iter
+                (fun (r, _) -> Rpc.forget_peer ep (Seq_replica.node_id r))
+                scores
+            | _ -> ()
+          end
+        end;
+        loop ()
+      in
+      loop ())
+
+let start (cluster : t) =
+  let ep = new_endpoint cluster ~name:"controller" in
+  ignore
+    (Zookeeper.create_znode cluster.zk ~path:config_path
+       ~data:(serialize_config ~view:0 cluster.replicas)
+      : bool);
+  Zookeeper.on_session_expired cluster.zk (fun name ->
+      let member =
+        List.exists (fun r -> String.equal (Seq_replica.name r) name)
+          cluster.replicas
+      in
+      if member then trigger cluster ep);
+  if cluster.cfg.Config.outlier_detection then start_outlier_monitor cluster
+
+let force_view_change (cluster : t) =
+  let ep = new_endpoint cluster ~name:"controller.force" in
+  trigger cluster ep

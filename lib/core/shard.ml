@@ -5,6 +5,7 @@ open Ll_storage
 type replica = {
   node : (Proto.req, Proto.resp) Rpc.msg Fabric.node;
   ep : (Proto.req, Proto.resp) Rpc.endpoint;
+  disk : Disk.t;  (* the device behind store + journal (fault injection) *)
   store : Types.record Flushed_store.t;  (* bound records, by position *)
   journal : unit Flushed_store.t;
       (* staging journal: Erwin-st data writes are persisted (and charged
@@ -43,6 +44,10 @@ let set_demand_target t dst = t.demand_target <- dst
 let read_local t pos = Flushed_store.read t.primary.store ~pos
 let bound_positions t = Flushed_store.entries t.primary.store
 let staged_count t = Hashtbl.length t.primary.staging
+
+let replica_disk t i =
+  let replicas = t.primary :: t.backups in
+  (List.nth replicas (i mod List.length replicas)).disk
 
 let make_disk cfg =
   match cfg.Config.shard_disk with
@@ -437,6 +442,7 @@ let make_replica cfg fabric ~name =
   {
     node;
     ep;
+    disk;
     store =
       Flushed_store.create ~disk
         ~dirty_limit_bytes:cfg.Config.dirty_limit_bytes ();
@@ -454,6 +460,14 @@ let make_replica cfg fabric ~name =
   }
 
 let install_backup_handler t b =
+  (* Retry budget on the backup endpoint only: its outbound retries are
+     read forwards to the primary, which may shed to [R_missing] under a
+     timeout storm. The primary's replication retries are never budgeted —
+     shedding those would leave backups silently missing slots. *)
+  if t.cfg.Config.retry_budget then
+    Rpc.set_retry_budget b.ep
+      (Rpc.Retry_budget.create ~ratio:t.cfg.Config.retry_budget_ratio
+         ~cap:t.cfg.Config.retry_budget_cap ());
   Rpc.set_handler b.ep (fun ~src req ~reply ->
       handle_backup t b ~src req ~reply:(fun resp ->
           reply ~size:(Proto.resp_size resp) resp))

@@ -18,6 +18,7 @@
 
 open Ll_sim
 open Ll_net
+open Ll_storage
 
 type t
 
@@ -52,6 +53,11 @@ val bound_positions : t -> (int * Types.record) list
 
 val staged_count : t -> int
 (** Unbound staged records on the primary (orphan-scrubbing tests). *)
+
+val replica_disk : t -> int -> Disk.t
+(** The [i]-th replica's device, primary first ([i] taken mod the replica
+    count) — the injection point for {!Ll_storage.Disk.set_fail_slow}
+    gray-failure modes. *)
 
 val replace_backup : t -> index:int -> unit
 (** Replaces the [index]-th backup with a freshly provisioned replica,

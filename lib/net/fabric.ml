@@ -38,6 +38,13 @@ type 'm node = {
   mutable fifo_keys : int;
 }
 
+(* Per-direction link degradation (gray failures): extra delay and/or
+   loss applied to messages entering the directed (src, dst) link. Unlike
+   a partition this is asymmetric — one direction can be lossy or slow
+   while the reverse stays healthy — which is the shape of a partial
+   partition or a half-broken NIC queue. *)
+type lfault = { lf_delay : Engine.time; lf_drop_p : float }
+
 type 'm t = {
   link : link;
   rng : Rng.t;
@@ -49,6 +56,10 @@ type 'm t = {
      arrive, keyed by the packed pair. *)
   last_arrival : (int, Engine.time) Hashtbl.t;
   partitions : (int, unit) Hashtbl.t;
+  (* Directed link faults, keyed by the packed (src, dst) key. The hot
+     path guards on the table being empty, so healthy runs pay one length
+     check per send and draw nothing from the rng. *)
+  link_faults : (int, lfault) Hashtbl.t;
   mutable drop_p : float;
   mutable sent : int;
   mutable sent_bytes : int;
@@ -70,6 +81,7 @@ let create ?(link = default_link) ?seed () =
     nnodes = 0;
     last_arrival = Hashtbl.create 64;
     partitions = Hashtbl.create 8;
+    link_faults = Hashtbl.create 8;
     drop_p = 0.0;
     sent = 0;
     sent_bytes = 0;
@@ -114,10 +126,22 @@ let partitioned t a b = Hashtbl.mem t.partitions (pair_key a b)
 
 let send t ~src ~dst ~size msg =
   let dst_node = t.nodes.(dst) in
+  (* Directed link fault, if any. Empty-table check first: healthy runs
+     must not pay a hash lookup (or draw from the rng) per message. *)
+  let lf =
+    if Hashtbl.length t.link_faults = 0 then None
+    else Hashtbl.find_opt t.link_faults (fifo_key src.nid dst)
+  in
   if
     src.alive && dst_node.alive
     && (not (partitioned t src.nid dst))
-    && not (t.drop_p > 0.0 && Rng.bool t.rng ~p:t.drop_p)
+    && (not (t.drop_p > 0.0 && Rng.bool t.rng ~p:t.drop_p))
+    && not
+         (match lf with
+         | Some { lf_drop_p = p; _ } when p > 0.0 ->
+           (* p >= 1.0 is a one-way partition: deterministic, no draw. *)
+           p >= 1.0 || Rng.bool t.rng ~p
+         | _ -> false)
   then begin
     t.sent <- t.sent + 1;
     t.sent_bytes <- t.sent_bytes + size;
@@ -132,6 +156,7 @@ let send t ~src ~dst ~size msg =
     let delay =
       src.send_overhead + wire + dst_node.recv_overhead + src.extra
       + dst_node.extra
+      + (match lf with Some l -> l.lf_delay | None -> 0)
     in
     let arrival = Engine.now () + delay in
     let key = fifo_key src.nid dst in
@@ -193,6 +218,18 @@ let partition t a b = Hashtbl.replace t.partitions (pair_key a b) ()
 let heal t a b = Hashtbl.remove t.partitions (pair_key a b)
 
 let set_drop_probability t p = t.drop_p <- p
+
+let set_link_fault t ~src ~dst ?(delay = 0) ?(drop_p = 0.0) () =
+  Hashtbl.replace t.link_faults (fifo_key src dst)
+    { lf_delay = delay; lf_drop_p = drop_p }
+
+let clear_link_fault t ~src ~dst =
+  Hashtbl.remove t.link_faults (fifo_key src dst)
+
+let link_fault t ~src ~dst =
+  match Hashtbl.find_opt t.link_faults (fifo_key src dst) with
+  | Some { lf_delay; lf_drop_p } -> Some (lf_delay, lf_drop_p)
+  | None -> None
 
 let set_extra_delay n d = n.extra <- d
 

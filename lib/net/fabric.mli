@@ -87,6 +87,22 @@ val set_extra_delay : 'm node -> Engine.time -> unit
 
 val extra_delay : 'm node -> Engine.time
 
+val set_link_fault :
+  'm t -> src:node_id -> dst:node_id -> ?delay:Engine.time -> ?drop_p:float ->
+  unit -> unit
+(** Gray failure on the directed [src -> dst] link only: every message
+    entering it gains [delay] (default 0) and is dropped with probability
+    [drop_p] (default 0; [1.0] is a deterministic one-way partition).
+    Asymmetric by construction — the reverse direction is untouched — so
+    partial partitions and half-broken paths are expressible. Applied at
+    send time; messages already in flight are unaffected. Replaces any
+    previous fault on the same directed link. *)
+
+val clear_link_fault : 'm t -> src:node_id -> dst:node_id -> unit
+
+val link_fault : 'm t -> src:node_id -> dst:node_id -> (Engine.time * float) option
+(** [(delay, drop_p)] currently installed on the directed link, if any. *)
+
 (** {1 Message accounting}
 
     Structural verification of protocol complexity: tests count the

@@ -7,19 +7,151 @@ type ('req, 'resp) msg =
   | Response of int * 'resp
   | Oneway of 'req
 
+(* Per-peer latency scoring, RFC-6298 style: srtt is an EWMA (gain 1/8),
+   dev an EWMA of the deviation (gain 1/4), and the score srtt + 4*dev is
+   a cheap upper-percentile proxy. Samples are taken on every response at
+   the demux, so scoring is always on; it draws nothing from the rng and
+   schedules nothing, keeping knob-off runs schedule-identical. *)
+type peer_stats = {
+  mutable ps_srtt : float;
+  mutable ps_dev : float;
+  mutable ps_samples : int;
+}
+
+type 'resp pending_call = {
+  pc_iv : 'resp Ivar.t;
+  pc_sent : Engine.time;
+  pc_dst : node_id;
+}
+
+module Retry_budget = struct
+  (* Token bucket metering retries (never first attempts): each fresh call
+     deposits [ratio] tokens, each retry withdraws one. Under a timeout
+     storm the bucket drains and callers shed instead of amplifying the
+     overload with retry traffic. *)
+  type t = { ratio : float; cap : float; mutable tokens : float }
+
+  let create ?(ratio = 0.1) ?(cap = 8.0) () = { ratio; cap; tokens = cap }
+
+  let deposit t =
+    if t.tokens < t.cap then t.tokens <- Float.min t.cap (t.tokens +. t.ratio)
+
+  let try_withdraw t =
+    if t.tokens >= 1.0 then begin
+      t.tokens <- t.tokens -. 1.0;
+      true
+    end
+    else false
+
+  let tokens t = t.tokens
+end
+
 type ('req, 'resp) endpoint = {
   fabric : ('req, 'resp) msg Fabric.t;
   node : ('req, 'resp) msg Fabric.node;
-  pending : (int, 'resp Ivar.t) Hashtbl.t;
+  pending : (int, 'resp pending_call) Hashtbl.t;
+  peers : (node_id, peer_stats) Hashtbl.t;
   mutable next_token : int;
   mutable handler :
     (src:node_id -> 'req -> reply:(?size:int -> 'resp -> unit) -> unit)
       option;
   mutable service_time : 'req -> Engine.time;
+  mutable budget : Retry_budget.t option;
 }
+
+(* Per-domain counters over every endpoint in the run — the retry-path
+   analogue of Engine.timers_cancelled. *)
+type counter_snapshot = {
+  cs_timeouts : int;
+  cs_retries : int;
+  cs_shed : int;
+  cs_hedges_fired : int;
+  cs_hedges_won : int;
+}
+
+type counters = {
+  mutable c_timeouts : int;
+  mutable c_retries : int;
+  mutable c_shed : int;
+  mutable c_hedges_fired : int;
+  mutable c_hedges_won : int;
+}
+
+let dls_counters : counters Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        c_timeouts = 0;
+        c_retries = 0;
+        c_shed = 0;
+        c_hedges_fired = 0;
+        c_hedges_won = 0;
+      })
+
+let ctrs () = Domain.DLS.get dls_counters
+
+let counters () =
+  let c = ctrs () in
+  {
+    cs_timeouts = c.c_timeouts;
+    cs_retries = c.c_retries;
+    cs_shed = c.c_shed;
+    cs_hedges_fired = c.c_hedges_fired;
+    cs_hedges_won = c.c_hedges_won;
+  }
+
+let counters_diff ~before ~after =
+  {
+    cs_timeouts = after.cs_timeouts - before.cs_timeouts;
+    cs_retries = after.cs_retries - before.cs_retries;
+    cs_shed = after.cs_shed - before.cs_shed;
+    cs_hedges_fired = after.cs_hedges_fired - before.cs_hedges_fired;
+    cs_hedges_won = after.cs_hedges_won - before.cs_hedges_won;
+  }
 
 let node t = t.node
 let endpoint_id t = Fabric.id t.node
+
+let set_retry_budget t b = t.budget <- Some b
+let retry_budget t = t.budget
+
+let note_sample t dst rtt =
+  let rtt = float_of_int rtt in
+  match Hashtbl.find_opt t.peers dst with
+  | None ->
+    Hashtbl.replace t.peers dst
+      { ps_srtt = rtt; ps_dev = rtt /. 2.0; ps_samples = 1 }
+  | Some ps ->
+    let err = rtt -. ps.ps_srtt in
+    ps.ps_srtt <- ps.ps_srtt +. (0.125 *. err);
+    ps.ps_dev <- ps.ps_dev +. (0.25 *. (Float.abs err -. ps.ps_dev));
+    ps.ps_samples <- ps.ps_samples + 1
+
+let note_peer_sample t dst rtt = note_sample t dst rtt
+
+let peer_score t dst =
+  match Hashtbl.find_opt t.peers dst with
+  | Some ps -> Some (ps.ps_srtt +. (4.0 *. ps.ps_dev))
+  | None -> None
+
+let peer_samples t dst =
+  match Hashtbl.find_opt t.peers dst with
+  | Some ps -> ps.ps_samples
+  | None -> 0
+
+let forget_peer t dst = Hashtbl.remove t.peers dst
+
+let hedge_deadline t ~dsts ~floor =
+  (* Lower-median of the peers' scores: an adaptive "this is how long a
+     healthy replica takes at a high percentile" deadline that one slow
+     outlier cannot inflate (with 2 candidates the faster one wins the
+     median; with 3, one straggler never carries it). *)
+  let scores = List.filter_map (fun d -> peer_score t d) dsts in
+  match List.sort Float.compare scores with
+  | [] -> floor
+  | sorted ->
+    let med = List.nth sorted ((List.length sorted - 1) / 2) in
+    let med = int_of_float med in
+    if med > floor then med else floor
 
 let dispatch t ~src req ~reply =
   match t.handler with
@@ -38,9 +170,10 @@ let demux_loop t () =
     (match m with
     | Response (token, resp) -> (
       match Hashtbl.find_opt t.pending token with
-      | Some iv ->
+      | Some pc ->
         Hashtbl.remove t.pending token;
-        ignore (Ivar.try_fill iv resp)
+        note_sample t pc.pc_dst (Engine.now () - pc.pc_sent);
+        ignore (Ivar.try_fill pc.pc_iv resp)
       | None -> () (* response to a call that already timed out *))
     | Request (token, req) ->
       let replied = ref false in
@@ -63,9 +196,11 @@ let endpoint fabric node =
       fabric;
       node;
       pending = Hashtbl.create 32;
+      peers = Hashtbl.create 8;
       next_token = 0;
       handler = None;
       service_time = (fun _ -> 0);
+      budget = None;
     }
   in
   Engine.spawn ~name:(Fabric.name node ^ ".demux") (demux_loop t);
@@ -75,30 +210,58 @@ let set_handler t h = t.handler <- Some h
 
 let set_service_time t f = t.service_time <- f
 
-let call_async t ~dst ?(size = 64) req =
+let call_async_token t ~dst ?(size = 64) req =
   let token = t.next_token in
   t.next_token <- token + 1;
   let iv = Ivar.create () in
-  Hashtbl.replace t.pending token iv;
+  Hashtbl.replace t.pending token
+    { pc_iv = iv; pc_sent = Engine.now (); pc_dst = dst };
   Fabric.send t.fabric ~src:t.node ~dst ~size (Request (token, req));
-  iv
+  (token, iv)
+
+let call_async t ~dst ?size req = snd (call_async_token t ~dst ?size req)
 
 let call t ~dst ?size req = Ivar.read (call_async t ~dst ?size req)
 
-let call_timeout t ~dst ?size ~timeout req =
-  let iv = call_async t ~dst ?size req in
-  Ivar.read_timeout iv ~timeout
+(* Shared timeout tail: on expiry the pending entry is dropped so a storm
+   of timed-out calls cannot grow the token table (a late response then
+   finds no entry and is ignored — and contributes no latency sample). *)
+let wait_or_expire t token iv ~timeout =
+  match Ivar.read_timeout iv ~timeout with
+  | Some _ as r -> r
+  | None ->
+    Hashtbl.remove t.pending token;
+    (ctrs ()).c_timeouts <- (ctrs ()).c_timeouts + 1;
+    None
 
-let call_retry t ~dst ?size ?(timeout = Engine.ms 1) ?(max_tries = 3)
-    ?(backoff = 0) req =
+let call_timeout t ~dst ?size ~timeout req =
+  let token, iv = call_async_token t ~dst ?size req in
+  wait_or_expire t token iv ~timeout
+
+let pending_calls t = Hashtbl.length t.pending
+
+let call_retry_result t ~dst ?size ?(timeout = Engine.ms 1) ?(max_tries = 3)
+    ?(backoff = 0) ?budget req =
+  let budget = match budget with Some _ as b -> b | None -> t.budget in
+  (match budget with Some b -> Retry_budget.deposit b | None -> ());
   (* Exponential backoff with jitter between retries: attempt [n] sleeps
      [backoff * 2^min(n,6) / 2 + jitter], jitter uniform in the same
      range. Drawn from the engine's RNG, so deterministic per seed. *)
   let rec go attempt =
-    if attempt >= max_tries then None
-    else
+    if attempt >= max_tries then `Timeout
+    else if
+      attempt > 0
+      && (match budget with
+         | Some b -> not (Retry_budget.try_withdraw b)
+         | None -> false)
+    then begin
+      (ctrs ()).c_shed <- (ctrs ()).c_shed + 1;
+      `Shed
+    end
+    else begin
+      if attempt > 0 then (ctrs ()).c_retries <- (ctrs ()).c_retries + 1;
       match call_timeout t ~dst ?size ~timeout req with
-      | Some r -> Some r
+      | Some r -> `Ok r
       | None ->
         if backoff > 0 && attempt < max_tries - 1 then begin
           let base = backoff * (1 lsl min attempt 6) in
@@ -108,8 +271,83 @@ let call_retry t ~dst ?size ?(timeout = Engine.ms 1) ?(max_tries = 3)
           Engine.sleep ((base / 2) + jitter)
         end;
         go (attempt + 1)
+    end
   in
   go 0
+
+let call_retry t ~dst ?size ?timeout ?max_tries ?backoff ?budget req =
+  match call_retry_result t ~dst ?size ?timeout ?max_tries ?backoff ?budget req
+  with
+  | `Ok r -> Some r
+  | `Timeout | `Shed -> None
+
+let call_hedged t ~dsts ?(size = 64) ~timeout ~hedge_after req =
+  match dsts with
+  | [] -> invalid_arg "Rpc.call_hedged: no destinations"
+  | [ d ] -> (
+    match call_timeout t ~dst:d ~size ~timeout req with
+    | Some r -> Some (r, d)
+    | None -> None)
+  | d1 :: d2 :: _ ->
+    let result = Ivar.create () in
+    (* [hedge_go] carries the hedging decision: filled [true] by the
+       deadline timer (or by an early primary failure — immediate
+       failover), [false] by a win (no hedge needed). The hedge fiber is
+       spawned up front and blocks on it, because the deadline fires in a
+       bare timer callback where spawning/blocking is off-limits. *)
+    let hedge_go = Ivar.create () in
+    (* In-flight attempts; [hedge_pending] is true while the hedge fiber
+       might still launch an attempt. Only when both reach quiescence with
+       no winner may the call conclude [None]. *)
+    let outstanding = ref 1 in
+    let hedge_pending = ref true in
+    let tok = ref Engine.no_timer in
+    let finish dst resp =
+      if Ivar.try_fill result (Some (resp, dst)) then begin
+        ignore (Engine.cancel !tok : bool);
+        ignore (Ivar.try_fill hedge_go false : bool);
+        if dst = d2 then begin
+          let c = ctrs () in
+          c.c_hedges_won <- c.c_hedges_won + 1
+        end
+      end
+    in
+    let check_done () =
+      if !outstanding = 0 && not !hedge_pending then
+        ignore (Ivar.try_fill result None : bool)
+    in
+    let attempt_failed () =
+      decr outstanding;
+      (* Fail over early: a dead primary should not wait out the hedge
+         deadline. If the timer already fired, the hedge fiber owns the
+         decision and [check_done] stays a no-op until it resolves. *)
+      ignore (Ivar.try_fill hedge_go true : bool);
+      check_done ()
+    in
+    Engine.spawn ~name:"rpc.hedge" (fun () ->
+        if Ivar.read hedge_go && not (Ivar.is_full result) then begin
+          let c = ctrs () in
+          c.c_hedges_fired <- c.c_hedges_fired + 1;
+          incr outstanding;
+          let token, iv = call_async_token t ~dst:d2 ~size req in
+          (match wait_or_expire t token iv ~timeout with
+          | Some r -> finish d2 r
+          | None -> decr outstanding);
+          hedge_pending := false;
+          check_done ()
+        end
+        else begin
+          hedge_pending := false;
+          check_done ()
+        end);
+    Engine.spawn ~name:"rpc.hedge-primary" (fun () ->
+        let token, iv = call_async_token t ~dst:d1 ~size req in
+        match wait_or_expire t token iv ~timeout with
+        | Some r -> finish d1 r
+        | None -> attempt_failed ());
+    tok := Engine.timer_after hedge_after (fun () ->
+        ignore (Ivar.try_fill hedge_go true : bool));
+    Ivar.read result
 
 let send_oneway t ~dst ?(size = 64) req =
   Fabric.send t.fabric ~src:t.node ~dst ~size (Oneway req)

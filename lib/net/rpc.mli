@@ -48,6 +48,37 @@ val call_timeout :
   ('req, 'resp) endpoint ->
   dst:node_id -> ?size:int -> timeout:Engine.time -> 'req ->
   'resp option
+(** On expiry the call's pending-table entry is dropped (a late response
+    is then ignored), so timeout storms do not leak table entries. *)
+
+(** {1 Retry budgets}
+
+    A token bucket metering {e retries} (first attempts are always free):
+    each fresh budgeted call deposits [ratio] tokens (capped at [cap],
+    which is also the initial balance) and each retry withdraws 1.0. When
+    the bucket is empty, retries shed instead of amplifying an overloaded
+    or gray peer with retry traffic. A budget may be shared across calls
+    and endpoints; {!set_retry_budget} attaches one as an endpoint's
+    default. *)
+
+module Retry_budget : sig
+  type t
+
+  val create : ?ratio:float -> ?cap:float -> unit -> t
+  (** Defaults: [ratio = 0.1] (one retry earned per 10 calls),
+      [cap = 8.0]. The bucket starts full. *)
+
+  val deposit : t -> unit
+  val try_withdraw : t -> bool
+  val tokens : t -> float
+end
+
+val set_retry_budget : ('req, 'resp) endpoint -> Retry_budget.t -> unit
+(** Budget used by {!call_retry} / {!call_retry_result} on this endpoint
+    when the caller passes none. Endpoints start with no budget
+    (unlimited retries, the historical behaviour). *)
+
+val retry_budget : ('req, 'resp) endpoint -> Retry_budget.t option
 
 val call_retry :
   ('req, 'resp) endpoint ->
@@ -56,6 +87,7 @@ val call_retry :
   ?timeout:Engine.time ->
   ?max_tries:int ->
   ?backoff:Engine.time ->
+  ?budget:Retry_budget.t ->
   'req ->
   'resp option
 (** Retries a timed-out call up to [max_tries] times (default 3 tries with
@@ -64,12 +96,104 @@ val call_retry :
     immediately, the historical behaviour) sleeps between attempts with
     exponential growth and seeded jitter — attempt [n] waits roughly
     [backoff * 2^n], capped at [2^6], randomized ±50% from the engine's
-    RNG so sweeps stay deterministic per seed. *)
+    RNG so sweeps stay deterministic per seed. [None] on exhaustion of
+    either tries or the retry budget; use {!call_retry_result} to tell the
+    two apart. *)
+
+val call_retry_result :
+  ('req, 'resp) endpoint ->
+  dst:node_id ->
+  ?size:int ->
+  ?timeout:Engine.time ->
+  ?max_tries:int ->
+  ?backoff:Engine.time ->
+  ?budget:Retry_budget.t ->
+  'req ->
+  [ `Ok of 'resp | `Timeout | `Shed ]
+(** Like {!call_retry} but distinguishes exhausted tries ([`Timeout]) from
+    an empty retry budget ([`Shed] — returned, never raised, so budget
+    pressure degrades to load shedding rather than an exception unwinding
+    the calling fiber). The budget ([budget] argument, else the endpoint's
+    attached budget, else unlimited) meters retries only: the first
+    attempt is always sent. *)
 
 val call_async : ('req, 'resp) endpoint -> dst:node_id -> ?size:int -> 'req
   -> 'resp Ivar.t
 (** Issues the request and returns an ivar for its response, allowing
     parallel fan-out ("write to all replicas in parallel"). *)
+
+val call_hedged :
+  ('req, 'resp) endpoint ->
+  dsts:node_id list ->
+  ?size:int ->
+  timeout:Engine.time ->
+  hedge_after:Engine.time ->
+  'req ->
+  ('resp * node_id) option
+(** Tail-latency hedging: sends to the first destination immediately and,
+    if no response lands within [hedge_after] (or the first attempt fails
+    early), duplicates the request to the second destination. First
+    response wins and reports which peer produced it; the hedge timer is
+    cancelled via {!Ll_sim.Engine.cancel} when the primary wins the race.
+    The request must be idempotent. [None] only when every launched
+    attempt timed out ([timeout] each). Destinations beyond the second are
+    ignored; a single-destination list degrades to {!call_timeout}. *)
+
+(** {1 Latency scoring}
+
+    The demux records an RTT sample per response against the destination
+    peer and maintains RFC-6298-style statistics: [srtt] (EWMA, gain 1/8)
+    and [dev] (mean deviation, gain 1/4). The {e score} [srtt + 4 * dev]
+    is a cheap upper-percentile proxy used for hedge deadlines and for
+    latency-outlier detection. Timed-out calls contribute no sample
+    (Karn's rule) — callers that want censored evidence feed it
+    explicitly via {!note_peer_sample}. *)
+
+val peer_score : ('req, 'resp) endpoint -> node_id -> float option
+(** [srtt + 4 * dev] in ns, or [None] before the first sample. *)
+
+val note_peer_sample :
+  ('req, 'resp) endpoint -> node_id -> Engine.time -> unit
+(** Feed one latency observation into the peer's statistics by hand.
+    Health monitors use this to count a probe timeout as a (censored)
+    sample at the timeout bound — without it a replica slow enough to
+    blow the probe deadline would score {e healthier} than a mildly
+    slow one, since its timed-out probes record nothing. *)
+
+val peer_samples : ('req, 'resp) endpoint -> node_id -> int
+
+val forget_peer : ('req, 'resp) endpoint -> node_id -> unit
+(** Drops the peer's statistics (e.g. after membership changes, so a new
+    incarnation starts a fresh window). *)
+
+val hedge_deadline :
+  ('req, 'resp) endpoint -> dsts:node_id list -> floor:Engine.time ->
+  Engine.time
+(** Adaptive hedge deadline: the lower-median of the candidates' scores
+    (so one slow outlier cannot inflate it), never below [floor]. [floor]
+    when no candidate has been scored yet. *)
+
+(** {1 Introspection} *)
+
+val pending_calls : ('req, 'resp) endpoint -> int
+(** Outstanding entries in the pending-call table (should drop back to 0
+    once every in-flight call has completed or timed out). *)
+
+type counter_snapshot = {
+  cs_timeouts : int;
+  cs_retries : int;
+  cs_shed : int;
+  cs_hedges_fired : int;
+  cs_hedges_won : int;
+}
+
+val counters : unit -> counter_snapshot
+(** Cumulative per-domain counters across every endpoint (the retry-path
+    analogue of {!Ll_sim.Engine.timers_cancelled}): timed-out calls,
+    retry attempts, budget sheds, hedges launched, hedges that won. *)
+
+val counters_diff :
+  before:counter_snapshot -> after:counter_snapshot -> counter_snapshot
 
 val send_oneway :
   ('req, 'resp) endpoint -> dst:node_id -> ?size:int -> 'req -> unit

@@ -1,5 +1,14 @@
 open Ll_sim
 
+(* Fail-slow (gray) device modes: the disk keeps serving every request —
+   nothing errors, heartbeats over it stay green — it is just slow, either
+   in periodic bursts (firmware GC pauses, write-cache flushes) or as a
+   sustained slowdown (dying media, thermal throttling). *)
+type fail_slow =
+  | Healthy
+  | Stutter of { period : Engine.time; stall : Engine.time }
+  | Degrade of { factor : float }
+
 type t = {
   base_latency : Engine.time;
   ns_per_byte : float;
@@ -7,21 +16,52 @@ type t = {
   mutable next_free : Engine.time;
   mutable bytes_written : int;
   mutable ops : int;
+  mutable mode : fail_slow;
+  (* Stutter cursor: the next instant at which a stall fires. *)
+  mutable next_stall : Engine.time;
 }
 
 let create ?(base_latency = Engine.us 20) ?(ns_per_byte = 7.0)
     ?(name = "disk") () =
-  { base_latency; ns_per_byte; name; next_free = 0; bytes_written = 0; ops = 0 }
+  {
+    base_latency;
+    ns_per_byte;
+    name;
+    next_free = 0;
+    bytes_written = 0;
+    ops = 0;
+    mode = Healthy;
+    next_stall = 0;
+  }
 
 let sata_ssd () = create ~base_latency:(Engine.us 20) ~ns_per_byte:7.0 ()
 
 let nvme_ssd () = create ~base_latency:(Engine.us 8) ~ns_per_byte:3.5 ()
+
+let set_fail_slow t mode =
+  t.mode <- mode;
+  match mode with
+  | Stutter { period; _ } -> t.next_stall <- Engine.now () + period
+  | Healthy | Degrade _ -> ()
+
+let fail_slow t = t.mode
 
 let operate t ~bytes =
   let now = Engine.now () in
   let start = if t.next_free > now then t.next_free else now in
   let dur =
     t.base_latency + int_of_float (t.ns_per_byte *. float_of_int bytes)
+  in
+  let dur =
+    match t.mode with
+    | Healthy -> dur
+    | Degrade { factor } -> int_of_float (factor *. float_of_int dur)
+    | Stutter { period; stall } ->
+      if start >= t.next_stall then begin
+        t.next_stall <- start + period;
+        dur + stall
+      end
+      else dur
   in
   t.next_free <- start + dur;
   t.ops <- t.ops + 1;

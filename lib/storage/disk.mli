@@ -22,6 +22,27 @@ val nvme_ssd : unit -> t
     effective per-replica rate behind the paper's ~70 K x 4 KB appends/s
     per Erwin-st shard on the c6525 cluster). *)
 
+(** {1 Fail-slow injection}
+
+    Gray-failure device modes: the disk keeps completing every operation
+    (no errors — a health check over it stays green), it is just slow. *)
+
+type fail_slow =
+  | Healthy
+  | Stutter of { period : Engine.time; stall : Engine.time }
+      (** Every [period], the next operation to start pays an extra
+          [stall] — periodic multi-ms pauses in the style of firmware GC. *)
+  | Degrade of { factor : float }
+      (** Sustained slowdown: every operation's service time is scaled by
+          [factor]. *)
+
+val set_fail_slow : t -> fail_slow -> unit
+(** Takes effect for operations that start after the call; [Healthy]
+    heals. Queued work already booked on the device keeps its old
+    completion time. *)
+
+val fail_slow : t -> fail_slow
+
 val write : t -> bytes:int -> unit
 (** Blocks the calling fiber until the write is persistent. *)
 

@@ -41,6 +41,86 @@ let test_script_roundtrip () =
   done;
   checkb "generator produced steps" true (!seen > 20)
 
+let test_gray_script_roundtrip () =
+  (* The gray distribution's verbs (linkfault/stutter/degrade) must
+     print/parse as a fixed point too, and the generator must actually
+     draw them. *)
+  let rng = Random.State.make [| 97 |] in
+  let counts = ref Fault_dsl.{
+    crashes = 0; partitions = 0; losses = 0; stragglers = 0;
+    linkfaults = 0; stutters = 0; degrades = 0 } in
+  for _ = 1 to 80 do
+    let script =
+      Fault_dsl.gen ~gray:true rng ~horizon:Checker.default_horizon
+        ~nreplicas:3 ~nshards:2
+    in
+    let c = Fault_dsl.count_kind script in
+    counts :=
+      Fault_dsl.
+        {
+          crashes = !counts.crashes + c.crashes;
+          partitions = !counts.partitions + c.partitions;
+          losses = !counts.losses + c.losses;
+          stragglers = !counts.stragglers + c.stragglers;
+          linkfaults = !counts.linkfaults + c.linkfaults;
+          stutters = !counts.stutters + c.stutters;
+          degrades = !counts.degrades + c.degrades;
+        };
+    List.iter
+      (fun step ->
+        let s = Fault_dsl.step_to_string step in
+        Alcotest.(check string)
+          "gray step print/parse fixed point" s
+          (Fault_dsl.step_to_string (Fault_dsl.step_of_string s)))
+      script
+  done;
+  checkb "gray generator draws link faults" true (!counts.Fault_dsl.linkfaults > 0);
+  checkb "gray generator draws stutters" true (!counts.Fault_dsl.stutters > 0);
+  checkb "gray generator draws degrades" true (!counts.Fault_dsl.degrades > 0)
+
+let test_classic_generation_unchanged_by_gray_flag () =
+  (* gen ~gray:false must be byte-identical to the historical generator:
+     old seeds regenerate their exact scripts. *)
+  let gen ~gray seed =
+    Fault_dsl.gen ~gray
+      (Random.State.make [| seed |])
+      ~horizon:Checker.default_horizon ~nreplicas:3 ~nshards:2
+    |> List.map Fault_dsl.step_to_string
+  in
+  for seed = 1 to 20 do
+    Alcotest.(check (list string))
+      "explicit ~gray:false matches default" (gen ~gray:false seed)
+      (Fault_dsl.gen
+         (Random.State.make [| seed |])
+         ~horizon:Checker.default_horizon ~nreplicas:3 ~nshards:2
+      |> List.map Fault_dsl.step_to_string)
+  done
+
+let test_pre_gray_artifact_parses () =
+  (* Backward compat: artifacts written before the gray field existed
+     must load with gray defaulting to off. *)
+  let a : Artifact.t =
+    {
+      Artifact.scenario =
+        Checker.scenario ~system:"erwin-m" ~seed:3
+          ~horizon:Checker.quick_horizon ();
+      invariant = "durability";
+      detail = "d";
+      at_event = 17;
+      at_time = 42;
+    }
+  in
+  let s = Artifact.to_string a in
+  let without_gray =
+    String.split_on_char '\n' s
+    |> List.filter (fun l ->
+           not (String.length l >= 5 && String.sub l 0 5 = "gray "))
+    |> String.concat "\n"
+  in
+  let a' = Artifact.of_string without_gray in
+  checkb "gray defaults to false" false a'.Artifact.scenario.Artifact.gray;
+  checki "rest of the artifact intact" 17 a'.Artifact.at_event
+
 let test_script_generation_deterministic () =
   let gen seed =
     Fault_dsl.gen
@@ -140,6 +220,29 @@ let test_healthy_sweep_clean_subscriptions () =
       0 outcomes
   in
   checkb "subscribers actually received pushes" true (delivered > 100)
+
+let test_healthy_sweep_clean_gray () =
+  (* Hostile-world mode: fail-slow faults (asymmetric link faults, disk
+     stutter/degrade) against every mitigation (hedged reads, retry
+     budgets, outlier eviction). The safety monitors and the post-drain
+     progress audit must stay silent. *)
+  let scenarios =
+    List.concat_map
+      (fun system ->
+        List.init 4 (fun i ->
+            Checker.scenario ~system ~seed:(i + 41) ~gray:true
+              ~horizon:Checker.quick_horizon ()))
+      [ "erwin-m"; "erwin-st" ]
+  in
+  let outcomes = Checker.sweep ~jobs:2 scenarios in
+  checki "all scenarios ran" (List.length scenarios) (List.length outcomes);
+  List.iter assert_clean outcomes;
+  let acked =
+    List.fold_left
+      (fun a (o : Checker.outcome) -> a + o.Checker.coverage.Monitors.acked)
+      0 outcomes
+  in
+  checkb "workload made progress under gray faults" true (acked > 100)
 
 (* The crash-sweep property from the linearizability suite, re-expressed
    on the checker's monitors: for ANY crash time in the first 4 ms and
@@ -250,6 +353,12 @@ let () =
             test_script_roundtrip;
           Alcotest.test_case "script generation deterministic" `Quick
             test_script_generation_deterministic;
+          Alcotest.test_case "gray fault script round-trip" `Quick
+            test_gray_script_roundtrip;
+          Alcotest.test_case "classic generation unchanged by gray flag"
+            `Quick test_classic_generation_unchanged_by_gray_flag;
+          Alcotest.test_case "pre-gray artifact parses" `Quick
+            test_pre_gray_artifact_parses;
         ] );
       ( "healthy systems",
         [
@@ -261,6 +370,8 @@ let () =
             test_healthy_sweep_clean_replica_reads;
           Alcotest.test_case "sweep stays clean with subscriptions" `Quick
             test_healthy_sweep_clean_subscriptions;
+          Alcotest.test_case "sweep stays clean under gray faults" `Quick
+            test_healthy_sweep_clean_gray;
           Alcotest.test_case "erwin-st clean on bug-sweep seeds" `Quick
             test_same_seeds_clean_without_bug;
         ]

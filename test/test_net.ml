@@ -110,6 +110,47 @@ let test_partition () =
       Engine.sleep (Engine.ms 1);
       checki "healed" 1 (Fabric.inbox_length b))
 
+let test_link_fault_asymmetric () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      Fabric.set_link_fault fab ~src:(Fabric.id a) ~dst:(Fabric.id b)
+        ~delay:(Engine.ms 2) ();
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "slow";
+      let t0 = Engine.now () in
+      ignore (Fabric.recv b);
+      checkb "faulted direction delayed" true (Engine.now () - t0 >= Engine.ms 2);
+      (* The reverse direction of the same pair is untouched. *)
+      Fabric.send fab ~src:b ~dst:(Fabric.id a) ~size:0 "fast";
+      let t1 = Engine.now () in
+      ignore (Fabric.recv a);
+      checkb "reverse direction healthy" true (Engine.now () - t1 < Engine.ms 1);
+      Fabric.clear_link_fault fab ~src:(Fabric.id a) ~dst:(Fabric.id b);
+      Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "healed";
+      let t2 = Engine.now () in
+      ignore (Fabric.recv b);
+      checkb "cleared fault restores latency" true
+        (Engine.now () - t2 < Engine.ms 1))
+
+let test_link_fault_one_way_partition () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let a = Fabric.add_node fab ~name:"a" () in
+      let b = Fabric.add_node fab ~name:"b" () in
+      Fabric.set_link_fault fab ~src:(Fabric.id a) ~dst:(Fabric.id b)
+        ~drop_p:1.0 ();
+      checkb "fault is introspectable" true
+        (Fabric.link_fault fab ~src:(Fabric.id a) ~dst:(Fabric.id b)
+        = Some (0, 1.0));
+      for _ = 1 to 5 do
+        Fabric.send fab ~src:a ~dst:(Fabric.id b) ~size:0 "lost"
+      done;
+      Fabric.send fab ~src:b ~dst:(Fabric.id a) ~size:0 "through";
+      Engine.sleep (Engine.ms 1);
+      checki "forward direction fully dropped" 0 (Fabric.inbox_length b);
+      checki "reverse direction delivers" 1 (Fabric.inbox_length a))
+
 (* --- RPC --- *)
 
 type req = Echo of int | Slow of int
@@ -197,6 +238,174 @@ let test_rpc_oneway () =
       Engine.sleep (Engine.ms 1);
       checki "delivered" 7 !got)
 
+let test_rpc_timeout_cleans_pending () =
+  (* Satellite of the gray-failure work: a timed-out call must remove its
+     pending-table entry (and count a timeout), not leak it until a
+     response that may never come. *)
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, server, client = setup fab in
+      Rpc.set_handler server (fun ~src:_ req ~reply ->
+          match req with Echo n -> reply n | Slow n -> reply n);
+      let before = Rpc.counters () in
+      Fabric.crash fab sn;
+      checkb "timed out" true
+        (Rpc.call_timeout client ~dst:(Fabric.id sn) ~timeout:(Engine.ms 1)
+           (Echo 1)
+        = None);
+      checki "pending table drained on expiry" 0 (Rpc.pending_calls client);
+      Fabric.recover fab sn;
+      checki "later call unaffected" 2
+        (Rpc.call client ~dst:(Fabric.id sn) (Echo 2));
+      checki "pending table drained on completion" 0
+        (Rpc.pending_calls client);
+      let d = Rpc.counters_diff ~before ~after:(Rpc.counters ()) in
+      checki "timeout counted" 1 d.Rpc.cs_timeouts)
+
+let test_rpc_retry_backoff_schedule () =
+  (* Exponential backoff with seeded jitter: attempt n sleeps
+     base/2 + jitter with base = backoff * 2^min(n, 6) and
+     jitter in [0, base). With 12 tries against a dead peer the capped
+     base sum over the 11 sleeps is 383 * backoff, so total elapsed sits
+     in [12*timeout + 191.5b, 12*timeout + 574.5b) — the uncapped
+     schedule's minimum (1023.5b) lies far above the upper bound, so the
+     bound also proves the 2^6 cap held. *)
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, _server, client = setup fab in
+      Fabric.crash fab sn;
+      let timeout = Engine.us 100 and backoff = Engine.us 100 in
+      let t0 = Engine.now () in
+      checkb "exhausts against dead peer" true
+        (Rpc.call_retry client ~dst:(Fabric.id sn) ~timeout ~max_tries:12
+           ~backoff (Echo 1)
+        = None);
+      let elapsed = Engine.now () - t0 in
+      let lo = (12 * timeout) + (383 * backoff / 2) in
+      let hi = (12 * timeout) + (3 * 383 * backoff / 2) in
+      checkb "elapsed above jitter lower bound" true (elapsed >= lo);
+      checkb "elapsed below capped upper bound" true (elapsed < hi))
+
+let test_rpc_retry_budget_sheds () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, _server, client = setup fab in
+      Fabric.crash fab sn;
+      (* ratio 0: nothing refills, so the two initial tokens are all the
+         retries this budget will ever allow. *)
+      let budget = Rpc.Retry_budget.create ~ratio:0.0 ~cap:2.0 () in
+      let before = Rpc.counters () in
+      (match
+         Rpc.call_retry_result client ~dst:(Fabric.id sn)
+           ~timeout:(Engine.us 100) ~max_tries:10 ~budget (Echo 1)
+       with
+      | `Shed -> ()
+      | `Ok _ -> Alcotest.fail "call succeeded against a crashed peer"
+      | `Timeout -> Alcotest.fail "expected `Shed, got `Timeout");
+      checkb "budget exhausted" true (Rpc.Retry_budget.tokens budget < 1.0);
+      (* An empty budget still sends first attempts — only retries shed. *)
+      (match
+         Rpc.call_retry_result client ~dst:(Fabric.id sn)
+           ~timeout:(Engine.us 100) ~max_tries:10 ~budget (Echo 2)
+       with
+      | `Shed -> ()
+      | `Ok _ | `Timeout -> Alcotest.fail "expected `Shed on empty budget");
+      let d = Rpc.counters_diff ~before ~after:(Rpc.counters ()) in
+      checki "exactly the two budgeted retries ran" 2 d.Rpc.cs_retries;
+      checki "both calls shed" 2 d.Rpc.cs_shed)
+
+let test_rpc_hedged_second_wins () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let s1 = Fabric.add_node fab ~name:"s1" () in
+      let s2 = Fabric.add_node fab ~name:"s2" () in
+      let cn = Fabric.add_node fab ~name:"c" () in
+      let e1 = Rpc.endpoint fab s1 in
+      let e2 = Rpc.endpoint fab s2 in
+      let client = Rpc.endpoint fab cn in
+      Rpc.set_handler e1 (fun ~src:_ req ~reply ->
+          match req with
+          | Slow n ->
+            Engine.sleep (Engine.ms 5);
+            reply n
+          | Echo n -> reply n);
+      Rpc.set_handler e2 (fun ~src:_ req ~reply ->
+          match req with Slow n -> reply (n + 100) | Echo n -> reply n);
+      let before = Rpc.counters () in
+      (match
+         Rpc.call_hedged client
+           ~dsts:[ Fabric.id s1; Fabric.id s2 ]
+           ~timeout:(Engine.ms 20) ~hedge_after:(Engine.us 100) (Slow 1)
+       with
+      | Some (r, winner) ->
+        checki "hedge's response won" 101 r;
+        checki "winner is the hedge peer" (Fabric.id s2) winner
+      | None -> Alcotest.fail "hedged call returned None");
+      let d = Rpc.counters_diff ~before ~after:(Rpc.counters ()) in
+      checki "hedge fired" 1 d.Rpc.cs_hedges_fired;
+      checki "hedge win counted" 1 d.Rpc.cs_hedges_won)
+
+let test_rpc_hedged_primary_win_cancels_timer () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let s1 = Fabric.add_node fab ~name:"s1" () in
+      let s2 = Fabric.add_node fab ~name:"s2" () in
+      let cn = Fabric.add_node fab ~name:"c" () in
+      let e1 = Rpc.endpoint fab s1 in
+      let e2 = Rpc.endpoint fab s2 in
+      let client = Rpc.endpoint fab cn in
+      let served_by_2 = ref false in
+      Rpc.set_handler e1 (fun ~src:_ req ~reply ->
+          match req with Echo n -> reply n | Slow n -> reply n);
+      Rpc.set_handler e2 (fun ~src:_ req ~reply ->
+          served_by_2 := true;
+          match req with Echo n -> reply n | Slow n -> reply n);
+      let cancelled0 = Engine.timers_cancelled () in
+      let before = Rpc.counters () in
+      (match
+         Rpc.call_hedged client
+           ~dsts:[ Fabric.id s1; Fabric.id s2 ]
+           ~timeout:(Engine.ms 20) ~hedge_after:(Engine.ms 5) (Echo 7)
+       with
+      | Some (r, winner) ->
+        checki "primary's response" 7 r;
+        checki "primary won" (Fabric.id s1) winner
+      | None -> Alcotest.fail "hedged call returned None");
+      Engine.sleep (Engine.ms 10);
+      let d = Rpc.counters_diff ~before ~after:(Rpc.counters ()) in
+      checki "no hedge fired" 0 d.Rpc.cs_hedges_fired;
+      checkb "second peer never contacted" false !served_by_2;
+      checkb "hedge timer was cancelled, not fired" true
+        (Engine.timers_cancelled () > cancelled0))
+
+let test_rpc_peer_scoring () =
+  Engine.run (fun () ->
+      let fab = Fabric.create () in
+      let sn, server, client = setup fab in
+      Rpc.set_handler server (fun ~src:_ req ~reply ->
+          match req with Echo n -> reply n | Slow n -> reply n);
+      checkb "no score before any sample" true
+        (Rpc.peer_score client (Fabric.id sn) = None);
+      for i = 1 to 10 do
+        ignore (Rpc.call client ~dst:(Fabric.id sn) (Echo i))
+      done;
+      checki "samples recorded by the demux" 10
+        (Rpc.peer_samples client (Fabric.id sn));
+      (match Rpc.peer_score client (Fabric.id sn) with
+      | Some s ->
+        checkb "score in the rtt ballpark" true
+          (s > 0.0 && s < float_of_int (Engine.us 100))
+      | None -> Alcotest.fail "expected a score after 10 samples");
+      let dl =
+        Rpc.hedge_deadline client ~dsts:[ Fabric.id sn ] ~floor:(Engine.us 1)
+      in
+      checkb "adaptive deadline above floor" true (dl >= Engine.us 1);
+      Rpc.forget_peer client (Fabric.id sn);
+      checkb "forgotten" true (Rpc.peer_score client (Fabric.id sn) = None);
+      checki "deadline falls back to floor once forgotten" (Engine.us 5)
+        (Rpc.hedge_deadline client ~dsts:[ Fabric.id sn ]
+           ~floor:(Engine.us 5)))
+
 let test_drop_probability () =
   Engine.run (fun () ->
       let fab = Fabric.create () in
@@ -226,6 +435,10 @@ let () =
             test_crash_resets_fifo_bookkeeping;
           Alcotest.test_case "partition/heal" `Quick test_partition;
           Alcotest.test_case "drop probability" `Quick test_drop_probability;
+          Alcotest.test_case "link fault is asymmetric" `Quick
+            test_link_fault_asymmetric;
+          Alcotest.test_case "link fault one-way partition" `Quick
+            test_link_fault_one_way_partition;
         ] );
       ( "rpc",
         [
@@ -237,5 +450,17 @@ let () =
           Alcotest.test_case "timeout and retry" `Quick
             test_rpc_timeout_and_retry;
           Alcotest.test_case "oneway" `Quick test_rpc_oneway;
+          Alcotest.test_case "timeout cleans pending table" `Quick
+            test_rpc_timeout_cleans_pending;
+          Alcotest.test_case "retry backoff schedule (jitter, 2^6 cap)"
+            `Quick test_rpc_retry_backoff_schedule;
+          Alcotest.test_case "retry budget sheds, never raises" `Quick
+            test_rpc_retry_budget_sheds;
+          Alcotest.test_case "hedged call: hedge wins" `Quick
+            test_rpc_hedged_second_wins;
+          Alcotest.test_case "hedged call: primary win cancels timer"
+            `Quick test_rpc_hedged_primary_win_cancels_timer;
+          Alcotest.test_case "peer latency scoring" `Quick
+            test_rpc_peer_scoring;
         ] );
     ]

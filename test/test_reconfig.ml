@@ -234,6 +234,42 @@ let test_straggler_removal () =
       checki "all readable" 4 (List.length records);
       Engine.stop ())
 
+let test_outlier_eviction () =
+  (* Gray-failure counterpart of straggler removal: nobody calls
+     [Reconfig.remove_replica] by hand. The latency-outlier monitor's
+     probes must notice a fail-slow follower (alive, heartbeating, just
+     slow) and reconfigure it out on their own. *)
+  Engine.run (fun () ->
+      let cfg = { Config.default with Config.outlier_detection = true } in
+      let cluster = Erwin_m.create ~cfg () in
+      let log = Erwin_m.client cluster in
+      ignore (log.append ~size:256 ~data:"warm");
+      (* Let the monitor gather a healthy baseline on all replicas. *)
+      Engine.sleep (Engine.ms 8);
+      checki "no eviction while healthy" 3 (List.length cluster.replicas);
+      let victim = List.nth cluster.replicas 2 in
+      let victim_name = Seq_replica.name victim in
+      Ll_net.Fabric.set_extra_delay (Seq_replica.node victim) (Engine.ms 1);
+      wait_for ~timeout:(Engine.ms 100) (fun () ->
+          List.length cluster.replicas = 2);
+      checki "fail-slow replica evicted" 2 (List.length cluster.replicas);
+      checki "eviction is a view change" 1 cluster.view;
+      checkb "victim is gone" true
+        (not
+           (List.exists
+              (fun r -> Seq_replica.name r = victim_name)
+              cluster.replicas));
+      (* Post-eviction appends are fast again and nothing acked is lost. *)
+      ignore (log.append ~size:256 ~data:"after");
+      let t0 = Engine.now () in
+      ignore (log.append ~size:256 ~data:"check");
+      checkb "latency restored" true (Engine.now () - t0 < Engine.us 12);
+      Engine.sleep (Engine.ms 5);
+      let tail = log.check_tail () in
+      checki "all three appends durable" 3 tail;
+      checki "all readable" 3 (List.length (log.read ~from:0 ~len:tail));
+      Engine.stop ())
+
 let test_partition_stalls_then_heals () =
   (* A client partitioned from one sequencing replica cannot complete
      appends (writes go to all replicas); the replica is alive, so no
@@ -377,6 +413,8 @@ let () =
         [
           Alcotest.test_case "straggler removal (s5.5)" `Quick
             test_straggler_removal;
+          Alcotest.test_case "latency-outlier eviction" `Quick
+            test_outlier_eviction;
           Alcotest.test_case "partition stalls then heals" `Quick
             test_partition_stalls_then_heals;
           Alcotest.test_case "two sequential failures" `Quick

@@ -123,6 +123,41 @@ let test_disk_counters () =
       checki "ops" 2 (Disk.ops d);
       checki "bytes" 300 (Disk.bytes_written d))
 
+let test_disk_degrade () =
+  Engine.run (fun () ->
+      let d = Disk.create ~base_latency:(Engine.us 10) ~ns_per_byte:1.0 () in
+      let t0 = Engine.now () in
+      Disk.write d ~bytes:10_000;
+      checki "healthy op" (Engine.us 20) (Engine.now () - t0);
+      Disk.set_fail_slow d (Disk.Degrade { factor = 3.0 });
+      let t1 = Engine.now () in
+      Disk.write d ~bytes:10_000;
+      checki "degraded op is factor x slower" (Engine.us 60)
+        (Engine.now () - t1);
+      Disk.set_fail_slow d Disk.Healthy;
+      let t2 = Engine.now () in
+      Disk.write d ~bytes:10_000;
+      checki "healed" (Engine.us 20) (Engine.now () - t2))
+
+let test_disk_stutter () =
+  Engine.run (fun () ->
+      let d = Disk.create ~base_latency:(Engine.us 10) ~ns_per_byte:0.0 () in
+      Disk.set_fail_slow d
+        (Disk.Stutter { period = Engine.ms 1; stall = Engine.us 500 });
+      (* Inside the first period: normal service. *)
+      let t0 = Engine.now () in
+      Disk.write d ~bytes:0;
+      checki "pre-stall op healthy" (Engine.us 10) (Engine.now () - t0);
+      (* Cross the period boundary: the next op to start pays the stall. *)
+      Engine.sleep (Engine.us 1200);
+      let t1 = Engine.now () in
+      Disk.write d ~bytes:0;
+      checki "stalled op pays the pause" (Engine.us 510) (Engine.now () - t1);
+      (* Immediately after a stall: healthy again until the next period. *)
+      let t2 = Engine.now () in
+      Disk.write d ~bytes:0;
+      checki "post-stall op healthy" (Engine.us 10) (Engine.now () - t2))
+
 (* --- Segment log --- *)
 
 let test_segment_log_cold_read () =
@@ -220,6 +255,8 @@ let () =
         [
           Alcotest.test_case "serializes" `Quick test_disk_serializes;
           Alcotest.test_case "counters" `Quick test_disk_counters;
+          Alcotest.test_case "fail-slow degrade" `Quick test_disk_degrade;
+          Alcotest.test_case "fail-slow stutter" `Quick test_disk_stutter;
         ] );
       ( "segment_log",
         [ Alcotest.test_case "cold read" `Quick test_segment_log_cold_read ] );
