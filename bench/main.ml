@@ -23,6 +23,7 @@ let figures : (string * string * (unit -> unit)) list =
     ("open", "open-loop 100k-producer workload", Fig_open.run);
     ("stream", "subscription streaming delivery", Fig_stream.run);
     ("gray", "gray-failure resilience (hedged reads, outlier eviction)", Fig_gray.run);
+    ("tenants", "multi-log fabric: tenant scaling + weighted-fair ingress", Fig_tenants.run);
   ]
 
 let run_selection scheduler figs full micro ablations csv json_dir

@@ -55,6 +55,8 @@ type agg = {
   mutable retries : int;
   mutable shed : int;
   mutable hedges_won : int;
+  mutable tenant_logs : int;
+  mutable ingress_shed : int;
   mutable events : int;
 }
 
@@ -71,7 +73,8 @@ let summarize (outcomes : Checker.outcome list) =
             {
               runs = 0; viols = 0; acked = 0; reads = 0; crashes = 0;
               views = 0; delivered = 0; gray_faults = 0; outliers = 0;
-              retries = 0; shed = 0; hedges_won = 0; events = 0;
+              retries = 0; shed = 0; hedges_won = 0; tenant_logs = 0;
+              ingress_shed = 0; events = 0;
             }
           in
           Hashtbl.replace by_system sys a;
@@ -93,6 +96,8 @@ let summarize (outcomes : Checker.outcome list) =
       a.retries <- a.retries + r.Ll_net.Rpc.cs_retries;
       a.shed <- a.shed + r.Ll_net.Rpc.cs_shed;
       a.hedges_won <- a.hedges_won + r.Ll_net.Rpc.cs_hedges_won;
+      a.tenant_logs <- a.tenant_logs + c.Monitors.tenant_logs;
+      a.ingress_shed <- a.ingress_shed + c.Monitors.ingress_shed;
       a.events <- a.events + o.Checker.events)
     outcomes;
   print_endline "";
@@ -111,7 +116,13 @@ let summarize (outcomes : Checker.outcome list) =
         Printf.printf
         "  %-8s      gray | %d gray faults | %d outliers evicted | %d \
          retries (%d shed) | %d hedges won\n"
-          "" a.gray_faults a.outliers a.retries a.shed a.hedges_won)
+          "" a.gray_faults a.outliers a.retries a.shed a.hedges_won;
+      (* Tenants line only in multi-log fabric sweeps, same principle. *)
+      if a.tenant_logs + a.ingress_shed > 0 then
+        Printf.printf
+          "  %-8s   tenants | %d tenant-log stabilizations | %d appends \
+           shed by admission control\n"
+          "" a.tenant_logs a.ingress_shed)
     by_system
 
 let write_artifact dir (o : Checker.outcome) =
@@ -129,7 +140,7 @@ let write_artifact dir (o : Checker.outcome) =
     Some path
 
 let run_sweep systems seeds seed_base shards jobs quick serial batching
-    replica_reads subscriptions gray bug artifact_dir =
+    replica_reads subscriptions gray tenants bug artifact_dir =
   let horizon =
     if quick then Checker.quick_horizon else Checker.default_horizon
   in
@@ -138,7 +149,8 @@ let run_sweep systems seeds seed_base shards jobs quick serial batching
       (fun system ->
         List.init seeds (fun i ->
             Checker.scenario ~system ~seed:(seed_base + i) ~shards ~serial
-              ~batching ~replica_reads ~subscriptions ~gray ?bug ~horizon ()))
+              ~batching ~replica_reads ~subscriptions ~gray ~tenants ?bug
+              ~horizon ()))
       systems
   in
   Printf.printf
@@ -152,7 +164,8 @@ let run_sweep systems seeds seed_base shards jobs quick serial batching
     ((if batching then "; append batching" else "")
     ^ (if replica_reads then "; replica reads" else "")
     ^ (if subscriptions then "; subscriptions" else "")
-    ^ if gray then "; gray (fail-slow) faults + mitigations" else "")
+    ^ (if gray then "; gray (fail-slow) faults + mitigations" else "")
+    ^ if tenants then "; multi-log fabric + fair ingress" else "")
     (match bug with Some b -> "; BUG GATE " ^ b | None -> "")
     jobs;
   let outcomes = Checker.sweep ~jobs scenarios in
@@ -222,14 +235,14 @@ let run_replay path =
     0
 
 let main scheduler systems seeds seed_base shards jobs quick serial batching
-    replica_reads subscriptions gray bug artifact_dir replay =
+    replica_reads subscriptions gray tenants bug artifact_dir replay =
   (* Set before any Engine.run; spawned sweep domains inherit it. *)
   Ll_sim.Engine.set_scheduler scheduler;
   match replay with
   | Some path -> run_replay path
   | None ->
     run_sweep systems seeds seed_base shards jobs quick serial batching
-      replica_reads subscriptions gray bug artifact_dir
+      replica_reads subscriptions gray tenants bug artifact_dir
 
 open Cmdliner
 
@@ -323,6 +336,18 @@ let gray =
            (stable keeps advancing, every acked record binds) after the \
            drain tail.")
 
+let tenants =
+  Arg.(
+    value & flag
+    & info [ "tenants" ]
+        ~doc:
+          "Multi-log fabric mode: every writer is pinned to its own \
+           tenant log, one extra aggressor tenant bursts back-to-back \
+           appends, and the cluster runs with weighted-fair ingress (DRR \
+           + token-bucket admission) on; every position-scoped invariant \
+           (real-time order, stable prefix, read agreement, truncation \
+           safety) is checked per log.")
+
 let bug =
   Arg.(
     value
@@ -355,6 +380,6 @@ let cmd =
     Term.(
       const main $ scheduler $ systems $ seeds $ seed_base $ shards $ jobs
       $ quick $ serial $ batching $ replica_reads $ subscriptions $ gray
-      $ bug $ artifact_dir $ replay)
+      $ tenants $ bug $ artifact_dir $ replay)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,6 +18,10 @@ type scenario = {
          verbs — asymmetric link faults, disk stutter/degrade — and the
          cluster runs with every mitigation on (hedged reads, retry
          budgets, outlier detection), checked by the progress monitor *)
+  tenants : bool;
+      (* multi-log fabric mode: writers spread over tenant logs (plus one
+         bursting aggressor tenant) with weighted-fair ingress on, and
+         every position-scoped invariant checked per log *)
   bug : string option;
   horizon : Engine.time;
   script : Fault_dsl.script;
@@ -45,6 +49,7 @@ let to_string a =
   line "replica_reads %b" a.scenario.replica_reads;
   line "subscriptions %b" a.scenario.subscriptions;
   line "gray %b" a.scenario.gray;
+  line "tenants %b" a.scenario.tenants;
   (match a.scenario.bug with Some b -> line "bug %s" b | None -> ());
   line "horizon %d" a.scenario.horizon;
   line "invariant %s" a.invariant;
@@ -111,6 +116,11 @@ let of_string s =
           (* Absent in pre-gray artifacts: default off. *)
           gray =
             (match Hashtbl.find_opt fields "gray" with
+            | Some b -> bool_of_string b
+            | None -> false);
+          (* Absent in pre-multi-log artifacts: default off. *)
+          tenants =
+            (match Hashtbl.find_opt fields "tenants" with
             | Some b -> bool_of_string b
             | None -> false);
           bug = Hashtbl.find_opt fields "bug";

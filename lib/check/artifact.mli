@@ -30,6 +30,10 @@ type scenario = {
       (** hostile-world mode: fault generation draws gray (fail-slow)
           verbs and every mitigation knob is on (hedged reads, retry
           budgets, outlier detection); progress-monitored *)
+  tenants : bool;
+      (** multi-log fabric mode: writers spread over tenant logs (plus
+          one bursting aggressor tenant) with weighted-fair ingress on,
+          every position-scoped invariant checked per log *)
   bug : string option;  (** intentional bug gate, e.g. ["no-pinning"] *)
   horizon : Engine.time;
   script : Fault_dsl.script;

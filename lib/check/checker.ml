@@ -29,6 +29,22 @@ let config_of (sc : Artifact.scenario) =
     if sc.subscriptions then { cfg with Config.subscriptions = true } else cfg
   in
   let cfg =
+    if sc.tenants then
+      (* Multi-log fabric mode: per-tenant sequencing with weighted-fair
+         ingress on. Tenant 1 (the first "victim") gets double weight so
+         the DRR path with unequal quanta is exercised; a small ingress
+         queue makes admission shedding reachable within the short
+         horizon when the aggressor bursts. *)
+      {
+        cfg with
+        Config.multi_log = true;
+        fair_ingress = true;
+        tenant_weights = [ (1, 2) ];
+        ingress_queue = 8;
+      }
+    else cfg
+  in
+  let cfg =
     if sc.gray then
       (* Hostile-world mode: every mitigation on, and a small dirty limit
          so a fail-slow disk actually backpressures the append path
@@ -59,7 +75,8 @@ let gen_script ?(gray = false) ~seed ~horizon ~shards () =
 
 let scenario ~system ~seed ?(shards = 2) ?(serial = false)
     ?(batching = false) ?(replica_reads = false) ?(subscriptions = false)
-    ?(gray = false) ?bug ?(horizon = default_horizon) () : Artifact.scenario =
+    ?(gray = false) ?(tenants = false) ?bug ?(horizon = default_horizon) () :
+    Artifact.scenario =
   {
     Artifact.system;
     seed;
@@ -69,6 +86,7 @@ let scenario ~system ~seed ?(shards = 2) ?(serial = false)
     replica_reads;
     subscriptions;
     gray;
+    tenants;
     bug;
     horizon;
     script = gen_script ~gray ~seed ~horizon ~shards ();
@@ -93,12 +111,14 @@ let empty_coverage : Monitors.coverage =
     delivered = 0;
     gray_faults = 0;
     outliers_removed = 0;
+    tenant_logs = 0;
+    ingress_shed = 0;
   }
 
-let client_for (sc : Artifact.scenario) cluster =
+let client_for ?log (sc : Artifact.scenario) cluster =
   match sc.system with
-  | "erwin-m" -> Erwin_m.client cluster
-  | "erwin-st" -> Erwin_st.client cluster
+  | "erwin-m" -> Erwin_m.client ?log cluster
+  | "erwin-st" -> Erwin_st.client ?log cluster
   | s -> failwith ("lazylog_check: unknown system " ^ s)
 
 let create_cluster (sc : Artifact.scenario) cfg =
@@ -166,7 +186,12 @@ let run_one (sc : Artifact.scenario) : outcome =
               cycle (sc.horizon * 4 / 5))
         end;
         for c = 0 to nwriters - 1 do
-          let log = client_for sc cluster in
+          (* Tenants mode: each writer owns a tenant log (writer 0 stays
+             on the legacy log 0), so every per-log invariant sees
+             concurrent independent streams. *)
+          let log =
+            client_for sc cluster ?log:(if sc.tenants then Some c else None)
+          in
           let rng =
             Rng.create ~seed:(Random.State.bits (Engine.random_state ()))
           in
@@ -182,6 +207,51 @@ let run_one (sc : Artifact.scenario) : outcome =
                 Engine.sleep (Engine.us (30 + Rng.int rng 120))
               done)
         done;
+        if sc.tenants then begin
+          (* Aggressor tenant: bursts of back-to-back appends on its own
+             log, timed so the fault script's windows land mid-burst on
+             many seeds. Fair ingress must keep the victims' invariants
+             (and progress) intact; shed appends simply retry. *)
+          for a = 0 to 23 do
+            let agg = client_for sc cluster ~log:nwriters in
+            Engine.spawn
+              ~name:(Printf.sprintf "check.aggressor%d" a)
+              (fun () ->
+                let i = ref 0 in
+                while Engine.now () < sc.horizon do
+                  let burst_until = Engine.now () + (sc.horizon / 5) in
+                  while Engine.now () < min burst_until sc.horizon do
+                    incr i;
+                    ignore
+                      (agg.Log_api.append ~size:512
+                         ~data:(Printf.sprintf "agg%d.%d" a !i)
+                        : bool)
+                  done;
+                  Engine.sleep (sc.horizon / 10)
+                done)
+          done;
+          (* A tenant-scoped reader alongside the legacy log-0 reader:
+             read agreement under the packed keyspace. *)
+          let tlog = client_for sc cluster ~log:1 in
+          let trng =
+            Rng.create ~seed:(Random.State.bits (Engine.random_state ()))
+          in
+          Engine.spawn ~name:"check.tenant-reader" (fun () ->
+              while Engine.now () < sc.horizon do
+                Engine.sleep (Engine.us (300 + Rng.int trng 500));
+                let stable =
+                  Logid.pos_of (Erwin_common.stable_for cluster ~log:1)
+                in
+                if stable > 0 then begin
+                  let len = min stable 8 in
+                  ignore
+                    (tlog.Log_api.read
+                       ~from:(Rng.int trng (stable - len + 1))
+                       ~len
+                      : Types.record list)
+                end
+              done)
+        end;
         let rlog = client_for sc cluster in
         let rrng =
           Rng.create ~seed:(Random.State.bits (Engine.random_state ()))

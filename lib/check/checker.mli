@@ -29,6 +29,7 @@ val scenario :
   ?replica_reads:bool ->
   ?subscriptions:bool ->
   ?gray:bool ->
+  ?tenants:bool ->
   ?bug:string ->
   ?horizon:Engine.time ->
   unit ->
@@ -47,7 +48,11 @@ val scenario :
     fault generator draws gray (fail-slow) verbs, every mitigation knob
     is on (hedged reads, retry budgets, outlier detection), and a drain
     tail precedes a progress audit (stable advanced, every acked record
-    bound); [bug] enables a known-bad configuration (currently
+    bound); [tenants] turns on the multi-log fabric — every writer is
+    pinned to its own tenant log, one extra aggressor tenant bursts
+    back-to-back appends, a tenant reader audits log 1, and the cluster
+    runs with weighted-fair ingress (DRR + admission control) on;
+    [bug] enables a known-bad configuration (currently
     ["no-pinning"]). *)
 
 type outcome = {

@@ -30,6 +30,13 @@ type t = {
   mutable stable : int;
   (* real-time order frontier: max invocation time among exposed records *)
   mutable max_invoke_exposed : Engine.time;
+  (* multi-log fabric: per-tenant stable prefixes and real-time-order
+     frontiers for logs > 0 (positions are packed, so every invariant is
+     scoped to the log its position belongs to; real-time order is
+     per-log — tenants are independently ordered). Log 0 stays on the
+     scalar fields above. *)
+  stables : (int, int) Hashtbl.t;
+  mies : (int, Engine.time) Hashtbl.t;
   mutable violations_rev : violation list;
   (* coverage counters *)
   mutable n_invoked : int;
@@ -40,6 +47,8 @@ type t = {
   mutable n_delivered : int;
   mutable n_gray : int;
   mutable n_outliers : int;
+  mutable n_admitted : int;
+  mutable n_shed : int;
 }
 
 let violate t invariant fmt =
@@ -59,12 +68,30 @@ let violate t invariant fmt =
 
 let rid_pp = Types.Rid.pp
 
-(* Exposure: position [pos] joined the stable prefix. Incremental
-   real-time-order check — exposures arrive in ascending position order,
-   so it suffices to track the max invocation time among already-exposed
-   records: if a newly exposed record was acknowledged before that max,
-   some record invoked after this ack was ordered ahead of it. O(1) per
-   position. *)
+let stable_for t ~log =
+  if log = 0 then t.stable
+  else
+    match Hashtbl.find_opt t.stables log with
+    | Some g -> g
+    | None -> Logid.base ~log
+
+let set_stable t ~log gp =
+  if log = 0 then t.stable <- gp else Hashtbl.replace t.stables log gp
+
+let mie_for t ~log =
+  if log = 0 then t.max_invoke_exposed
+  else match Hashtbl.find_opt t.mies log with Some v -> v | None -> -1
+
+let set_mie t ~log v =
+  if log = 0 then t.max_invoke_exposed <- v else Hashtbl.replace t.mies log v
+
+(* Exposure: position [pos] joined its log's stable prefix. Incremental
+   real-time-order check — exposures arrive in ascending position order
+   within a log, so it suffices to track the max invocation time among
+   that log's already-exposed records: if a newly exposed record was
+   acknowledged before that max, some record invoked after this ack was
+   ordered ahead of it. O(1) per position. Real-time order is per-log:
+   tenants of the multi-log fabric are independently ordered. *)
 let expose t pos =
   match Hashtbl.find_opt t.bindings pos with
   | None ->
@@ -72,17 +99,17 @@ let expose t pos =
       pos
   | Some (_, rid) ->
     if rid.Types.Rid.client >= 0 then begin
+      let log = Logid.log_of pos in
+      let mie = mie_for t ~log in
       (match Hashtbl.find_opt t.acked rid with
-      | Some ack_t when t.max_invoke_exposed > ack_t ->
+      | Some ack_t when mie > ack_t ->
         violate t "real-time-order"
           "record %a (acked at %.3f ms) exposed at position %d after a \
            record invoked at %.3f ms"
-          rid_pp rid (Engine.to_ms ack_t) pos
-          (Engine.to_ms t.max_invoke_exposed)
+          rid_pp rid (Engine.to_ms ack_t) pos (Engine.to_ms mie)
       | _ -> ());
       match Hashtbl.find_opt t.invoked rid with
-      | Some inv_t when inv_t > t.max_invoke_exposed ->
-        t.max_invoke_exposed <- inv_t
+      | Some inv_t when inv_t > mie -> set_mie t ~log inv_t
       | _ -> ()
     end
 
@@ -135,20 +162,24 @@ let handle t (ev : Probe.event) =
     | _ -> ());
     Hashtbl.replace t.installed_views replica view
   | Stable_advanced { gp } ->
-    if gp <= t.stable then
-      violate t "view-safety" "stable prefix moved backwards: %d after %d" gp
-        t.stable
+    let log = Logid.log_of gp in
+    let cur = stable_for t ~log in
+    if gp <= cur then
+      violate t "view-safety"
+        "stable prefix of log %d moved backwards: %d after %d" log gp cur
     else begin
-      for pos = t.stable to gp - 1 do
+      (* Per-log positions are contiguous in the packed keyspace, so this
+         walk covers exactly the newly exposed positions of [log]. *)
+      for pos = cur to gp - 1 do
         expose t pos
       done;
-      t.stable <- gp
+      set_stable t ~log gp
     end
   | Shard_stored { shard; pos; rid } ->
     if rid.Types.Rid.client >= 0 then Hashtbl.replace t.stored_rids rid ();
     (match Hashtbl.find_opt t.bindings pos with
     | Some (shard', rid')
-      when pos < t.stable
+      when pos < stable_for t ~log:(Logid.log_of pos)
            && (shard' <> shard || not (Types.Rid.equal rid' rid)) ->
       violate t "stable-prefix"
         "stable position %d rebound: was %a on shard %d, now %a on shard %d"
@@ -162,21 +193,27 @@ let handle t (ev : Probe.event) =
         "acked record %a no-op'ed at position %d on shard %d (lost)" rid_pp
         rid pos shard
   | Shard_truncated { shard; from } ->
-    if from < t.stable then
+    let log = Logid.log_of from in
+    let stable = stable_for t ~log in
+    if from < stable then
       violate t "stable-prefix"
         "shard %d truncated from position %d, below stable prefix %d" shard
-        from t.stable
+        from stable
     else
+      (* Scoped to [from]'s log: a multi-log truncate names one tenant's
+         frontier and must not forget other tenants' bindings. *)
       Hashtbl.iter
         (fun pos (sh, _) ->
-          if pos >= from && sh = shard then Hashtbl.remove t.bindings pos)
+          if pos >= from && sh = shard && Logid.log_of pos = log then
+            Hashtbl.remove t.bindings pos)
         (Hashtbl.copy t.bindings)
   | Read_served { shard; pos; rid } ->
     t.n_reads <- t.n_reads + 1;
-    if pos >= t.stable then
+    let stable = stable_for t ~log:(Logid.log_of pos) in
+    if pos >= stable then
       violate t "read-stability"
         "shard %d served position %d beyond the stable prefix %d" shard pos
-        t.stable
+        stable
     else begin
       match Hashtbl.find_opt t.bindings pos with
       | None ->
@@ -244,6 +281,8 @@ let handle t (ev : Probe.event) =
       end)
   | Gray_fault _ -> t.n_gray <- t.n_gray + 1
   | Outlier_removed _ -> t.n_outliers <- t.n_outliers + 1
+  | Ingress_admitted _ -> t.n_admitted <- t.n_admitted + 1
+  | Ingress_shed _ -> t.n_shed <- t.n_shed + 1
 
 (* A subscription is caught up when no client record below the stable
    prefix is still awaiting delivery (trailing no-op fillers do not
@@ -288,14 +327,16 @@ let finalize_delivery t =
    append), and the stable prefix must have advanced at all if anything
    was acked. Call only after the drain has quiesced — an acked-but-
    still-in-flight binding would be a false positive. *)
+let nothing_stabilized t = t.stable = 0 && Hashtbl.length t.stables = 0
+
 let progress_pending t =
-  (t.n_acked > 0 && t.stable = 0)
+  (t.n_acked > 0 && nothing_stabilized t)
   || Hashtbl.fold
        (fun rid _ pending -> pending || not (Hashtbl.mem t.stored_rids rid))
        t.acked false
 
 let finalize_progress t =
-  if t.n_acked > 0 && t.stable = 0 then
+  if t.n_acked > 0 && nothing_stabilized t then
     violate t "gray-progress"
       "stable prefix never advanced despite %d acknowledged appends"
       t.n_acked;
@@ -321,6 +362,8 @@ let install ?(on_violation = fun _ -> ()) cluster =
       subs = Hashtbl.create 4;
       stable = 0;
       max_invoke_exposed = -1;
+      stables = Hashtbl.create 16;
+      mies = Hashtbl.create 16;
       violations_rev = [];
       n_invoked = 0;
       n_acked = 0;
@@ -330,6 +373,8 @@ let install ?(on_violation = fun _ -> ()) cluster =
       n_delivered = 0;
       n_gray = 0;
       n_outliers = 0;
+      n_admitted = 0;
+      n_shed = 0;
     }
   in
   Probe.subscribe (handle t);
@@ -348,6 +393,8 @@ type coverage = {
   delivered : int;
   gray_faults : int;
   outliers_removed : int;
+  tenant_logs : int;
+  ingress_shed : int;
 }
 
 let coverage t =
@@ -361,4 +408,6 @@ let coverage t =
     delivered = t.n_delivered;
     gray_faults = t.n_gray;
     outliers_removed = t.n_outliers;
+    tenant_logs = Hashtbl.length t.stables;
+    ingress_shed = t.n_shed;
   }

@@ -26,6 +26,12 @@
       happen; records never delivered at all are caught by
       {!finalize_delivery} once the run drains).
 
+    Under the multi-log fabric every position-scoped invariant
+    (real-time order, stable prefix, read agreement, truncation safety)
+    is checked per tenant log: packed positions carry their log id, and
+    each log keeps its own stable frontier and real-time-order frontier —
+    cross-tenant ordering is deliberately unconstrained.
+
     Handlers are synchronous and allocation-light; a monitored run is a
     few percent slower than a bare one. *)
 
@@ -64,6 +70,8 @@ type coverage = {
   delivered : int;  (** subscription records delivered (post-dedup) *)
   gray_faults : int;  (** gray (fail-slow) fault windows injected *)
   outliers_removed : int;  (** replicas evicted by the outlier monitor *)
+  tenant_logs : int;  (** tenant logs (> 0) whose stable prefix advanced *)
+  ingress_shed : int;  (** appends shed by fair-ingress admission control *)
 }
 
 val coverage : t -> coverage

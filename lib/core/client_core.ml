@@ -69,7 +69,7 @@ let append_entry (cluster : t) ep ~track entry =
     in
     attempt ()
 
-let check_tail (cluster : t) ep =
+let check_tail ?(log = 0) (cluster : t) ep =
   let rec go () =
     let view = cluster.view in
     let ldr = leader cluster in
@@ -77,7 +77,7 @@ let check_tail (cluster : t) ep =
       Rpc.call_timeout ep
         ~dst:(Seq_replica.node_id ldr)
         ~timeout:cluster.cfg.Config.append_timeout
-        (Proto.Sr_check_tail { view })
+        (Proto.Sr_check_tail { view; log })
     with
     | Some (Proto.R_tail { ok = true; tail }) -> tail
     | Some _ | None ->
@@ -126,8 +126,9 @@ let read_plan (cluster : t) ?rr shard =
     (Shard.primary_id shard, 100)
     :: List.map (fun b -> (b, 3)) (Shard.backup_ids shard)
 
-let note_piggyback (cluster : t) stable =
-  if stable > cluster.stable_gp then cluster.stable_gp <- stable
+(* Piggybacked stable bounds merge into their own log's frontier (log 0
+   keeps the scalar — the original max-merge, unchanged). *)
+let note_piggyback (cluster : t) stable = note_stable_log cluster stable
 
 (* Latency-outlier avoidance in the read plan (only with hedged reads
    on): a replica whose observed latency score exceeds 3x the plan's
@@ -190,10 +191,13 @@ let read_grouped ?rr (cluster : t) ep ~shard_of positions =
           else plan
         in
         let req =
+          (* The hint carries the group's own log frontier (groups are
+             log-homogeneous: a client reads one log). *)
+          let hlog = if buf.(0) < 0 then 0 else Logid.log_of buf.(0) in
           Proto.Sh_read
             {
               positions = Array.to_list buf;
-              stable_hint = cluster.stable_gp;
+              stable_hint = stable_for cluster ~log:hlog;
             }
         in
         let iv = Ivar.create () in

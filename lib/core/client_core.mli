@@ -26,9 +26,11 @@ val await_view_after : Erwin_common.t -> int -> unit
 val append_entry : Erwin_common.t -> ep -> track:bool -> Types.entry -> unit
 (** [try_append_seq] with retry-across-views until acknowledged. *)
 
-val check_tail : Erwin_common.t -> ep -> int
+val check_tail : ?log:int -> Erwin_common.t -> ep -> int
 (** Durable-record count from the sequencing leader (section 4.4),
-    retrying across view changes. *)
+    retrying across view changes. With [log] (multi-log fabric) the
+    count is per-tenant: that log's ordered frontier plus its own live
+    unordered entries, as a per-log position. *)
 
 val wait_ordered : Erwin_common.t -> ep -> Types.Rid.t -> int
 (** Blocks until a tracked rid is bound; returns its global position. *)

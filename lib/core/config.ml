@@ -41,6 +41,13 @@ type t = {
   outlier_interval : Engine.time;
   outlier_factor : float;
   outlier_min_samples : int;
+  multi_log : bool;
+  fair_ingress : bool;
+  tenant_weights : (int * int) list;
+  drr_quantum : int;
+  admit_rate : float;
+  admit_burst : float;
+  ingress_queue : int;
   link : Fabric.link;
   rpc_overhead : Engine.time;
   debug_no_rid_pinning : bool;
@@ -104,6 +111,15 @@ let default =
     outlier_interval = Engine.us 500;
     outlier_factor = 4.0;
     outlier_min_samples = 8;
+    (* Multi-log fabric defaults off: one log (log 0), no ingress
+       scheduler installed, so figs 6-18 stay byte-identical. *)
+    multi_log = false;
+    fair_ingress = false;
+    tenant_weights = [];
+    drr_quantum = 4_096;
+    admit_rate = 0.0;
+    admit_burst = 32.0;
+    ingress_queue = 256;
     link = Fabric.default_link;
     rpc_overhead = Engine.ns 500;
     debug_no_rid_pinning = false;

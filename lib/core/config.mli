@@ -115,6 +115,35 @@ type t = {
   outlier_factor : float;  (** eviction threshold vs median score *)
   outlier_min_samples : int;
       (** samples required from every replica before judging *)
+  multi_log : bool;
+      (** opt-in multi-log fabric: entries carry a log id, the sequencing
+          keyspace packs (log, position) into one int ({!Logid}) and every
+          log advances its own last-ordered / stable-gp cursors — one
+          cluster multiplexes thousands of tenant logs. Off by default:
+          every entry then lives in log 0, whose packed positions are the
+          raw legacy positions, so figs 6-18 stay byte-identical. *)
+  fair_ingress : bool;
+      (** with {!field-multi_log}: weighted-fair scheduling at the
+          sequencing-replica ingress. Data-plane appends enqueue into
+          per-tenant queues drained by deficit round robin (quantum
+          {!field-drr_quantum} x the tenant's weight), and a per-tenant
+          token bucket ({!field-admit_rate}/{!field-admit_burst}) plus a
+          queue bound ({!field-ingress_queue}) sheds excess arrivals with
+          an immediate failed-append reply — the client's existing
+          retry/backoff (and retry-budget) path absorbs the shed. One hot
+          tenant then costs its weight share, not its arrival share. *)
+  tenant_weights : (int * int) list;
+      (** fair ingress: (log, weight) pairs; unlisted logs weigh 1 *)
+  drr_quantum : int;
+      (** fair ingress: deficit replenished per DRR round, in service-time
+          nanoseconds per weight unit *)
+  admit_rate : float;
+      (** fair ingress: token-bucket refill, appends/s per weight unit;
+          [0.0] disables rate admission (queue bound still applies) *)
+  admit_burst : float;  (** fair ingress: token-bucket capacity *)
+  ingress_queue : int;
+      (** fair ingress: per-tenant queued-append bound; arrivals beyond it
+          (with an empty token bucket) are shed immediately *)
   link : Fabric.link;
   rpc_overhead : Engine.time;  (** per-endpoint software overhead (eRPC) *)
   debug_no_rid_pinning : bool;

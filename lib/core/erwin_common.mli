@@ -77,6 +77,12 @@ type t = {
       (** read-demand cursor: shards asked for binding up to this position
           (exclusive); max-merged by [Sr_order_demand], consumed by the
           orderer when [cfg.read_demand] *)
+  stable_gps : (int, int) Hashtbl.t;
+      (** multi-log fabric: per-tenant stable frontiers for logs > 0
+          (packed positions, keyed by log id; log 0 stays in
+          [stable_gp]). Access through {!stable_for}/{!note_stable_log}. *)
+  demand_uptos : (int, int) Hashtbl.t;
+      (** per-tenant read-demand cursors for logs > 0 (same layout). *)
   order_wake : Waitq.t;
       (** broadcast when a new demand arrives so the orderer cuts its idle
           sleep short instead of waiting out the lazy cadence *)
@@ -103,7 +109,31 @@ val shard_by_id : t -> int -> Shard.t
 
 val shard_of_position : t -> int -> Shard.t
 (** Erwin-m's deterministic placement: position [p] lives on shard
-    [p mod nshards] (section 4.3). *)
+    [p mod nshards] (section 4.3). Packed multi-log positions hash the
+    whole packed value, spreading each tenant across all shards. *)
+
+(** {2 Per-log frontiers (multi-log fabric)}
+
+    Log 0 aliases the scalar [stable_gp]/[demand_upto] fields, so the
+    single-log path is bit-identical; logs > 0 live in the hashtables. *)
+
+val stable_for : t -> log:int -> int
+(** The client-visible stable frontier of [log], as a packed position
+    ([Logid.base ~log] before its first advance). *)
+
+val note_stable_log : t -> int -> unit
+(** Max-merge a (packed) stable bound into its log's frontier — the
+    multi-log generalization of the [stable_gp] piggyback merge. *)
+
+val demand_for : t -> log:int -> int
+(** The pending read-demand cursor of [log] (packed, exclusive). *)
+
+val note_demand : t -> int -> unit
+(** Max-merge a (packed) demand position into its log's cursor. *)
+
+val demand_logs : t -> (int * int) list
+(** The logs > 0 with a demand cursor, as [(log, packed upto)] — what
+    the orderer walks when deciding whether demand is outstanding. *)
 
 val add_shard : t -> Shard.t
 (** Spin up and register one more shard (Erwin-st's seamless addition,

@@ -6,7 +6,7 @@ let create ?(cfg = Config.default) () =
   Reconfig.start cluster;
   cluster
 
-let client (cluster : Erwin_common.t) : Log_api.t =
+let client ?(log = 0) (cluster : Erwin_common.t) : Log_api.t =
   let cid = fresh_client_id cluster in
   let ep = new_endpoint cluster ~name:(Printf.sprintf "m-client%d" cid) in
   Client_core.install_retry_budget cluster ep;
@@ -16,15 +16,15 @@ let client (cluster : Erwin_common.t) : Log_api.t =
     { Types.Rid.client = cid; seq = !seq }
   in
   let append ~size ~data =
-    let r = Types.record ~rid:(next_rid ()) ~size ~data () in
+    let r = Types.record ~rid:(next_rid ()) ~size ~data ~log () in
     Client_core.append_entry cluster ep ~track:false (Types.Data r);
     true
   in
   let append_sync ~size ~data =
     let rid = next_rid () in
-    let r = Types.record ~rid ~size ~data () in
+    let r = Types.record ~rid ~size ~data ~log () in
     Client_core.append_entry cluster ep ~track:true (Types.Data r);
-    Client_core.wait_ordered cluster ep rid
+    Logid.pos_of (Client_core.wait_ordered cluster ep rid)
   in
   (* Stagger the replica rotation by client id so concurrent readers
      start on different replicas of a shard. *)
@@ -35,14 +35,23 @@ let client (cluster : Erwin_common.t) : Log_api.t =
       ~shard_of:(shard_of_position cluster)
       positions
   in
+  (* Per-log positions are contiguous in the packed keyspace
+     ([pack ~log p = base + p]), so packing [from] once covers the whole
+     window — the prefetcher's sequential arithmetic stays valid. *)
   let read ~from ~len =
-    Client_core.prefetched_read cluster pf ~fetch ~from ~len |> List.map snd
+    Client_core.prefetched_read cluster pf ~fetch
+      ~from:(Logid.pack ~log from) ~len
+    |> List.map snd
   in
   {
     Log_api.name = "erwin-m";
     append;
     read;
-    check_tail = (fun () -> Client_core.check_tail cluster ep);
-    trim = (fun ~upto -> Client_core.trim_all cluster ep ~upto);
+    check_tail = (fun () -> Client_core.check_tail ~log cluster ep);
+    trim =
+      (fun ~upto ->
+        (* Numeric trim sweeps the whole packed keyspace; only meaningful
+           for the legacy single log. *)
+        if log = 0 then Client_core.trim_all cluster ep ~upto else false);
     append_sync = Some append_sync;
   }

@@ -11,7 +11,10 @@ val create : ?cfg:Config.t -> unit -> Erwin_common.t
 (** Builds the cluster and starts the background orderer and the
     reconfiguration controller. Must run inside {!Ll_sim.Engine.run}. *)
 
-val client : Erwin_common.t -> Log_api.t
+val client : ?log:int -> Erwin_common.t -> Log_api.t
 (** A fresh client handle (own fabric node, own client id). Handles are
     single-fiber: spawn one per concurrent client. [append_sync] is
-    provided (the section 5.5 extension). *)
+    provided (the section 5.5 extension). With [log] (multi-log fabric,
+    [cfg.multi_log]) the handle is pinned to that tenant log: appends
+    carry its id, and positions ([read]/[check_tail]/[append_sync]) are
+    per-log. [trim] is single-log only. *)

@@ -26,7 +26,7 @@ let try_append_once (cluster : Erwin_common.t) ep ~track record shard =
   let meta : Types.entry =
     Types.Meta
       { rid = record.Types.rid; shard = Shard.shard_id shard;
-        size = record.Types.size }
+        size = record.Types.size; log = record.Types.log }
   in
   if cluster.cfg.Config.append_batching then begin
     (* Group commit: the metadata entry rides the shared linger batch while
@@ -122,7 +122,7 @@ let reader (cluster : Erwin_common.t) ep ~rr0 =
           {
             from = missing;
             count = cluster.cfg.Config.map_fetch_chunk;
-            stable_hint = cluster.stable_gp;
+            stable_hint = stable_for cluster ~log:(Logid.log_of missing);
           }
       in
       let head_primary = Shard.primary_id (List.hd cluster.shards) in
@@ -158,7 +158,7 @@ let reader (cluster : Erwin_common.t) ep ~rr0 =
     ensure_mapped positions;
     Client_core.read_grouped ~rr:map_rr cluster ep ~shard_of positions
 
-let client (cluster : Erwin_common.t) : Log_api.t =
+let client ?(log = 0) (cluster : Erwin_common.t) : Log_api.t =
   let cid = fresh_client_id cluster in
   let ep = new_endpoint cluster ~name:(Printf.sprintf "st-client%d" cid) in
   Client_core.install_retry_budget cluster ep;
@@ -207,28 +207,34 @@ let client (cluster : Erwin_common.t) : Log_api.t =
     append_attempt ~track record (pick_shard ())
   in
   let append ~size ~data =
-    let r = Types.record ~rid:(next_rid ()) ~size ~data () in
+    let r = Types.record ~rid:(next_rid ()) ~size ~data ~log () in
     ignore (append_record ~track:false r : Types.Rid.t);
     true
   in
   let append_sync ~size ~data =
-    let r = Types.record ~rid:(next_rid ()) ~size ~data () in
+    let r = Types.record ~rid:(next_rid ()) ~size ~data ~log () in
     let rid = append_record ~track:true r in
-    Client_core.wait_ordered cluster ep rid
+    Logid.pos_of (Client_core.wait_ordered cluster ep rid)
   in
   (* The map rotation inside [reader] is seeded separately from the append
      rotation [rr], which also decides record placement and must not be
      perturbed by reads. *)
   let pf = Client_core.prefetcher () in
   let fetch = reader cluster ep ~rr0:cid in
+  (* Per-log positions are contiguous in the packed keyspace, so packing
+     [from] once covers the whole window (see {!Logid}). *)
   let read ~from ~len =
-    Client_core.prefetched_read cluster pf ~fetch ~from ~len |> List.map snd
+    Client_core.prefetched_read cluster pf ~fetch
+      ~from:(Logid.pack ~log from) ~len
+    |> List.map snd
   in
   {
     Log_api.name = "erwin-st";
     append;
     read;
-    check_tail = (fun () -> Client_core.check_tail cluster ep);
-    trim = (fun ~upto -> Client_core.trim_all cluster ep ~upto);
+    check_tail = (fun () -> Client_core.check_tail ~log cluster ep);
+    trim =
+      (fun ~upto ->
+        if log = 0 then Client_core.trim_all cluster ep ~upto else false);
     append_sync = Some append_sync;
   }

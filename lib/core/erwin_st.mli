@@ -14,11 +14,14 @@ val create : ?cfg:Config.t -> unit -> Erwin_common.t
 (** Builds the cluster, starts the orderer, controller, and the shard
     orphan scrubbers. Must run inside {!Ll_sim.Engine.run}. *)
 
-val client : Erwin_common.t -> Log_api.t
+val client : ?log:int -> Erwin_common.t -> Log_api.t
 (** Fresh client handle. Reads consult a local position-to-shard cache,
     fetching [cfg.map_fetch_chunk] positions in bulk on misses
     (amortization, section 5.3). Returned records include no-ops (filter
-    with {!Types.is_no_op}) so positions stay aligned. *)
+    with {!Types.is_no_op}) so positions stay aligned. With [log]
+    (multi-log fabric, [cfg.multi_log]) the handle is pinned to that
+    tenant log: appends carry its id and positions are per-log. [trim]
+    is single-log only. *)
 
 val reader :
   Erwin_common.t ->

@@ -1,0 +1,207 @@
+open Ll_sim
+
+(* Weighted-fair ingress for a sequencing replica (multi-log fabric).
+
+   The default RPC discipline serves requests FIFO in arrival order, so
+   one tenant arriving 50x faster than everyone else owns 98% of the
+   replica's CPU and every other tenant's append latency inflates behind
+   its queue. This scheduler takes ownership of data-plane appends at the
+   demux ([Rpc.set_ingress]) and divides the replica's service capacity
+   by configured weight instead of arrival aggression:
+
+   - admission: a per-tenant token bucket ([admit_rate] appends/s per
+     weight unit, burst [admit_burst]) plus a queue bound
+     ([ingress_queue]). An arrival finding no token and a full queue is
+     shed with an immediate failed-append reply — no service time spent —
+     and the client's ordinary retry/backoff path absorbs it.
+   - service: deficit round robin over the per-tenant queues. Each round
+     a tenant's deficit grows by [drr_quantum * weight] nanoseconds of
+     service credit and it drains queued requests (through [Rpc.serve],
+     so the modeled CPU charge is identical to the default path) while
+     the credit covers their cost. Cost left over carries to its next
+     round; an emptied queue forfeits it.
+
+   Control-plane traffic (seals, GC, view installs, reads of replicated
+   state) bypasses the scheduler entirely and keeps the default FIFO
+   path. *)
+
+type tenant = {
+  log : int;
+  weight : int;
+  queue : (int * (unit -> unit)) Queue.t;  (* (service cost, serve thunk) *)
+  mutable in_active : bool;  (* member of the DRR round (or being drained) *)
+  mutable deficit : int;  (* carried service credit, ns *)
+  mutable tokens : float;
+  mutable refilled_at : Engine.time;
+  mutable admitted : int;
+  mutable shed : int;
+}
+
+type t = {
+  cfg : Config.t;
+  replica : int;  (* fabric node id, for probe events *)
+  tenants : (int, tenant) Hashtbl.t;
+  active : int Queue.t;  (* DRR round: logs with queued work *)
+  work : Waitq.t;
+}
+
+let weight_of (cfg : Config.t) log =
+  match List.assoc_opt log cfg.Config.tenant_weights with
+  | Some w when w > 0 -> w
+  | _ -> 1
+
+let tenant t log =
+  match Hashtbl.find_opt t.tenants log with
+  | Some ten -> ten
+  | None ->
+    let ten =
+      {
+        log;
+        weight = weight_of t.cfg log;
+        queue = Queue.create ();
+        in_active = false;
+        deficit = 0;
+        tokens = t.cfg.Config.admit_burst;
+        refilled_at = Engine.now ();
+        admitted = 0;
+        shed = 0;
+      }
+    in
+    Hashtbl.add t.tenants log ten;
+    ten
+
+(* Token-bucket admission. With [admit_rate = 0] rate admission is off
+   and the queue bound alone decides. *)
+let take_token t ten =
+  let rate = t.cfg.Config.admit_rate in
+  if rate <= 0.0 then false
+  else begin
+    let now = Engine.now () in
+    let elapsed = now - ten.refilled_at in
+    if elapsed > 0 then begin
+      ten.refilled_at <- now;
+      let refill =
+        rate *. float_of_int ten.weight *. Engine.to_sec elapsed
+      in
+      ten.tokens <- Float.min t.cfg.Config.admit_burst (ten.tokens +. refill)
+    end;
+    if ten.tokens >= 1.0 then begin
+      ten.tokens <- ten.tokens -. 1.0;
+      true
+    end
+    else false
+  end
+
+let enqueue t ten cost thunk =
+  Queue.push (cost, thunk) ten.queue;
+  ten.admitted <- ten.admitted + 1;
+  if Probe.active () then
+    Probe.emit (Probe.Ingress_admitted { replica = t.replica; log = ten.log });
+  if not ten.in_active then begin
+    ten.in_active <- true;
+    Queue.push ten.log t.active;
+    Waitq.broadcast t.work
+  end
+
+(* One DRR service fiber per endpoint: replenish the head tenant's
+   deficit, drain its queue while the credit lasts (each thunk blocks for
+   its service time — the replica's single CPU), then rotate. *)
+let drain_loop t () =
+  let rec loop () =
+    Waitq.await t.work (fun () -> not (Queue.is_empty t.active));
+    let log = Queue.pop t.active in
+    let ten = Hashtbl.find t.tenants log in
+    ten.deficit <- ten.deficit + (t.cfg.Config.drr_quantum * ten.weight);
+    let stop = ref false in
+    while not !stop do
+      match Queue.peek_opt ten.queue with
+      | None -> stop := true
+      | Some (cost, _) when cost > ten.deficit -> stop := true
+      | Some (cost, thunk) ->
+        ignore (Queue.pop ten.queue);
+        ten.deficit <- ten.deficit - cost;
+        thunk ()
+    done;
+    if Queue.is_empty ten.queue then begin
+      (* An idle tenant must not hoard credit: deficit carries across
+         rounds only while backlogged, the classic DRR rule. *)
+      ten.in_active <- false;
+      ten.deficit <- 0
+    end
+    else Queue.push log t.active;
+    loop ()
+  in
+  loop ()
+
+type stats = { st_admitted : int; st_shed : int; st_queued : int }
+
+let stats t ~log =
+  match Hashtbl.find_opt t.tenants log with
+  | None -> { st_admitted = 0; st_shed = 0; st_queued = 0 }
+  | Some ten ->
+    {
+      st_admitted = ten.admitted;
+      st_shed = ten.shed;
+      st_queued = Queue.length ten.queue;
+    }
+
+let queued_total t =
+  Hashtbl.fold (fun _ ten acc -> acc + Queue.length ten.queue) t.tenants 0
+
+(* Install on a sequencing replica's endpoint. [view] reads the replica's
+   current view for shed replies (a shed is a failed append in the
+   current view — exactly what a sealed replica answers — so clients need
+   no new code path). *)
+let install ~cfg ~view ep =
+  let t =
+    {
+      cfg;
+      replica = Ll_net.Rpc.endpoint_id ep;
+      tenants = Hashtbl.create 64;
+      active = Queue.create ();
+      work = Waitq.create ();
+    }
+  in
+  Engine.spawn
+    ~name:(Ll_net.Fabric.name (Ll_net.Rpc.node ep) ^ ".drr")
+    (drain_loop t);
+  Ll_net.Rpc.set_ingress ep (fun ~src req ~reply ->
+      let log =
+        match (req : Proto.req) with
+        | Proto.Sr_append { entry; _ } -> Some (Types.entry_log entry)
+        | Proto.Sr_append_batch { batch = (e, _) :: _; _ } ->
+          (* A linger batch is classified by its first entry: the batcher
+             is per-client-process, so mixed-log batches only arise when a
+             process multiplexes tenants — they are accounted to the
+             first. *)
+          Some (Types.entry_log e)
+        | _ -> None
+      in
+      match log with
+      | None -> false  (* control plane: default FIFO path *)
+      | Some log ->
+        let ten = tenant t log in
+        let has_token = take_token t ten in
+        if
+          has_token
+          || Queue.length ten.queue < cfg.Config.ingress_queue
+        then begin
+          let cost = Ll_net.Rpc.service_time_of ep req in
+          enqueue t ten cost (fun () -> Ll_net.Rpc.serve ep ~src req ~reply);
+          true
+        end
+        else begin
+          ten.shed <- ten.shed + 1;
+          if Probe.active () then
+            Probe.emit
+              (Probe.Ingress_shed { replica = t.replica; log = ten.log });
+          (match (req : Proto.req) with
+          | Proto.Sr_append _ ->
+            reply (Proto.R_append { ok = false; view = view () })
+          | _ ->
+            reply
+              (Proto.R_append_batch
+                 { ok = false; view = view (); appended = [] }));
+          true
+        end);
+  t

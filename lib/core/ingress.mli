@@ -1,0 +1,38 @@
+(** Weighted-fair ingress scheduling for sequencing replicas.
+
+    The multi-log fabric (DESIGN.md section 16) multiplexes thousands of
+    tenant logs over one cluster, so one aggressive tenant can no longer
+    be allowed to own a replica's FIFO ingress: this module installs an
+    {!Ll_net.Rpc.set_ingress} scheduler that (a) sheds arrivals exceeding
+    a per-tenant token bucket + queue bound with an immediate failed
+    append (no service time spent), and (b) serves the admitted backlog
+    by deficit round robin so service capacity divides by configured
+    weight ({!Config.tenant_weights}) instead of arrival rate.
+
+    Only data-plane appends ([Sr_append] / [Sr_append_batch]) are
+    scheduled; all other traffic falls through to the default FIFO path
+    unchanged. Installed only when [multi_log && fair_ingress] — with the
+    knobs off no scheduler exists and the replica behaves
+    byte-identically to the single-log system. *)
+
+type t
+
+val install :
+  cfg:Config.t ->
+  view:(unit -> int) ->
+  (Proto.req, Proto.resp) Ll_net.Rpc.endpoint ->
+  t
+(** Attaches the scheduler to a replica endpoint and spawns its DRR
+    drain fiber. [view] reads the replica's current view for shed
+    replies (a shed looks to the client like any failed append — its
+    ordinary retry path absorbs it). *)
+
+type stats = { st_admitted : int; st_shed : int; st_queued : int }
+
+val stats : t -> log:int -> stats
+(** Cumulative admitted/shed counters and current queue depth for one
+    tenant; zeros for a tenant never seen. *)
+
+val queued_total : t -> int
+(** Total requests currently queued across all tenants (the bound the
+    admission path is defending). *)

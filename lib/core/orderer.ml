@@ -10,10 +10,11 @@ open Erwin_common
    format ([Proto]); they are built back-to-front so no reversal is
    needed. *)
 
-let build_targets (cluster : t) ~truncate_from
+let build_targets (cluster : t) ~truncate_from ~truncate_logs
     (slots : (int * Types.entry) array) =
   let shards = cluster.shard_index in
   let n = Array.length shards in
+  let truncating = truncate_from <> None || truncate_logs <> [] in
   match cluster.mode with
   | M ->
     (* Deterministic placement: position p -> shard (p mod n). *)
@@ -30,9 +31,9 @@ let build_targets (cluster : t) ~truncate_from
     done;
     Array.init n (fun i ->
         ( shards.(i),
-          Proto.Msh_push { truncate_from; slots = groups.(i) },
-          sizes.(i),
-          groups.(i) <> [] || truncate_from <> None ))
+          Proto.Msh_push { truncate_from; truncate_logs; slots = groups.(i) },
+          sizes.(i) + (8 * List.length truncate_logs),
+          groups.(i) <> [] || truncating ))
   | St ->
     let groups = Array.make n [] in
     let counts = Array.make n 0 in
@@ -50,11 +51,12 @@ let build_targets (cluster : t) ~truncate_from
        shard server can answer Ssh_get_map (section 5.3). *)
     let map_chunk = !map_chunk in
     let map_size = 12 * Array.length slots in
-    let any = map_chunk <> [] || truncate_from <> None in
+    let any = map_chunk <> [] || truncating in
     Array.init n (fun i ->
         ( shards.(i),
-          Proto.Ssh_order { truncate_from; bindings = groups.(i); map_chunk },
-          (24 * counts.(i)) + map_size,
+          Proto.Ssh_order
+            { truncate_from; truncate_logs; bindings = groups.(i); map_chunk },
+          (24 * counts.(i)) + map_size + (8 * List.length truncate_logs),
           any ))
 
 (* Fire one independent push fiber per involved shard; [on_done] runs once
@@ -63,8 +65,9 @@ let build_targets (cluster : t) ~truncate_from
    filter make them idempotent. No cross-shard barrier here — a straggler
    shard delays only its own batch's commit, never the next batch's
    pushes. *)
-let spawn_pushes (cluster : t) ep ~truncate_from slots ~on_done =
-  let targets = build_targets cluster ~truncate_from slots in
+let spawn_pushes (cluster : t) ep ?(truncate_logs = []) ~truncate_from slots
+    ~on_done =
+  let targets = build_targets cluster ~truncate_from ~truncate_logs slots in
   let involved =
     Array.fold_left
       (fun acc (_, _, _, send) -> if send then acc + 1 else acc)
@@ -85,9 +88,9 @@ let spawn_pushes (cluster : t) ep ~truncate_from slots ~on_done =
       targets
   end
 
-let push_batch (cluster : t) ep ~truncate_from slots =
+let push_batch (cluster : t) ep ?(truncate_logs = []) ~truncate_from slots =
   let iv = Ivar.create () in
-  spawn_pushes cluster ep ~truncate_from (Array.of_list slots)
+  spawn_pushes cluster ep ~truncate_logs ~truncate_from (Array.of_list slots)
     ~on_done:(fun () -> Ivar.fill iv ());
   Ivar.read iv
 
@@ -105,13 +108,33 @@ let broadcast_stable (cluster : t) ep gp =
         (Proto.Sh_set_stable { gp }))
     cluster.shard_index
 
+(* Multi-log stable broadcast: the log-0 frontier takes the exact legacy
+   path above (so a batch with no tenant entries is byte-identical),
+   then each tenant frontier the batch advanced gets its own merge,
+   probe and one-way round. [on_stable] stays log-0 scoped — the
+   subscription manager subscribes to the root log. *)
+let broadcast_stable_logs (cluster : t) ep ~new_gp ~new_gps =
+  broadcast_stable cluster ep new_gp;
+  List.iter
+    (fun (log, g) ->
+      if g > stable_for cluster ~log then begin
+        note_stable_log cluster g;
+        if Probe.active () then Probe.emit (Probe.Stable_advanced { gp = g })
+      end;
+      Array.iter
+        (fun shard ->
+          Rpc.send_oneway ep ~dst:(Shard.primary_id shard)
+            (Proto.Sh_set_stable { gp = g }))
+        cluster.shard_index)
+    new_gps
+
 (* Garbage-collect the ordered batch on one follower. The paper does this
    with RDMA writes that move the ring-buffer head pointers without
    involving the follower's CPU (section 5.6) — crucial under load, where
    a CPU-path GC would queue behind thousands of incoming appends. We
    model it as a raw network round trip plus a direct state update,
    guarded by the follower's view/seal state. *)
-let rdma_gc (cluster : t) f ~view ~slots ~new_gp =
+let rdma_gc (cluster : t) f ~view ~gps ~slots ~new_gp =
   let iv = Ivar.create () in
   let rtt = cluster.cfg.Config.link.Fabric.one_way * 2 in
   Engine.after (rtt / 2) (fun () ->
@@ -120,7 +143,7 @@ let rdma_gc (cluster : t) f ~view ~slots ~new_gp =
         && Seq_replica.view f = view
         && not (Seq_replica.is_sealed f)
       then begin
-        Seq_replica.apply_gc f ~slots ~new_gp;
+        Seq_replica.apply_gc f ~gps ~slots ~new_gp;
         Engine.after (rtt / 2) (fun () -> ignore (Ivar.try_fill iv true))
       end
       else Engine.after (rtt / 2) (fun () -> ignore (Ivar.try_fill iv false)));
@@ -128,17 +151,17 @@ let rdma_gc (cluster : t) f ~view ~slots ~new_gp =
 
 (* Retry follower GC until every follower confirms (transient slowness) or
    the view moves on (a failure; reconfiguration takes over). *)
-let rec gc_followers (cluster : t) ep ~view ~slots ~new_gp =
+let rec gc_followers (cluster : t) ep ~view ?(gps = []) ~slots ~new_gp () =
   if cluster.view <> view || cluster.reconfiguring then false
   else begin
     let acks =
       List.map
-        (fun f -> rdma_gc cluster f ~view ~slots ~new_gp)
+        (fun f -> rdma_gc cluster f ~view ~gps ~slots ~new_gp)
         (followers cluster)
     in
     match Ivar.join_all_timeout acks ~timeout:(Engine.ms 5) with
     | Some resps when List.for_all Fun.id resps -> true
-    | _ -> gc_followers cluster ep ~view ~slots ~new_gp
+    | _ -> gc_followers cluster ep ~view ~gps ~slots ~new_gp ()
   end
 
 (* ---------- adaptive batch sizing ---------- *)
@@ -160,6 +183,53 @@ module Adaptive = struct
     end
 end
 
+(* ---------- position assignment ---------- *)
+
+(* Assign ordering positions to a claimed batch. Log 0 draws densely from
+   the [next0] cursor — with [multi_log] off every entry is log 0 and this
+   is exactly the historical [base + i] numbering. Under [multi_log],
+   tenant entries draw from their own packed cursor in [tbl], seeded from
+   the leader's per-log ordered frontier on first touch (safe: a log
+   absent from [tbl] has no in-flight batch, so the leader's committed
+   frontier is authoritative). Returns the slots plus the [(log, frontier)]
+   list for tenant logs this batch advanced. *)
+let assign_positions (cluster : t) slog ~next0 ~tbl
+    (entries : Types.entry array) =
+  if not cluster.cfg.Config.multi_log then begin
+    let base = !next0 in
+    next0 := base + Array.length entries;
+    (Array.mapi (fun i e -> (base + i, e)) entries, [])
+  end
+  else begin
+    let seen = Hashtbl.create 8 in
+    let slots =
+      Array.map
+        (fun e ->
+          let log = Types.entry_log e in
+          if log = 0 then begin
+            let gp = !next0 in
+            next0 := gp + 1;
+            (gp, e)
+          end
+          else begin
+            let g =
+              match Hashtbl.find_opt tbl log with
+              | Some g -> g
+              | None -> Seq_log.last_ordered_gp_for slog ~log
+            in
+            Hashtbl.replace tbl log (g + 1);
+            Hashtbl.replace seen log ();
+            (g, e)
+          end)
+        entries
+    in
+    let new_gps =
+      Hashtbl.fold (fun log () acc -> (log, Hashtbl.find tbl log) :: acc) seen
+        []
+    in
+    (slots, new_gps)
+  end
+
 (* ---------- read-triggered eager binding ---------- *)
 
 (* True when a parked read demands positions the leader could bind right
@@ -169,7 +239,19 @@ end
    cursor is inert and the orderer falls back to its normal pacing. *)
 let demand_pending (cluster : t) ~frontier =
   (cluster.cfg.Config.read_demand || cluster.cfg.Config.subscriptions)
-  && cluster.demand_upto > frontier
+  && (cluster.demand_upto > frontier
+     || (cluster.cfg.Config.multi_log
+        &&
+        (* Tenant demand compares against the leader's committed per-log
+           frontier; with in-flight batches this can over-report, but the
+           claim that follows is a no-op when nothing is unclaimed. *)
+        match cluster.replicas with
+        | ldr :: _ ->
+          List.exists
+            (fun (log, upto) ->
+              upto > Seq_log.last_ordered_gp_for (Seq_replica.log ldr) ~log)
+            (demand_logs cluster)
+        | [] -> false))
   && (not cluster.reconfiguring)
   && (match cluster.replicas with
      | ldr :: _ ->
@@ -235,8 +317,14 @@ let serial_pass (cluster : t) ep =
     let entries = Seq_log.unordered slog ~max:cluster.cfg.Config.max_batch () in
     if entries <> [] then begin
       let claimed_at = Engine.now () in
-      let base = Seq_log.last_ordered_gp slog in
-      let slots = List.mapi (fun i e -> (base + i, e)) entries in
+      let next0 = ref (Seq_log.last_ordered_gp slog) in
+      (* Fully synchronous pass: the leader's per-log frontiers are
+         authoritative, so the tenant cursor table starts fresh. *)
+      let slots_arr, new_gps =
+        assign_positions cluster slog ~next0 ~tbl:(Hashtbl.create 8)
+          (Array.of_list entries)
+      in
+      let slots = Array.to_list slots_arr in
       let n = List.length entries in
       cluster.ordering_in_progress <- true;
       note_claim cluster n;
@@ -249,10 +337,11 @@ let serial_pass (cluster : t) ep =
         && Fabric.is_alive (Seq_replica.node ldr)
       then begin
         let gc_slots = List.map (fun (gp, e) -> (gp, Types.entry_rid e)) slots in
-        let new_gp = base + n in
-        Seq_replica.apply_gc ldr ~slots:gc_slots ~new_gp;
-        if gc_followers cluster ep ~view ~slots:gc_slots ~new_gp then begin
-          broadcast_stable cluster ep new_gp;
+        let new_gp = !next0 in
+        Seq_replica.apply_gc ldr ~gps:new_gps ~slots:gc_slots ~new_gp;
+        if gc_followers cluster ep ~view ~gps:new_gps ~slots:gc_slots ~new_gp ()
+        then begin
+          broadcast_stable_logs cluster ep ~new_gp ~new_gps;
           note_stable cluster ~size:n ~claimed_at
         end
       end;
@@ -284,6 +373,8 @@ type batch = {
   ldr : Seq_replica.t;
   gc_slots : (int * Types.Rid.t) list;
   new_gp : int;
+  new_gps : (int * int) list;
+      (* tenant frontiers this batch advanced (multi_log; else []) *)
   size : int;
   pushed : unit Ivar.t;
   claimed_at : Engine.time;
@@ -300,11 +391,13 @@ let commit_batch (cluster : t) ep (b : batch) =
      which serializes behind us via wait_idle) before any replica GC. *)
   Ivar.read b.pushed;
   if batch_valid cluster b then begin
-    Seq_replica.apply_gc b.ldr ~slots:b.gc_slots ~new_gp:b.new_gp;
+    Seq_replica.apply_gc b.ldr ~gps:b.new_gps ~slots:b.gc_slots
+      ~new_gp:b.new_gp;
     if
-      gc_followers cluster ep ~view:b.view ~slots:b.gc_slots ~new_gp:b.new_gp
+      gc_followers cluster ep ~view:b.view ~gps:b.new_gps ~slots:b.gc_slots
+        ~new_gp:b.new_gp ()
     then begin
-      broadcast_stable cluster ep b.new_gp;
+      broadcast_stable_logs cluster ep ~new_gp:b.new_gp ~new_gps:b.new_gps;
       note_stable cluster ~size:b.size ~claimed_at:b.claimed_at
     end
     else cluster.order_resync <- true
@@ -330,13 +423,15 @@ let pipelined_loop (cluster : t) ep =
       in
       loop ());
   let next_gp = ref 0 in
+  let next_gps : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let pipe_view = ref (-1) in
   let rec loop () =
     Waitq.await cluster.order_idle (fun () ->
         cluster.inflight_batches < depth);
     (* With the pipeline empty the leader's last-ordered-gp is
        authoritative again: resync the ordering frontier (and, after a
-       discarded batch, the claim cursor). *)
+       discarded batch, the claim cursor). Tenant cursors reseed lazily
+       from the leader's per-log frontiers on next touch. *)
     if cluster.inflight_batches = 0 then begin
       (match cluster.replicas with
       | r :: _ ->
@@ -344,7 +439,8 @@ let pipelined_loop (cluster : t) ep =
           Seq_log.reset_claims (Seq_replica.log r);
           cluster.order_resync <- false
         end;
-        next_gp := Seq_log.last_ordered_gp (Seq_replica.log r)
+        next_gp := Seq_log.last_ordered_gp (Seq_replica.log r);
+        if cluster.cfg.Config.multi_log then Hashtbl.reset next_gps
       | [] -> ());
       pipe_view := cluster.view
     end;
@@ -366,9 +462,10 @@ let pipelined_loop (cluster : t) ep =
           let n = Array.length entries in
           if n = 0 then (0, 0)
           else begin
-            let base = !next_gp in
-            next_gp := base + n;
-            let slots = Array.mapi (fun i e -> (base + i, e)) entries in
+            let slots, new_gps =
+              assign_positions cluster slog ~next0:next_gp ~tbl:next_gps
+                entries
+            in
             let gc_slots = ref [] in
             for i = n - 1 downto 0 do
               let gp, e = slots.(i) in
@@ -384,7 +481,8 @@ let pipelined_loop (cluster : t) ep =
                 view = !pipe_view;
                 ldr;
                 gc_slots = !gc_slots;
-                new_gp = base + n;
+                new_gp = !next_gp;
+                new_gps;
                 size = n;
                 pushed;
                 claimed_at = Engine.now ();
@@ -416,7 +514,9 @@ let start (cluster : t) =
   Rpc.set_handler ep (fun ~src:_ req ~reply ->
       match req with
       | Proto.Sr_order_demand { upto } ->
-        if upto > cluster.demand_upto then cluster.demand_upto <- upto;
+        (* Per-log max-merge: a packed position lands in its own log's
+           cursor (log 0 keeps the scalar, identical to the original). *)
+        note_demand cluster upto;
         (* Wake unconditionally, not just when the cursor rises: a
            repeated demand at or below the merged cursor still means a
            reader is parked on positions that may have arrived after the

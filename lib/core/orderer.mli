@@ -26,17 +26,31 @@ open Ll_net
 val push_batch :
   Erwin_common.t ->
   (Proto.req, Proto.resp) Rpc.endpoint ->
+  ?truncate_logs:int list ->
   truncate_from:int option ->
   (int * Types.entry) list ->
   unit
 (** Pushes positioned entries to the shards and waits for all of them to
     acknowledge (replication included). With [truncate_from], every shard
     first logically overwrites its tail from that position — the recovery
-    flush path (section 4.5). Also used by {!Reconfig}. *)
+    flush path (section 4.5). [truncate_logs] is the multi-log analogue:
+    packed per-tenant frontiers whose logs are selectively unbound from
+    that position up, in the same message as the rebinding slots (so the
+    unbind/rebind pair is atomic per shard). Also used by {!Reconfig}. *)
 
 val broadcast_stable :
   Erwin_common.t -> (Proto.req, Proto.resp) Rpc.endpoint -> int -> unit
 (** Advances the cluster's stable-gp mirror and notifies every shard. *)
+
+val broadcast_stable_logs :
+  Erwin_common.t ->
+  (Proto.req, Proto.resp) Rpc.endpoint ->
+  new_gp:int ->
+  new_gps:(int * int) list ->
+  unit
+(** {!broadcast_stable} for the log-0 frontier plus one merge/notify round
+    per advanced tenant frontier ([(log, packed gp)]). With [new_gps = []]
+    this is exactly {!broadcast_stable}. *)
 
 (** Batch-size controller for the pipelined orderer: grows the batch while
     claims come out full with backlog remaining, shrinks it once the

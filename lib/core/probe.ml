@@ -21,6 +21,8 @@ type event =
   | Sub_delivered of { name : string; pos : int; rid : Types.Rid.t }
   | Gray_fault of { kind : string; until : int }
   | Outlier_removed of { node : int }
+  | Ingress_admitted of { replica : int; log : int }
+  | Ingress_shed of { replica : int; log : int }
 
 type handler = event -> unit
 
@@ -65,3 +67,7 @@ let pp_event fmt =
   | Gray_fault e ->
     Format.fprintf fmt "gray-fault %s until=%d" e.kind e.until
   | Outlier_removed e -> Format.fprintf fmt "outlier-removed node=%d" e.node
+  | Ingress_admitted e ->
+    Format.fprintf fmt "ingress-admitted r%d log=%d" e.replica e.log
+  | Ingress_shed e ->
+    Format.fprintf fmt "ingress-shed r%d log=%d" e.replica e.log

@@ -57,6 +57,13 @@ type event =
   | Outlier_removed of { node : int }
       (** The latency-outlier monitor evicted sequencing replica [node]
           (fabric node id) via section 5.5 straggler removal. *)
+  | Ingress_admitted of { replica : int; log : int }
+      (** Fair ingress: sequencing replica [replica] admitted a data-plane
+          append of tenant [log] into its ingress queue. *)
+  | Ingress_shed of { replica : int; log : int }
+      (** Fair ingress: the tenant's token bucket was empty and its queue
+          at the bound — the append was answered with an immediate failure
+          instead of queueing. *)
 
 type handler = event -> unit
 

@@ -19,7 +19,8 @@ type req =
           either fully acks or fully fails in this view — never half —
           with per-rid results distinguishing fresh appends from
           duplicate-filtered (already durable) entries. *)
-  | Sr_check_tail of { view : int }
+  | Sr_check_tail of { view : int; log : int }
+      (** Tail of one log ([log = 0] is the legacy single log). *)
   | Sr_gc of { view : int; slots : (gp * Types.Rid.t) list; new_gp : gp }
       (** Leader -> follower: the listed rids were bound; drop them and
           advance last-ordered-gp. *)
@@ -29,6 +30,9 @@ type req =
   | Sr_install_view of {
       new_view : int;
       new_gp : gp;
+      gps : (int * gp) list;
+          (** per-log ordering frontiers for logs beyond log 0 (empty
+              outside the multi-log fabric) *)
       flushed : (gp * Types.Rid.t) list;
     }
   | Sr_wait_ordered of { rid : Types.Rid.t }
@@ -46,10 +50,20 @@ type req =
           the sequencing layer, so a shard that lost a one-way
           [Sh_set_stable] catches up instead of blocking the read. *)
   | Sh_trim of { upto : gp }
-  (* --- Erwin-m shards: background pushes of full records --- *)
-  | Msh_push of { truncate_from : gp option; slots : (gp * Types.record) list }
+  (* --- Erwin-m shards: background pushes of full records ---
+
+     [truncate_logs] carries per-log truncation frontiers for tenant logs
+     (empty outside the multi-log fabric); it rides in the same message as
+     the slots so a recovery's unbind and rebind stay atomic per shard
+     even when several logs flush at once. *)
+  | Msh_push of {
+      truncate_from : gp option;
+      truncate_logs : gp list;
+      slots : (gp * Types.record) list;
+    }
   | Msh_replicate of {
       truncate_from : gp option;
+      truncate_logs : gp list;
       slots : (gp * Types.record) list;
     }
   (* --- Erwin-st shards: uncoordinated data writes + metadata ordering --- *)
@@ -57,11 +71,13 @@ type req =
       (** Client -> every shard replica, in parallel: stage the record. *)
   | Ssh_order of {
       truncate_from : gp option;
+      truncate_logs : gp list;
       bindings : (gp * Types.Rid.t) list;  (** this shard's records *)
       map_chunk : (gp * int) list;  (** position -> shard, full batch *)
     }
   | Ssh_replicate_order of {
       truncate_from : gp option;
+      truncate_logs : gp list;
       bindings : (gp * Types.Rid.t) list;
       noops : Types.Rid.t list;
       map_chunk : (gp * int) list;
@@ -106,7 +122,9 @@ type resp =
           [ok = false]: no entry of the batch was appended (wrong view,
           sealed, or sealed while waiting for capacity). *)
   | R_tail of { ok : bool; tail : int }
-  | R_state of { gp : gp; entries : Types.entry list }
+  | R_state of { gp : gp; gps : (int * gp) list; entries : Types.entry list }
+      (** [gps] lists the per-log last-ordered frontiers beyond log 0
+          (empty outside the multi-log fabric). *)
   | R_gp of { gp : gp }
   | R_records of { records : (gp * Types.record) list; stable : gp }
       (** [stable] piggybacks the responder's stable mirror: read traffic
@@ -142,15 +160,21 @@ let req_size = function
       (fun acc (e, _) -> acc + Types.entry_wire_size e + 4)
       16 batch
   | Sr_gc { slots; _ } -> (24 * List.length slots) + 16
-  | Sr_install_view { flushed; _ } -> (24 * List.length flushed) + 32
-  | Msh_push { slots; _ } | Msh_replicate { slots; _ } -> slots_wire slots
+  | Sr_install_view { flushed; gps; _ } ->
+    (24 * List.length flushed) + (16 * List.length gps) + 32
+  | Msh_push { slots; truncate_logs; _ }
+  | Msh_replicate { slots; truncate_logs; _ } ->
+    slots_wire slots + (8 * List.length truncate_logs)
   | Ssh_data_write { record } -> record_wire record
-  | Ssh_order { bindings; map_chunk; _ } ->
-    (24 * List.length bindings) + (12 * List.length map_chunk)
-  | Ssh_replicate_order { bindings; map_chunk; noops; _ } ->
+  | Ssh_order { bindings; map_chunk; truncate_logs; _ } ->
+    (24 * List.length bindings)
+    + (12 * List.length map_chunk)
+    + (8 * List.length truncate_logs)
+  | Ssh_replicate_order { bindings; map_chunk; noops; truncate_logs; _ } ->
     (24 * List.length bindings)
     + (12 * List.length map_chunk)
     + (16 * List.length noops)
+    + (8 * List.length truncate_logs)
   | Ssh_backfill { slots } -> slots_wire slots
   | Sh_read { positions; _ } -> (8 * List.length positions) + 8
   | St_push { records; _ } -> slots_wire records + 32
@@ -161,8 +185,11 @@ let req_size = function
 
 let resp_size = function
   | R_records { records; _ } -> slots_wire records
-  | R_state { entries; _ } ->
-    List.fold_left (fun acc e -> acc + Types.entry_wire_size e) 16 entries
+  | R_state { entries; gps; _ } ->
+    List.fold_left
+      (fun acc e -> acc + Types.entry_wire_size e)
+      (16 + (16 * List.length gps))
+      entries
   | R_map { chunk; _ } -> 12 * List.length chunk
   | R_missing { rids } -> 16 * List.length rids
   | R_append_batch { appended; _ } -> 16 + List.length appended

@@ -47,17 +47,67 @@ let run_view_change (cluster : t) ep ~detect ?(exclude = fun _ -> false) () =
        we pick the first. *)
     let t0 = Engine.now () in
     let recovery = List.hd survivors in
-    let gp, entries =
+    let gp, gps, entries =
       match
         Rpc.call_retry ep ~dst:(Seq_replica.node_id recovery)
           ~timeout:(Engine.ms 10) ~max_tries:50 Proto.Sr_get_state
       with
-      | Some (Proto.R_state { gp; entries }) -> (gp, entries)
+      | Some (Proto.R_state { gp; gps; entries }) -> (gp, gps, entries)
       | Some _ | None -> failwith "reconfig: bad get_state response"
     in
-    let slots = List.mapi (fun i e -> (gp + i, e)) entries in
-    Orderer.push_batch cluster ep ~truncate_from:(Some gp) slots;
-    let new_gp = gp + List.length entries in
+    let slots, new_gp, new_gps, truncate_from, truncate_logs =
+      if not cluster.cfg.Config.multi_log then
+        (* Single log: the historical dense flush from [gp], with a
+           numeric tail truncate. *)
+        ( List.mapi (fun i e -> (gp + i, e)) entries,
+          gp + List.length entries,
+          [],
+          Some gp,
+          [] )
+      else begin
+        (* Multi-log: reassign each surviving unordered entry from its
+           own log's recovered frontier, and truncate every log that
+           could have half-pushed positions — any log with a replicated
+           frontier or a surviving entry — from that frontier. A numeric
+           truncate would destroy the other logs' interleaved tails. *)
+        let fronts = Hashtbl.create 8 in
+        Hashtbl.replace fronts 0 gp;
+        List.iter (fun (lg, g) -> Hashtbl.replace fronts lg g) gps;
+        List.iter
+          (fun e ->
+            let lg = Types.entry_log e in
+            if not (Hashtbl.mem fronts lg) then
+              Hashtbl.replace fronts lg (Logid.base ~log:lg))
+          entries;
+        let truncate_logs = Hashtbl.fold (fun _ f acc -> f :: acc) fronts [] in
+        let tbl = Hashtbl.create 8 in
+        List.iter (fun (lg, g) -> Hashtbl.replace tbl lg g) gps;
+        let next0 = ref gp in
+        let slots =
+          List.map
+            (fun e ->
+              let lg = Types.entry_log e in
+              if lg = 0 then begin
+                let p = !next0 in
+                next0 := p + 1;
+                (p, e)
+              end
+              else begin
+                let g =
+                  match Hashtbl.find_opt tbl lg with
+                  | Some g -> g
+                  | None -> Logid.base ~log:lg
+                in
+                Hashtbl.replace tbl lg (g + 1);
+                (g, e)
+              end)
+            entries
+        in
+        let new_gps = Hashtbl.fold (fun lg g acc -> (lg, g) :: acc) tbl [] in
+        (slots, !next0, new_gps, None, truncate_logs)
+      end
+    in
+    Orderer.push_batch cluster ep ~truncate_logs ~truncate_from slots;
     let flush_d = Engine.now () - t0 in
     (* New view: configuration to ZooKeeper first, then install, and only
        then advance stable-gp. *)
@@ -68,13 +118,14 @@ let run_view_change (cluster : t) ep ~detect ?(exclude = fun _ -> false) () =
     let flushed = List.map (fun (p, e) -> (p, Types.entry_rid e)) slots in
     let installs =
       List.map
-        (retried (Proto.Sr_install_view { new_view; new_gp; flushed }))
+        (retried
+           (Proto.Sr_install_view { new_view; new_gp; gps = new_gps; flushed }))
         survivors
     in
     ignore (Ivar.join_all installs : Proto.resp list);
     cluster.replicas <- survivors;
     cluster.view <- new_view;
-    Orderer.broadcast_stable cluster ep new_gp;
+    Orderer.broadcast_stable_logs cluster ep ~new_gp ~new_gps;
     let new_view_d = Engine.now () - t0 in
     cluster.reconfiguring <- false;
     cluster.crash_time <- None;
@@ -158,7 +209,7 @@ let start_outlier_monitor (cluster : t) =
                   let timeout = 2 * cfg.Config.outlier_interval in
                   match
                     Rpc.call_timeout ep ~dst:(Seq_replica.node_id r) ~timeout
-                      (Proto.Sr_check_tail { view = cluster.view })
+                      (Proto.Sr_check_tail { view = cluster.view; log = 0 })
                   with
                   | Some _ -> ()
                   | None ->

@@ -9,6 +9,13 @@ type t = {
   mutable next : int;  (* next slot *)
   mutable live : int;
   mutable gp : int;
+  (* Multi-log fabric: per-log last-ordered frontier and live count for
+     logs beyond 0 (log 0 stays in the scalar [gp] / implied live count,
+     so the single-log path is untouched). Frontiers are packed positions
+     ({!Logid}). *)
+  gps : (int, int) Hashtbl.t;
+  live_logs : (int, int) Hashtbl.t;
+  mutable live_other : int;  (* total live entries in logs > 0 *)
   (* Pipelined ordering: slots below [claimed] belong to an in-flight
      ordering batch and must not be claimed again; [claimed_live] counts
      the live entries among them. *)
@@ -27,6 +34,9 @@ let create ~capacity =
     next = 0;
     live = 0;
     gp = 0;
+    gps = Hashtbl.create 8;
+    live_logs = Hashtbl.create 8;
+    live_other = 0;
     claimed = 0;
     claimed_live = 0;
     space = Waitq.create ();
@@ -41,12 +51,22 @@ let already_ordered t (rid : Types.Rid.t) =
 
 let is_duplicate t rid = Hashtbl.mem t.by_rid rid || already_ordered t rid
 
+let bump_live t lg d =
+  if lg <> 0 then begin
+    t.live_other <- t.live_other + d;
+    let cur =
+      match Hashtbl.find_opt t.live_logs lg with Some n -> n | None -> 0
+    in
+    Hashtbl.replace t.live_logs lg (cur + d)
+  end
+
 let do_append t e =
   let slot = t.next in
   Hashtbl.replace t.entries slot e;
   Hashtbl.replace t.by_rid (Types.entry_rid e) slot;
   t.next <- slot + 1;
-  t.live <- t.live + 1
+  t.live <- t.live + 1;
+  bump_live t (Types.entry_log e) 1
 
 let try_append t e =
   let rid = Types.entry_rid e in
@@ -182,6 +202,9 @@ let remove_ordered t rids =
       note_ordered t rid;
       match Hashtbl.find_opt t.by_rid rid with
       | Some slot ->
+        (match Hashtbl.find_opt t.entries slot with
+        | Some e -> bump_live t (Types.entry_log e) (-1)
+        | None -> ());
         Hashtbl.remove t.entries slot;
         Hashtbl.remove t.by_rid rid;
         t.live <- t.live - 1;
@@ -197,6 +220,8 @@ let clear t =
   Hashtbl.reset t.entries;
   Hashtbl.reset t.by_rid;
   t.live <- 0;
+  Hashtbl.reset t.live_logs;
+  t.live_other <- 0;
   t.first <- t.next;
   t.claimed <- t.next;
   t.claimed_live <- 0;
@@ -205,6 +230,28 @@ let clear t =
 let last_ordered_gp t = t.gp
 
 let set_last_ordered_gp t gp = t.gp <- gp
+
+(* Per-log frontier accessors. Log 0 aliases the scalar [gp]; a log with
+   no frontier yet starts at its base position. *)
+let last_ordered_gp_for t ~log =
+  if log = 0 then t.gp
+  else
+    match Hashtbl.find_opt t.gps log with
+    | Some g -> g
+    | None -> Logid.base ~log
+
+let set_last_ordered_gp_for t ~log g =
+  if log = 0 then t.gp <- g else Hashtbl.replace t.gps log g
+
+let log_gps t = Hashtbl.fold (fun log g acc -> (log, g) :: acc) t.gps []
+
+let set_log_gps t gps =
+  Hashtbl.reset t.gps;
+  List.iter (fun (log, g) -> Hashtbl.replace t.gps log g) gps
+
+let live_count_for t ~log =
+  if log = 0 then t.live - t.live_other
+  else match Hashtbl.find_opt t.live_logs log with Some n -> n | None -> 0
 
 let mem t rid = Hashtbl.mem t.by_rid rid
 

@@ -89,6 +89,24 @@ val last_ordered_gp : t -> int
 
 val set_last_ordered_gp : t -> int -> unit
 
+val last_ordered_gp_for : t -> log:int -> int
+(** Per-log last-ordered frontier (a packed {!Logid} position; the next
+    position of [log] to be assigned). Log 0 aliases
+    {!last_ordered_gp}; a log never ordered yet starts at
+    [Logid.base ~log]. *)
+
+val set_last_ordered_gp_for : t -> log:int -> int -> unit
+
+val log_gps : t -> (int * int) list
+(** The per-log frontiers beyond log 0 (unordered list), for recovery
+    state transfer. *)
+
+val set_log_gps : t -> (int * int) list -> unit
+(** Replace the per-log frontiers beyond log 0 (view install). *)
+
+val live_count_for : t -> log:int -> int
+(** Live (unordered) entries belonging to one log. *)
+
 val mem : t -> Types.Rid.t -> bool
 (** Is this rid live (not yet garbage-collected)? *)
 

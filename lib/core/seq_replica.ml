@@ -19,6 +19,10 @@ type t = {
      durable floor. Deliberately not cleared on view install — the cursor
      is client-progress state, not view state. *)
   sub_cursors : (string, int * int) Hashtbl.t;
+  (* Weighted-fair ingress scheduler, present only when
+     [multi_log && fair_ingress] (otherwise the endpoint keeps the
+     default FIFO discipline, byte-identically). *)
+  mutable fair : Ingress.t option;
 }
 
 let node t = t.node
@@ -28,6 +32,7 @@ let log t = t.slog
 let view t = t.view
 let is_sealed t = t.sealed
 let sub_cursor t name = Hashtbl.find_opt t.sub_cursors name
+let ingress t = t.fair
 
 let record_bindings t slots =
   List.iter
@@ -39,9 +44,10 @@ let record_bindings t slots =
     slots;
   Waitq.broadcast t.bound_watch
 
-let apply_gc t ~slots ~new_gp =
+let apply_gc ?(gps = []) t ~slots ~new_gp =
   Seq_log.remove_ordered t.slog (List.map snd slots);
   Seq_log.set_last_ordered_gp t.slog new_gp;
+  List.iter (fun (log, g) -> Seq_log.set_last_ordered_gp_for t.slog ~log g) gps;
   record_bindings t slots
 
 let handle t ~src:_ (req : Proto.req) ~reply =
@@ -100,15 +106,27 @@ let handle t ~src:_ (req : Proto.req) ~reply =
         reply
           (Proto.R_append_batch { ok = false; view = t.view; appended = [] })
     end
-  | Sr_check_tail { view } ->
+  | Sr_check_tail { view; log } ->
     if view <> t.view || t.sealed then
       reply (Proto.R_tail { ok = false; tail = 0 })
-    else
+    else if not t.cfg.Config.multi_log then
       reply
         (Proto.R_tail
            {
              ok = true;
              tail = Seq_log.last_ordered_gp t.slog + Seq_log.live_count t.slog;
+           })
+    else
+      (* Per-log tail: that log's frontier plus its own live entries,
+         reported as a per-log position (the caller reasons within one
+         log, not across the packed keyspace). *)
+      reply
+        (Proto.R_tail
+           {
+             ok = true;
+             tail =
+               Logid.pos_of (Seq_log.last_ordered_gp_for t.slog ~log)
+               + Seq_log.live_count_for t.slog ~log;
            })
   | Sr_gc { view; slots; new_gp } ->
     if view <> t.view || t.sealed then
@@ -131,12 +149,14 @@ let handle t ~src:_ (req : Proto.req) ~reply =
       (Proto.R_state
          {
            gp = Seq_log.last_ordered_gp t.slog;
+           gps = Seq_log.log_gps t.slog;
            entries = Seq_log.unordered t.slog ();
          })
-  | Sr_install_view { new_view; new_gp; flushed } ->
+  | Sr_install_view { new_view; new_gp; gps; flushed } ->
     Seq_log.clear t.slog;
     Seq_log.mark_ordered t.slog (List.map snd flushed);
     Seq_log.set_last_ordered_gp t.slog new_gp;
+    Seq_log.set_log_gps t.slog gps;
     record_bindings t flushed;
     t.view <- new_view;
     t.sealed <- false;
@@ -210,9 +230,12 @@ let create ~cfg ~fabric ~name:rname =
       bound_gp = Hashtbl.create 64;
       bound_watch = Waitq.create ();
       sub_cursors = Hashtbl.create 8;
+      fair = None;
     }
   in
   Rpc.set_service_time ep (service_time cfg);
   Rpc.set_handler ep (fun ~src req ~reply ->
       handle t ~src req ~reply:(fun r -> reply ~size:(Proto.resp_size r) r));
+  if cfg.Config.multi_log && cfg.Config.fair_ingress then
+    t.fair <- Some (Ingress.install ~cfg ~view:(fun () -> t.view) ep);
   t

@@ -34,8 +34,18 @@ val log : t -> Seq_log.t
 val view : t -> int
 val is_sealed : t -> bool
 
-val apply_gc : t -> slots:(int * Types.Rid.t) list -> new_gp:int -> unit
-(** Local equivalent of [Sr_gc], used by the orderer on the leader. *)
+val apply_gc :
+  ?gps:(int * int) list -> t -> slots:(int * Types.Rid.t) list ->
+  new_gp:int -> unit
+(** Local equivalent of [Sr_gc], used by the orderer on the leader.
+    [gps] carries the per-log ordered frontiers ([(log, packed gp)],
+    logs > 0) advanced by the same ordering pass under [multi_log];
+    empty (the default) on the single-log path. *)
+
+val ingress : t -> Ingress.t option
+(** The weighted-fair ingress scheduler, present iff the replica was
+    created with [multi_log && fair_ingress] (tests and the tenants
+    bench read its per-tenant admit/shed counters). *)
 
 val sub_cursor : t -> string -> (int * int) option
 (** The replicated [(epoch, cursor)] of a named subscription, as last

@@ -20,8 +20,13 @@ type replica = {
   (* Per-replica stable-gp mirror: the primary's is authoritative for the
      shard; backups keep their own (fed by the primary's relay, by client
      stable hints, and by the stable piggybacked on forwarded reads) so
-     they can serve bound positions without consulting the primary. *)
+     they can serve bound positions without consulting the primary.
+     [stable] is log 0's frontier (the whole log outside the multi-log
+     fabric); tenant logs keep theirs in [stables], keyed by log id with
+     packed values. One watch covers all logs — waiters re-check their
+     own predicate. *)
   mutable stable : int;
+  stables : (int, int) Hashtbl.t;
   stable_watch : Waitq.t;
 }
 
@@ -36,10 +41,20 @@ type t = {
          when [cfg.read_demand] *)
 }
 
+(* [stable] is log 0's frontier; tenant logs fall back to their packed
+   base until first advanced. *)
+let stable_for r ~log =
+  if log = 0 then r.stable
+  else
+    match Hashtbl.find_opt r.stables log with
+    | Some g -> g
+    | None -> Logid.base ~log
+
 let shard_id t = t.sid
 let primary_id t = Fabric.id t.primary.node
 let replica_ids t = List.map (fun r -> Fabric.id r.node) (t.primary :: t.backups)
 let stable_gp t = t.primary.stable
+let stable_gp_for t ~log = stable_for t.primary ~log
 let set_demand_target t dst = t.demand_target <- dst
 let read_local t pos = Flushed_store.read t.primary.store ~pos
 let bound_positions t = Flushed_store.entries t.primary.store
@@ -70,9 +85,43 @@ let unbind_from r from =
   let stale = Hashtbl.fold (fun gp _ acc -> if gp >= from then gp :: acc else acc) r.map_log [] in
   List.iter (Hashtbl.remove r.map_log) stale
 
-let apply_truncate r = function
-  | Some from -> unbind_from r from
-  | None -> ()
+(* Per-log truncation, the multi-log recovery path: each packed frontier
+   in [fronts] unbinds its own log's positions [>= frontier], requeueing
+   real records into staging, without touching interleaved positions of
+   other logs (a numeric [truncate] would destroy them). One walk over
+   the bound entries covers every listed log. *)
+let unbind_logs_from r fronts =
+  let by_log = Hashtbl.create 8 in
+  List.iter (fun f -> Hashtbl.replace by_log (Logid.log_of f) f) fronts;
+  let doomed =
+    List.filter
+      (fun (gp, _) ->
+        match Hashtbl.find_opt by_log (Logid.log_of gp) with
+        | Some f -> gp >= f
+        | None -> false)
+      (Flushed_store.entries r.store)
+  in
+  List.iter
+    (fun (gp, (rec_ : Types.record)) ->
+      if not (Types.is_no_op rec_) then begin
+        Hashtbl.replace r.staging rec_.Types.rid rec_;
+        Hashtbl.replace r.staged_at rec_.Types.rid 0
+      end;
+      Flushed_store.remove r.store ~pos:gp)
+    doomed;
+  let stale =
+    Hashtbl.fold
+      (fun gp _ acc ->
+        match Hashtbl.find_opt by_log (Logid.log_of gp) with
+        | Some f when gp >= f -> gp :: acc
+        | _ -> acc)
+      r.map_log []
+  in
+  List.iter (Hashtbl.remove r.map_log) stale
+
+let apply_truncate r ~truncate_from ~truncate_logs =
+  (match truncate_from with Some from -> unbind_from r from | None -> ());
+  if truncate_logs <> [] then unbind_logs_from r truncate_logs
 
 (* [charged = true] pays the device for the record bytes (Erwin-m pushes,
    where this is the first time the shard sees the data); [charged =
@@ -113,10 +162,16 @@ let resolve_binding cfg r rid =
 
 (* Probe points are primary-only: the primary's bindings are the
    authoritative position -> record map the invariants talk about. *)
-let probe_truncate t = function
-  | Some from when Probe.active () ->
-    Probe.emit (Probe.Shard_truncated { shard = t.sid; from })
-  | _ -> ()
+let probe_truncate t ~truncate_from ~truncate_logs =
+  if Probe.active () then begin
+    (match truncate_from with
+    | Some from -> Probe.emit (Probe.Shard_truncated { shard = t.sid; from })
+    | None -> ());
+    (* Packed frontiers: the monitor recovers the log from the position. *)
+    List.iter
+      (fun from -> Probe.emit (Probe.Shard_truncated { shard = t.sid; from }))
+      truncate_logs
+  end
 
 let probe_stored t slots =
   if Probe.active () then
@@ -139,10 +194,28 @@ let probe_read_served t records =
       records
 
 let note_stable r gp =
-  if gp > r.stable then begin
-    r.stable <- gp;
-    Waitq.broadcast r.stable_watch
+  let log = Logid.log_of gp in
+  if log = 0 then begin
+    if gp > r.stable then begin
+      r.stable <- gp;
+      Waitq.broadcast r.stable_watch
+    end
   end
+  else
+    match Hashtbl.find_opt r.stables log with
+    | Some g when g >= gp -> ()
+    | _ ->
+      Hashtbl.replace r.stables log gp;
+      Waitq.broadcast r.stable_watch
+
+(* Position [p] is readable once its own log's frontier passes it. *)
+let covered r positions =
+  List.for_all (fun p -> stable_for r ~log:(Logid.log_of p) > p) positions
+
+(* The log a read group belongs to, for same-log stable piggybacks
+   (groups are log-homogeneous in practice; a mixed group piggybacks the
+   highest position's log). *)
+let read_log ~max_pos = if max_pos < 0 then 0 else Logid.log_of max_pos
 
 (* Read-triggered eager binding (the lazy-ordering contract of sections
    4.2/5.2): a read parked beyond stable asks the sequencing layer to bind
@@ -151,7 +224,9 @@ let note_stable r gp =
    stable watch and is woken by the resulting stable push. *)
 let demand_bind t ~upto =
   match t.demand_target with
-  | Some dst when t.cfg.Config.read_demand && upto > t.primary.stable ->
+  | Some dst
+    when t.cfg.Config.read_demand
+         && upto > stable_for t.primary ~log:(read_log ~max_pos:(upto - 1)) ->
     let r = t.primary in
     Engine.spawn ~name:(Printf.sprintf "shard%d.demand" t.sid) (fun () ->
         ignore
@@ -165,12 +240,13 @@ let demand_bind t ~upto =
 let handle_primary t ~src:_ (req : Proto.req) ~reply =
   let r = t.primary in
   match req with
-  | Msh_push { truncate_from; slots } ->
-    apply_truncate r truncate_from;
-    probe_truncate t truncate_from;
+  | Msh_push { truncate_from; truncate_logs; slots } ->
+    apply_truncate r ~truncate_from ~truncate_logs;
+    probe_truncate t ~truncate_from ~truncate_logs;
     store_slots r slots;
     probe_stored t slots;
     (* Retried on loss; replication by explicit position is idempotent. *)
+    let repl_req = Proto.Msh_replicate { truncate_from; truncate_logs; slots } in
     let acks =
       List.map
         (fun b ->
@@ -178,9 +254,8 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
           Engine.spawn (fun () ->
               ignore
                 (Rpc.call_retry r.ep ~dst:(Fabric.id b.node)
-                   ~size:(Proto.req_size (Msh_replicate { truncate_from; slots }))
-                   ~timeout:(Engine.ms 10) ~max_tries:50
-                   (Proto.Msh_replicate { truncate_from; slots }));
+                   ~size:(Proto.req_size repl_req)
+                   ~timeout:(Engine.ms 10) ~max_tries:50 repl_req);
               Ivar.fill iv ());
           iv)
         t.backups
@@ -201,9 +276,9 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
       if fresh then journal_record r record;
       reply (Proto.R_append { ok = true; view = 0 })
     end
-  | Ssh_order { truncate_from; bindings; map_chunk } ->
-    apply_truncate r truncate_from;
-    probe_truncate t truncate_from;
+  | Ssh_order { truncate_from; truncate_logs; bindings; map_chunk } ->
+    apply_truncate r ~truncate_from ~truncate_logs;
+    probe_truncate t ~truncate_from ~truncate_logs;
     (* Idempotency under retried pushes: a position already bound must
        not be resolved again (its record left staging on the first
        pass, and re-resolving would wrongly no-op it). *)
@@ -233,6 +308,7 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
     let repl_req =
       Proto.Ssh_replicate_order
         { truncate_from;
+          truncate_logs;
           bindings = List.map (fun (gp, rid, _) -> (gp, rid)) resolved;
           noops;
           map_chunk }
@@ -276,26 +352,29 @@ let handle_primary t ~src:_ (req : Proto.req) ~reply =
        Sh_set_stable: the client would not ask for unstable positions. *)
     note_stable r stable_hint;
     let max_pos = List.fold_left max (-1) positions in
-    if r.stable <= max_pos then demand_bind t ~upto:(max_pos + 1);
-    Waitq.await r.stable_watch (fun () -> r.stable > max_pos);
+    if not (covered r positions) then demand_bind t ~upto:(max_pos + 1);
+    Waitq.await r.stable_watch (fun () -> covered r positions);
     (* Batched store read: the whole group is served in one segment-cache
        pass, cold segments paying a single combined device fetch instead
        of one base-latency charge per position. *)
     let records = Flushed_store.read_many r.store positions in
     probe_read_served t records;
-    reply (Proto.R_records { records; stable = r.stable })
+    reply
+      (Proto.R_records
+         { records; stable = stable_for r ~log:(read_log ~max_pos) })
   | Ssh_get_map { from; count; stable_hint } ->
     note_stable r stable_hint;
-    if r.stable <= from then demand_bind t ~upto:(from + 1);
-    Waitq.await r.stable_watch (fun () -> r.stable > from);
-    let upto = min r.stable (from + count) in
+    let log = read_log ~max_pos:from in
+    if stable_for r ~log <= from then demand_bind t ~upto:(from + 1);
+    Waitq.await r.stable_watch (fun () -> stable_for r ~log > from);
+    let upto = min (stable_for r ~log) (from + count) in
     let chunk = ref [] in
     for gp = upto - 1 downto from do
       match Hashtbl.find_opt r.map_log gp with
       | Some sid -> chunk := (gp, sid) :: !chunk
       | None -> ()
     done;
-    reply (Proto.R_map { chunk = !chunk; stable = r.stable })
+    reply (Proto.R_map { chunk = !chunk; stable = stable_for r ~log })
   | Sh_set_stable { gp } ->
     note_stable r gp;
     (* Backup replicas serve reads only below their own mirror: relay the
@@ -337,8 +416,8 @@ let forward_to_primary t r req ~reply ~on_resp =
 
 let handle_backup t r ~src:_ (req : Proto.req) ~reply =
   match req with
-  | Msh_replicate { truncate_from; slots } ->
-    apply_truncate r truncate_from;
+  | Msh_replicate { truncate_from; truncate_logs; slots } ->
+    apply_truncate r ~truncate_from ~truncate_logs;
     store_slots r slots;
     reply Proto.R_ok
   | Ssh_data_write { record } ->
@@ -352,8 +431,9 @@ let handle_backup t r ~src:_ (req : Proto.req) ~reply =
       if fresh then journal_record r record;
       reply (Proto.R_append { ok = true; view = 0 })
     end
-  | Ssh_replicate_order { truncate_from; bindings; noops; map_chunk } ->
-    apply_truncate r truncate_from;
+  | Ssh_replicate_order { truncate_from; truncate_logs; bindings; noops; map_chunk }
+    ->
+    apply_truncate r ~truncate_from ~truncate_logs;
     let missing = ref [] in
     let slots =
       List.filter_map
@@ -392,12 +472,14 @@ let handle_backup t r ~src:_ (req : Proto.req) ~reply =
   | Sh_read { positions; stable_hint } ->
     note_stable r stable_hint;
     let max_pos = List.fold_left max (-1) positions in
-    if r.stable > max_pos then begin
+    if covered r positions then begin
       (* Every requested position is bound here: serve from the local
          store, scaling read throughput with the replica count. *)
       let records = Flushed_store.read_many r.store positions in
       probe_read_served t records;
-      reply (Proto.R_records { records; stable = r.stable })
+      reply
+        (Proto.R_records
+           { records; stable = stable_for r ~log:(read_log ~max_pos) })
     end
     else
       forward_to_primary t r req ~reply ~on_resp:(function
@@ -405,15 +487,16 @@ let handle_backup t r ~src:_ (req : Proto.req) ~reply =
         | _ -> ())
   | Ssh_get_map { from; count; stable_hint } ->
     note_stable r stable_hint;
-    if r.stable > from then begin
-      let upto = min r.stable (from + count) in
+    let log = read_log ~max_pos:from in
+    if stable_for r ~log > from then begin
+      let upto = min (stable_for r ~log) (from + count) in
       let chunk = ref [] in
       for gp = upto - 1 downto from do
         match Hashtbl.find_opt r.map_log gp with
         | Some sid -> chunk := (gp, sid) :: !chunk
         | None -> ()
       done;
-      reply (Proto.R_map { chunk = !chunk; stable = r.stable })
+      reply (Proto.R_map { chunk = !chunk; stable = stable_for r ~log })
     end
     else
       forward_to_primary t r req ~reply ~on_resp:(function
@@ -456,6 +539,7 @@ let make_replica cfg fabric ~name =
     staging_watch = Waitq.create ();
     map_log = Hashtbl.create 1024;
     stable = 0;
+    stables = Hashtbl.create 8;
     stable_watch = Waitq.create ();
   }
 
@@ -526,9 +610,32 @@ let replace_backup t ~index =
   Hashtbl.iter (fun gp sid -> Hashtbl.replace fresh.map_log gp sid) src.map_log;
   (* The copied prefix is readable on the fresh replica right away. *)
   fresh.stable <- src.stable;
+  Hashtbl.iter (fun log g -> Hashtbl.replace fresh.stables log g) src.stables;
   (* Swap in, then catch up on anything pushed during the bulk copy. *)
   t.backups <- List.mapi (fun i b -> if i = index then fresh else b) t.backups;
-  ignore (copy_from copied_upto : int)
+  if not t.cfg.Config.multi_log then ignore (copy_from copied_upto : int)
+  else begin
+    (* Packed positions are not monotone across logs, so "everything past
+       the last copied position" under-covers: the delta pass instead
+       copies whatever the bulk pass missed, by membership. *)
+    ignore (copied_upto : int);
+    let missing =
+      List.filter
+        (fun (gp, _) -> Flushed_store.mem_read fresh.store ~pos:gp = None)
+        (Flushed_store.entries src.store)
+    in
+    let bytes =
+      List.fold_left
+        (fun acc (_, (r : Types.record)) -> acc + r.Types.size)
+        0 missing
+    in
+    Engine.sleep
+      (Engine.us 500
+      + int_of_float
+          (t.cfg.Config.link.Fabric.per_byte_ns *. float_of_int bytes));
+    Flushed_store.append_batch fresh.store
+      (List.map (fun (gp, (r : Types.record)) -> (gp, r.Types.size, r)) missing)
+  end
 
 let backup_ids t = List.map (fun b -> Fabric.id b.node) t.backups
 

@@ -14,10 +14,12 @@ end
 
 (** A log record. [data] is a small correctness tag carried through the
     system; [size] is the modeled payload size in bytes (what the network
-    and disks are charged for). *)
-type record = { rid : Rid.t; size : int; data : string }
+    and disks are charged for); [log] is the tenant log it belongs to
+    (always [0] outside the multi-log fabric). *)
+type record = { rid : Rid.t; size : int; data : string; log : int }
 
-val record : rid:Rid.t -> size:int -> ?data:string -> unit -> record
+val record :
+  rid:Rid.t -> size:int -> ?data:string -> ?log:int -> unit -> record
 
 val pp_record : Format.formatter -> record -> unit
 
@@ -25,10 +27,14 @@ val pp_record : Format.formatter -> record -> unit
     sequencing layer, Erwin-st only metadata [<record-id, shard-id>]. *)
 type entry =
   | Data of record  (** Erwin-m: the record itself *)
-  | Meta of { rid : Rid.t; shard : int; size : int }
+  | Meta of { rid : Rid.t; shard : int; size : int; log : int }
       (** Erwin-st: identifies a record of [size] bytes staged on [shard] *)
 
 val entry_rid : entry -> Rid.t
+
+val entry_log : entry -> int
+(** The tenant log an entry belongs to ([0] outside the multi-log
+    fabric). *)
 
 val entry_wire_size : entry -> int
 (** Bytes this entry occupies on the wire / in sequencing-replica memory

@@ -57,6 +57,15 @@ type ('req, 'resp) endpoint = {
       option;
   mutable service_time : 'req -> Engine.time;
   mutable budget : Retry_budget.t option;
+  (* Ingress scheduler hook: when installed, every incoming request is
+     offered to the scheduler before the default serial service-time
+     charge. Returning [true] means the scheduler took ownership (queued
+     the request for its own service discipline, or shed it with an
+     immediate reply); [false] falls through to the default path —
+     schedulers bypass traffic they do not classify. *)
+  mutable ingress :
+    (src:node_id -> 'req -> reply:(?size:int -> 'resp -> unit) -> bool)
+      option;
 }
 
 (* Per-domain counters over every endpoint in the run — the retry-path
@@ -153,7 +162,11 @@ let hedge_deadline t ~dsts ~floor =
     let med = int_of_float med in
     if med > floor then med else floor
 
-let dispatch t ~src req ~reply =
+(* The default service discipline: charge the request's service time
+   serially (this runs in the demux fiber, so the endpoint's "CPU" is a
+   single queue) and run the handler on its own fiber. Also the re-entry
+   point for an ingress scheduler once it dequeues a request. *)
+let serve t ~src req ~reply =
   match t.handler with
   | None -> ()
   | Some h ->
@@ -163,6 +176,14 @@ let dispatch t ~src req ~reply =
     if Fabric.is_alive t.node then
       Engine.spawn ~name:(Fabric.name t.node ^ ".handler") (fun () ->
           h ~src req ~reply)
+
+let dispatch t ~src req ~reply =
+  match t.handler with
+  | None -> ()
+  | Some _ -> (
+    match t.ingress with
+    | Some f -> if not (f ~src req ~reply) then serve t ~src req ~reply
+    | None -> serve t ~src req ~reply)
 
 let demux_loop t () =
   let rec loop () =
@@ -201,6 +222,7 @@ let endpoint fabric node =
       handler = None;
       service_time = (fun _ -> 0);
       budget = None;
+      ingress = None;
     }
   in
   Engine.spawn ~name:(Fabric.name node ^ ".demux") (demux_loop t);
@@ -209,6 +231,10 @@ let endpoint fabric node =
 let set_handler t h = t.handler <- Some h
 
 let set_service_time t f = t.service_time <- f
+
+let set_ingress t f = t.ingress <- Some f
+
+let service_time_of t req = t.service_time req
 
 let call_async_token t ~dst ?(size = 64) req =
   let token = t.next_token in

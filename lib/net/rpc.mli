@@ -39,6 +39,31 @@ val set_handler :
 val set_service_time : ('req, 'resp) endpoint -> ('req -> Engine.time) -> unit
 (** CPU cost charged serially per incoming request (default 0). *)
 
+val set_ingress :
+  ('req, 'resp) endpoint ->
+  (src:node_id -> 'req -> reply:(?size:int -> 'resp -> unit) -> bool) ->
+  unit
+(** Installs an ingress scheduler: every incoming request is offered to it
+    (from the demux fiber, before any service-time charge). Returning
+    [true] transfers ownership — the scheduler queues the request under
+    its own service discipline (re-entering via {!serve} when it dequeues)
+    or sheds it by invoking [reply] directly. Returning [false] falls
+    through to the default FIFO serial path, byte-identically — schedulers
+    bypass traffic they do not classify. *)
+
+val serve :
+  ('req, 'resp) endpoint ->
+  src:node_id -> 'req -> reply:(?size:int -> 'resp -> unit) -> unit
+(** The default service discipline: charge the request's service time
+    (blocking the calling fiber — serial service) and run the installed
+    handler on a fresh fiber. Ingress schedulers call this from their
+    drain fiber for each dequeued request. *)
+
+val service_time_of : ('req, 'resp) endpoint -> 'req -> Engine.time
+(** The endpoint's modeled CPU cost for one request (what {!serve} will
+    charge) — lets an ingress scheduler cost-account a request before
+    deciding to queue or shed it. *)
+
 val call :
   ('req, 'resp) endpoint -> dst:node_id -> ?size:int -> 'req -> 'resp
 (** Synchronous call; blocks forever if the peer never answers. [size] is

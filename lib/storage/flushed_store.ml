@@ -135,6 +135,8 @@ let length t = Mem_log.length t.log
 
 let truncate t n = Mem_log.truncate t.log n
 
+let remove t ~pos = Mem_log.remove t.log pos
+
 let trim t n = Mem_log.trim t.log n
 
 let dirty_bytes t = t.dirty_bytes

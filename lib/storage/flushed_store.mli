@@ -46,6 +46,13 @@ val mem_read : 'a t -> pos:int -> 'a option
 
 val length : 'a t -> int
 val truncate : 'a t -> int -> unit
+
+val remove : 'a t -> pos:int -> unit
+(** Deletes the single entry at [pos] (no device charge — an unbind is
+    metadata, the bytes are reclaimed lazily). Multi-log view changes
+    use this to drop one tenant's tail bindings without a numeric
+    truncate destroying interleaved positions of other logs. *)
+
 val trim : 'a t -> int -> unit
 val dirty_bytes : 'a t -> int
 

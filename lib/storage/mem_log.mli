@@ -27,8 +27,16 @@ val length : 'a t -> int
 val first : 'a t -> int
 (** Lowest untrimmed position. *)
 
+val remove : 'a t -> int -> unit
+(** [remove t pos] deletes the single entry at [pos] (no-op if absent),
+    leaving [first]/[length] untouched. The multi-log view-change path
+    uses this to unbind one tenant's tail positions without disturbing
+    interleaved positions of other logs. *)
+
 val truncate : 'a t -> int -> unit
-(** [truncate t n] drops entries at positions [>= n]. *)
+(** [truncate t n] drops entries at positions [>= n]. Cost is
+    O(range) for dense logs, O(population) when the range is sparse
+    (packed multi-log positions). *)
 
 val trim : 'a t -> int -> unit
 (** [trim t n] discards entries at positions [< n]. *)

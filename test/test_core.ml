@@ -23,7 +23,8 @@ let test_rid_compare () =
 let test_entry_sizes () =
   checki "data size" 4096 (Types.entry_wire_size (Types.Data (Types.record ~rid:(rid 0 1) ~size:4096 ())));
   checki "meta size" Types.meta_size
-    (Types.entry_wire_size (Types.Meta { rid = rid 0 1; shard = 2; size = 4096 }));
+    (Types.entry_wire_size
+       (Types.Meta { rid = rid 0 1; shard = 2; size = 4096; log = 0 }));
   checkb "no-op detected" true (Types.is_no_op Types.no_op);
   checkb "normal record is not no-op" false
     (Types.is_no_op (Types.record ~rid:(rid 0 1) ~size:1 ()))

@@ -51,7 +51,7 @@ let test_seal_rejects_then_install_unseals () =
       (match
          call r ep
            (Proto.Sr_install_view
-              { new_view = 1; new_gp = 1; flushed = [ (0, rid 1 1) ] })
+              { new_view = 1; new_gp = 1; gps = []; flushed = [ (0, rid 1 1) ] })
        with
       | Proto.R_ok -> ()
       | _ -> Alcotest.fail "install failed");
@@ -67,7 +67,7 @@ let test_get_state_returns_unordered () =
       ignore (append r ep (entry 1 1));
       ignore (append r ep (entry 2 1));
       match call r ep Proto.Sr_get_state with
-      | Proto.R_state { gp; entries } ->
+      | Proto.R_state { gp; entries; _ } ->
         checki "gp" 0 gp;
         checki "both entries" 2 (List.length entries)
       | _ -> Alcotest.fail "bad state response")
@@ -77,14 +77,14 @@ let test_check_tail_includes_unordered () =
       ignore (append r ep (entry 1 1));
       ignore (append r ep (entry 1 2));
       Seq_replica.apply_gc r ~slots:[ (0, rid 1 1) ] ~new_gp:1;
-      match call r ep (Proto.Sr_check_tail { view = 0 }) with
+      match call r ep (Proto.Sr_check_tail { view = 0; log = 0 }) with
       | Proto.R_tail { ok = true; tail } -> checki "gp + live" 2 tail
       | _ -> Alcotest.fail "bad tail response")
 
 let test_check_tail_rejected_when_sealed () =
   with_replica (fun r ep ->
       ignore (call r ep (Proto.Sr_seal { view = 0 }));
-      match call r ep (Proto.Sr_check_tail { view = 0 }) with
+      match call r ep (Proto.Sr_check_tail { view = 0; log = 0 }) with
       | Proto.R_tail { ok; _ } -> checkb "rejected" false ok
       | _ -> Alcotest.fail "bad tail response")
 

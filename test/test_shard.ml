@@ -30,7 +30,9 @@ let call ep shard req =
   Rpc.call ep ~dst:(Shard.primary_id shard) ~size:(Proto.req_size req) req
 
 let push ep shard ?truncate_from slots =
-  match call ep shard (Proto.Msh_push { truncate_from; slots }) with
+  match
+    call ep shard (Proto.Msh_push { truncate_from; truncate_logs = []; slots })
+  with
   | Proto.R_ok -> ()
   | _ -> Alcotest.fail "push failed"
 
@@ -81,7 +83,9 @@ let test_replication_to_backups () =
           ignore
             (call ep shard
                (Proto.Msh_push
-                  { truncate_from = None; slots = [ (0, record 1 1 "a") ] }));
+                  { truncate_from = None;
+                    truncate_logs = [];
+                    slots = [ (0, record 1 1 "a") ] }));
           answered := true);
       Engine.sleep (Engine.ms 5);
       checkb "push unacknowledged without backup" false !answered;
@@ -110,6 +114,7 @@ let test_st_unbind_restages () =
          call ep shard
            (Proto.Ssh_order
               { truncate_from = None;
+                truncate_logs = [];
                 bindings = [ (5, rid 1 1) ];
                 map_chunk = [ (5, 0) ] })
        with
@@ -121,6 +126,7 @@ let test_st_unbind_restages () =
          call ep shard
            (Proto.Ssh_order
               { truncate_from = Some 2;
+                truncate_logs = [];
                 bindings = [ (3, rid 1 1) ];
                 map_chunk = [ (3, 0) ] })
        with
@@ -140,6 +146,7 @@ let test_get_map_waits_and_serves () =
         (call ep shard
            (Proto.Ssh_order
               { truncate_from = None;
+                truncate_logs = [];
                 bindings = [ (0, rid 1 1) ];
                 map_chunk = [ (0, 0); (1, 2); (2, 1) ] }));
       set_stable ep shard 3;
@@ -184,6 +191,7 @@ let test_get_map_stable_hint () =
         (call ep shard
            (Proto.Ssh_order
               { truncate_from = None;
+                truncate_logs = [];
                 bindings = [ (0, rid 1 1) ];
                 map_chunk = [ (0, 0) ] }));
       (* No Sh_set_stable: the request's hint stands in for it. *)
@@ -216,6 +224,7 @@ let test_backfill_to_backup () =
          Rpc.call ep ~dst:(Shard.primary_id shard)
            (Proto.Ssh_order
               { truncate_from = None;
+                truncate_logs = [];
                 bindings = [ (0, rid 1 1) ];
                 map_chunk = [ (0, 0) ] })
        with
@@ -304,6 +313,7 @@ let test_replacement_under_st_staging () =
          call ep shard
            (Proto.Ssh_order
               { truncate_from = None;
+                truncate_logs = [];
                 bindings = [ (0, rid 7 1) ];
                 map_chunk = [ (0, 0) ] })
        with

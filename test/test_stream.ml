@@ -175,7 +175,10 @@ let test_duplicate_push_dedup () =
          consumer must ack its durable cursor and deliver nothing. *)
       let ep = Erwin_common.new_endpoint cluster ~name:"test.replayer" in
       let record =
-        { Types.rid = { Types.Rid.client = 0; seq = 1 }; size = 256; data = "1" }
+        { Types.rid = { Types.Rid.client = 0; seq = 1 };
+          size = 256;
+          data = "1";
+          log = 0 }
       in
       let req =
         Proto.St_push
